@@ -1,0 +1,149 @@
+(* Benchmark harness.
+
+   Usage:
+     main.exe                 run every paper experiment + microbenchmarks
+     main.exe fig5 table3 ... run specific experiments
+     main.exe micro           run only the Bechamel kernel benchmarks
+     main.exe --fast [...]    shrunk populations/windows (smoke mode)
+
+   Experiments regenerate the rows/series of every table and figure in
+   the paper's evaluation (§7); see DESIGN.md for the index and
+   EXPERIMENTS.md for recorded paper-vs-measured comparisons. *)
+
+let ms_of_span s = Bechamel.Time.span_to_uint64_ns s |> Int64.to_float |> fun ns -> ns /. 1e6
+
+let () = ignore ms_of_span
+
+(* --- Bechamel microbenchmarks of the core kernels --- *)
+
+let bench_merge_rule =
+  let open Bechamel in
+  Test.make ~name:"delta-crdt merge (Algorithm 2)"
+    (Staged.stage (fun () ->
+         let header = Gg_storage.Row_header.create () in
+         for i = 1 to 100 do
+           let meta =
+             Gg_crdt.Meta.make ~sen:(i mod 7) ~cen:1
+               ~csn:(Gg_storage.Csn.make ~ts:i ~node:(i mod 3))
+           in
+           ignore (Gg_crdt.Merge.merge_header header ~meta)
+         done))
+
+let bench_writeset_codec =
+  let open Bechamel in
+  let ws =
+    Gg_crdt.Writeset.make
+      ~meta:(Gg_crdt.Meta.make ~sen:1 ~cen:2 ~csn:(Gg_storage.Csn.make ~ts:3 ~node:1))
+      ~records:
+        (List.init 10 (fun i ->
+             {
+               Gg_crdt.Writeset.table = "usertable";
+               key = [| Gg_storage.Value.Int i |];
+               op = Gg_crdt.Writeset.Update;
+               data =
+                 Array.init 11 (fun c ->
+                     if c = 0 then Gg_storage.Value.Int i
+                     else Gg_storage.Value.Str "abcdefghijklmnop");
+             }))
+      ()
+  in
+  let batch = Gg_crdt.Writeset.Batch.make ~node:0 ~cen:2 ~txns:[ ws ] ~eof:true () in
+  Test.make ~name:"write-set batch encode+gzip+decode"
+    (Staged.stage (fun () ->
+         let wire = Gg_crdt.Writeset.Batch.to_wire batch in
+         ignore (Gg_crdt.Writeset.Batch.of_wire wire)))
+
+let bench_zipf =
+  let open Bechamel in
+  let z = Gg_util.Zipf.create ~theta:0.8 ~n:1_000_000 in
+  let rng = Gg_util.Rng.create 7 in
+  Test.make ~name:"zipfian sampling (theta=0.8, 1M keys)"
+    (Staged.stage (fun () ->
+         for _ = 1 to 100 do
+           ignore (Gg_util.Zipf.scrambled z rng)
+         done))
+
+let bench_event_queue =
+  let open Bechamel in
+  Test.make ~name:"event queue push/pop (1k events)"
+    (Staged.stage (fun () ->
+         let q = Gg_sim.Event_queue.create () in
+         let rng = Gg_util.Rng.create 3 in
+         for _ = 1 to 1_000 do
+           Gg_sim.Event_queue.push q ~time:(Gg_util.Rng.int rng 100_000) ()
+         done;
+         while not (Gg_sim.Event_queue.is_empty q) do
+           ignore (Gg_sim.Event_queue.pop q)
+         done))
+
+let bench_sql_parse =
+  let open Bechamel in
+  Test.make ~name:"sql parse (point select)"
+    (Staged.stage (fun () ->
+         ignore
+           (Gg_sql.Parser.parse
+              "SELECT c_name, c_balance FROM customer WHERE c_w_id = 3 AND \
+               c_d_id = 5 AND c_id = 42")))
+
+let bench_op_exec =
+  let open Bechamel in
+  let db = Gg_storage.Db.create () in
+  let p = Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 10_000 in
+  Gg_workload.Ycsb.load p db;
+  let g = Gg_workload.Ycsb.create p ~seed:5 in
+  Test.make ~name:"op-level txn execution (YCSB, 10 ops)"
+    (Staged.stage (fun () ->
+         ignore (Geogauss.Op_exec.exec db (Gg_workload.Ycsb.next_txn g))))
+
+let run_micro () =
+  let open Bechamel in
+  let benchmarks =
+    [
+      bench_merge_rule; bench_writeset_codec; bench_zipf; bench_event_queue;
+      bench_sql_parse; bench_op_exec;
+    ]
+  in
+  print_endline "Microbenchmarks (Bechamel; monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ~kde:(Some 500) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              instance raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "  %-45s %10.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        results)
+    benchmarks
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let fast = List.mem "--fast" args in
+  let args = List.filter (fun a -> a <> "--fast") args in
+  let run_experiment name =
+    if not (Gg_harness.Experiments.run ~fast name) then begin
+      Printf.eprintf "unknown experiment %s; available: %s micro\n" name
+        (String.concat " " (List.map fst Gg_harness.Experiments.all));
+      exit 1
+    end
+  in
+  match args with
+  | [] ->
+    List.iter
+      (fun (name, _) ->
+        Printf.printf "=== %s ===\n%!" name;
+        run_experiment name)
+      Gg_harness.Experiments.all;
+    run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | names ->
+    List.iter
+      (fun name -> if name = "micro" then run_micro () else run_experiment name)
+      names

@@ -1,0 +1,1 @@
+bin/geogauss_cli.ml: Arg Cmd Cmdliner Geogauss Gg_harness Gg_sim Gg_util Gg_workload List Printf Term

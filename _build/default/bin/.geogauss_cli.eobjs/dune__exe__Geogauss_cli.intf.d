@@ -1,0 +1,1 @@
+bin/geogauss_cli.mli:

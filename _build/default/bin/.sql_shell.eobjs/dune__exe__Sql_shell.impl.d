@@ -1,0 +1,1 @@
+bin/sql_shell.ml: Array Cluster Geogauss Gg_sim Gg_sql Gg_storage Gg_util List Node Printf String Txn

@@ -1,0 +1,186 @@
+(* Command-line driver: run paper experiments or ad-hoc GeoGauss cluster
+   simulations with custom parameters. *)
+
+open Cmdliner
+
+let fast_arg =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk populations and windows.")
+
+(* --- `bench` subcommand: run paper experiments --- *)
+
+let bench_names =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:"Experiments to run (fig5 table2 fig6 fig7 table3 fig8 fig9 \
+              fig10 fig11 fig12 fig13 ablations). Default: all.")
+
+let bench_cmd =
+  let run fast names =
+    let names =
+      if names = [] then List.map fst Gg_harness.Experiments.all else names
+    in
+    let ok =
+      List.for_all
+        (fun name ->
+          Printf.printf "=== %s ===\n%!" name;
+          Gg_harness.Experiments.run ~fast name)
+        names
+    in
+    if ok then `Ok () else `Error (false, "unknown experiment")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(ret (const run $ fast_arg $ bench_names))
+
+(* --- `run` subcommand: ad-hoc simulation --- *)
+
+let run_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("ycsb-ro", `Ro); ("ycsb-mc", `Mc); ("ycsb-hc", `Hc);
+               ("tpcc", `Tpcc); ("tpcc-full", `Tpcc_full) ])
+          `Mc
+      & info [ "w"; "workload" ]
+          ~doc:"Workload: ycsb-ro, ycsb-mc, ycsb-hc, tpcc (50/50 NO+Payment) \
+                or tpcc-full (standard five-transaction mix).")
+  in
+  let nodes =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Number of replicas.")
+  in
+  let world =
+    Arg.(value & flag & info [ "worldwide" ] ~doc:"Worldwide 5-DC topology instead of China.")
+  in
+  let epoch_ms =
+    Arg.(value & opt int 10 & info [ "epoch-ms" ] ~doc:"Epoch length (ms).")
+  in
+  let isolation =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("rc", Geogauss.Params.RC); ("rr", Geogauss.Params.RR);
+               ("si", Geogauss.Params.SI); ("ssi", Geogauss.Params.SSI) ])
+          Geogauss.Params.RC
+      & info [ "isolation" ] ~doc:"Isolation level: rc, rr, si or ssi (extension).")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("geogauss", Geogauss.Params.Optimistic);
+               ("geog-s", Geogauss.Params.Sync_exec);
+               ("geog-a", Geogauss.Params.Async_merge) ])
+          Geogauss.Params.Optimistic
+      & info [ "variant" ] ~doc:"Execution variant: geogauss, geog-s or geog-a.")
+  in
+  let ft =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("none", Geogauss.Params.Ft_none);
+               ("lb", Geogauss.Params.Ft_local_backup);
+               ("rb", Geogauss.Params.Ft_remote_backup);
+               ("raft", Geogauss.Params.Ft_raft) ])
+          Geogauss.Params.Ft_local_backup
+      & info [ "ft" ] ~doc:"Fault tolerance: none, lb, rb or raft.")
+  in
+  let seconds =
+    Arg.(value & opt int 4 & info [ "t"; "seconds" ] ~doc:"Measured simulated seconds.")
+  in
+  let connections =
+    Arg.(value & opt int 64 & info [ "c"; "connections" ] ~doc:"Client connections per node.")
+  in
+  let theta =
+    Arg.(value & opt float 0.8 & info [ "theta" ] ~doc:"YCSB Zipf skew (0 <= theta < 1).")
+  in
+  let records =
+    Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"YCSB table size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run workload nodes world epoch_ms isolation variant ft seconds connections
+      theta records seed =
+    let topology =
+      if world then Gg_sim.Topology.worldwide nodes else Gg_sim.Topology.china nodes
+    in
+    let params =
+      {
+        Geogauss.Params.default with
+        Geogauss.Params.epoch_us = epoch_ms * 1_000;
+        isolation;
+        variant;
+        ft;
+        seed;
+      }
+    in
+    let gen, load =
+      match workload with
+      | (`Tpcc | `Tpcc_full) as w ->
+        let cfg = Gg_workload.Tpcc.default in
+        let full_mix = w = `Tpcc_full in
+        let gen node =
+          let g =
+            Gg_workload.Tpcc.create ~full_mix cfg ~seed:(seed + (1_000 * node))
+              ~node
+          in
+          fun () -> Gg_workload.Tpcc.next_txn g
+        in
+        (gen, Gg_workload.Tpcc.load cfg)
+      | (`Ro | `Mc | `Hc) as w ->
+        let base =
+          match w with
+          | `Ro -> Gg_workload.Ycsb.read_only
+          | `Mc -> Gg_workload.Ycsb.medium_contention
+          | `Hc -> Gg_workload.Ycsb.high_contention
+        in
+        let p =
+          Gg_workload.Ycsb.with_theta
+            (Gg_workload.Ycsb.with_records base records)
+            (if base.Gg_workload.Ycsb.theta = 0.0 then 0.0 else theta)
+        in
+        (Gg_harness.Driver.ycsb_gens p ~seed, Gg_workload.Ycsb.load p)
+    in
+    let r, extra =
+      Gg_harness.Driver.run_geogauss ~params ~connections ~topology ~load ~gen
+        ~warmup_ms:1_000 ~measure_ms:(seconds * 1_000)
+        ~label:(Geogauss.Params.variant_to_string variant)
+        ()
+    in
+    let table =
+      Gg_util.Tablefmt.create
+        ~title:
+          (Printf.sprintf "%s on %s (%d replicas, epoch %d ms, %s, ft=%s)"
+             (Geogauss.Params.variant_to_string variant)
+             topology.Gg_sim.Topology.name nodes epoch_ms
+             (Geogauss.Params.isolation_to_string isolation)
+             (Geogauss.Params.ft_to_string ft))
+        ~headers:Gg_harness.Result.headers
+    in
+    Gg_util.Tablefmt.add_row table (Gg_harness.Result.row r);
+    Gg_util.Tablefmt.print table;
+    match extra.Gg_harness.Driver.phase_means with
+    | (_, (p, e, w, m, l)) :: _ ->
+      Printf.printf
+        "node0 phase means (ms): parse %.2f  exec %.2f  wait %.2f  merge %.2f  log %.2f\n"
+        (p /. 1000.) (e /. 1000.) (w /. 1000.) (m /. 1000.) (l /. 1000.)
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an ad-hoc GeoGauss cluster simulation.")
+    Term.(
+      const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
+      $ ft $ seconds $ connections $ theta $ records $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "geogauss" ~version:"1.0.0"
+       ~doc:"GeoGauss: strongly consistent, light-coordinated geo-replicated \
+             OLTP (simulated reproduction of SIGMOD'23).")
+    [ bench_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,112 @@
+(* Interactive SQL shell against a single-node GeoGauss instance.
+
+   Each statement runs as an autocommit transaction through the full
+   epoch-based OCC path (the simulation clock advances until the epoch
+   snapshot confirms the commit). Multi-statement transactions:
+
+     BEGIN; ...; COMMIT;   groups statements into one transaction
+     \d                    list tables
+     \q                    quit                                       *)
+
+module Value = Gg_storage.Value
+open Geogauss
+
+let cluster =
+  Cluster.create
+    ~topology:(Gg_sim.Topology.single_region 1)
+    ~load:(fun _db -> ())
+    ()
+
+let await (result : 'a option ref) =
+  let budget = ref 1_000 in
+  while !result = None && !budget > 0 do
+    decr budget;
+    Cluster.run_for_ms cluster 5
+  done
+
+let print_result (r : Gg_sql.Executor.result) =
+  if r.Gg_sql.Executor.columns <> [] then begin
+    let table =
+      Gg_util.Tablefmt.create ~title:"" ~headers:r.Gg_sql.Executor.columns
+    in
+    List.iter
+      (fun row ->
+        Gg_util.Tablefmt.add_row table
+          (Array.to_list (Array.map Value.to_string row)))
+      r.Gg_sql.Executor.rows;
+    Gg_util.Tablefmt.print table;
+    Printf.printf "(%d rows)\n" (List.length r.Gg_sql.Executor.rows)
+  end
+  else if r.Gg_sql.Executor.affected > 0 then
+    Printf.printf "OK, %d rows affected\n" r.Gg_sql.Executor.affected
+  else print_endline "OK"
+
+let run_txn stmts =
+  let result = ref None in
+  Cluster.submit cluster ~node:0
+    (Txn.Sql_txn { label = "shell"; stmts })
+    (fun o -> result := Some o);
+  await result;
+  match !result with
+  | Some (Txn.Committed { results; latency_us }) ->
+    List.iter print_result results;
+    Printf.printf "COMMIT (epoch-confirmed in %.1f ms simulated)\n"
+      (float_of_int latency_us /. 1000.)
+  | Some (Txn.Aborted { reason; _ }) ->
+    Printf.printf "ABORT: %s\n" (Txn.abort_reason_to_string reason)
+  | None -> print_endline "ABORT: no response (simulation stalled?)"
+
+let list_tables () =
+  let db = Node.db (Cluster.node cluster 0) in
+  match Gg_storage.Db.table_names db with
+  | [] -> print_endline "(no tables)"
+  | names ->
+    List.iter
+      (fun n ->
+        let t = Gg_storage.Db.get_table_exn db n in
+        Printf.printf "  %s (%d rows)\n" n (Gg_storage.Table.live_count t))
+      names
+
+let () =
+  print_endline "GeoGauss SQL shell — single simulated node. \\q quits, \\d lists tables.";
+  let in_txn = ref None in
+  let rec loop () =
+    print_string (if !in_txn = None then "geogauss> " else "geogauss*> ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | line -> (
+      let line = String.trim line in
+      let lowered = String.lowercase_ascii line in
+      match lowered with
+      | "" -> loop ()
+      | "\\q" | "quit" | "exit" -> ()
+      | "\\d" ->
+        list_tables ();
+        loop ()
+      | "begin" | "begin;" ->
+        if !in_txn <> None then print_endline "already in a transaction";
+        in_txn := Some [];
+        loop ()
+      | "commit" | "commit;" ->
+        (match !in_txn with
+        | None -> print_endline "no transaction in progress"
+        | Some stmts ->
+          in_txn := None;
+          run_txn (List.rev stmts));
+        loop ()
+      | "rollback" | "rollback;" ->
+        in_txn := None;
+        print_endline "ROLLBACK";
+        loop ()
+      | _ ->
+        let stmt =
+          if String.length line > 0 && line.[String.length line - 1] = ';' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        (match !in_txn with
+        | Some stmts -> in_txn := Some ((stmt, [||]) :: stmts)
+        | None -> run_txn [ (stmt, [||]) ]);
+        loop ())
+  in
+  loop ()

@@ -1,0 +1,1 @@
+examples/failover.ml: Client Cluster Geogauss Gg_sim Gg_storage Gg_util Gg_workload List Printf String Txn

@@ -1,0 +1,1 @@
+examples/failover.mli:

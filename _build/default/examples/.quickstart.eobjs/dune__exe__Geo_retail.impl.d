@@ -1,0 +1,1 @@
+examples/geo_retail.ml: Array Client Cluster Geogauss Gg_sim Gg_storage Gg_util Gg_workload List Node Printf String Txn

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cluster Geogauss Gg_sim Gg_sql Gg_storage List Printf String Txn

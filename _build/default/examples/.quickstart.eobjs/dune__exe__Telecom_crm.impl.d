@@ -1,0 +1,1 @@
+examples/telecom_crm.ml: Client Cluster Geogauss Gg_sim Gg_storage Gg_util List Metrics Params Printf String Txn

@@ -1,0 +1,142 @@
+(* Telecom CRM: the ICT workload that motivates GeoGauss (paper §2.2).
+
+   Run with:  dune exec examples/telecom_crm.exe
+
+   A telecom provider's CRM serves subscriber-account operations from
+   every region: balance top-ups, plan changes and usage lookups. The
+   workload needs high throughput and strong replica consistency, but
+   weak isolation suffices. This example runs the same mix under RC and
+   RR and prints the throughput / latency / abort trade-off plus the
+   per-phase breakdown (the paper's Table 2 view). *)
+
+open Geogauss
+module Value = Gg_storage.Value
+
+let subscribers = 5_000
+let connections = 24
+let run_ms = 2_500
+
+let load db =
+  let t =
+    Gg_storage.Db.create_table db ~name:"subscriber"
+      ~columns:
+        [
+          { Gg_storage.Schema.name = "msisdn"; ty = Gg_storage.Schema.TInt };
+          { name = "plan"; ty = TStr };
+          { name = "balance_cents"; ty = TInt };
+          { name = "data_mb"; ty = TInt };
+        ]
+      ~key:[ "msisdn" ]
+  in
+  for i = 0 to subscribers - 1 do
+    Gg_storage.Table.load t
+      [| Value.Int i; Value.Str "basic"; Value.Int 10_000; Value.Int 2_048 |]
+  done
+
+let workload region =
+  let rng = Gg_util.Rng.create (7_000 + region) in
+  let zipf = Gg_util.Zipf.create ~theta:0.7 ~n:subscribers in
+  fun () ->
+    let msisdn = Gg_util.Zipf.scrambled zipf rng in
+    match Gg_util.Rng.int rng 10 with
+    | 0 | 1 ->
+      (* top-up *)
+      Txn.Sql_txn
+        {
+          label = "topup";
+          stmts =
+            [
+              ( "UPDATE subscriber SET balance_cents = balance_cents + ? WHERE msisdn = ?",
+                [| Value.Int (500 * (1 + Gg_util.Rng.int rng 10)); Value.Int msisdn |] );
+            ];
+        }
+    | 2 ->
+      (* plan change: read current plan, then write *)
+      Txn.Sql_txn
+        {
+          label = "plan_change";
+          stmts =
+            [
+              ("SELECT plan FROM subscriber WHERE msisdn = ?", [| Value.Int msisdn |]);
+              ( "UPDATE subscriber SET plan = ?, data_mb = ? WHERE msisdn = ?",
+                [|
+                  Value.Str (if Gg_util.Rng.bool rng then "premium" else "basic");
+                  Value.Int (if Gg_util.Rng.bool rng then 10_240 else 2_048);
+                  Value.Int msisdn;
+                |] );
+            ];
+        }
+    | 3 | 4 ->
+      (* usage charge *)
+      Txn.Sql_txn
+        {
+          label = "charge";
+          stmts =
+            [
+              ( "UPDATE subscriber SET balance_cents = balance_cents - ?, data_mb = data_mb - ? \
+                 WHERE msisdn = ? AND balance_cents > 0",
+                [|
+                  Value.Int (10 + Gg_util.Rng.int rng 200);
+                  Value.Int (Gg_util.Rng.int rng 50);
+                  Value.Int msisdn;
+                |] );
+            ];
+        }
+    | _ ->
+      (* balance lookup (read-only: answered from the local snapshot) *)
+      Txn.Sql_txn
+        {
+          label = "lookup";
+          stmts =
+            [
+              ( "SELECT plan, balance_cents, data_mb FROM subscriber WHERE msisdn = ?",
+                [| Value.Int msisdn |] );
+            ];
+        }
+
+let run isolation =
+  let params = Params.with_isolation Params.default isolation in
+  let cluster = Cluster.create ~params ~topology:(Gg_sim.Topology.china3 ()) ~load () in
+  let clients =
+    List.init 3 (fun region ->
+        let c = Client.create cluster ~home:region ~connections ~gen:(workload region) in
+        Client.start c;
+        c)
+  in
+  Cluster.run_for_ms cluster run_ms;
+  List.iter Client.stop clients;
+  Cluster.quiesce cluster;
+  let committed = List.fold_left (fun a c -> a + Client.committed c) 0 clients in
+  let aborted = List.fold_left (fun a c -> a + Client.aborted c) 0 clients in
+  let lat =
+    List.fold_left
+      (fun acc c -> Gg_util.Stats.Hist.merge acc (Client.latency c))
+      (Gg_util.Stats.Hist.create ()) clients
+  in
+  let p, e, w, m, l = Metrics.phase_means_us (Cluster.metrics cluster 0) in
+  Printf.printf
+    "%-3s  tput %6.0f txn/s   mean lat %5.1f ms   p99 %5.1f ms   abort rate %.3f\n"
+    (Params.isolation_to_string isolation)
+    (float_of_int committed /. (float_of_int run_ms /. 1000.))
+    (Gg_util.Stats.Hist.mean lat /. 1000.)
+    (Gg_util.Stats.Hist.p99 lat /. 1000.)
+    (float_of_int aborted /. float_of_int (max 1 (committed + aborted)));
+  Printf.printf
+    "     phases (ms): parse %.2f  exec %.2f  wait %.2f  merge %.2f  log %.2f\n"
+    (p /. 1000.) (e /. 1000.) (w /. 1000.) (m /. 1000.) (l /. 1000.);
+  (match Cluster.digests cluster with
+  | d :: rest when List.for_all (String.equal d) rest -> ()
+  | _ -> print_endline "     ERROR: replicas diverged!")
+
+let () =
+  Printf.printf
+    "== Telecom CRM mix (60%% lookups, 40%% updates) across 3 regions, %d \
+     subscribers ==\n"
+    subscribers;
+  print_endline "Strong replica consistency at epoch granularity; pick the isolation level:";
+  List.iter run [ Params.RC; Params.RR ];
+  print_endline
+    "\nThroughput and latency barely move between isolation levels — exactly \
+     the paper's Fig 9 observation.\nRR's extra read-validation aborts show \
+     up once transactions run long enough for\nsnapshots to change under \
+     them (see `bench/main.exe fig9` and the isolation tests)."

@@ -1,0 +1,1 @@
+lib/core/backup.ml: Array Gg_crdt Hashtbl

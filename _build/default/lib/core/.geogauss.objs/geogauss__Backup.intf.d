@@ -1,0 +1,1 @@
+lib/core/backup.mli: Gg_crdt

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Cluster Gg_sim Gg_util List Params Txn

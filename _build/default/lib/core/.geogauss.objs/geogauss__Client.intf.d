@@ -1,0 +1,1 @@
+lib/core/client.mli: Cluster Gg_util Txn

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Backup Bytes Gg_raft Gg_sim Gg_storage Gg_util Hashtbl List Metrics Node Params Printf String

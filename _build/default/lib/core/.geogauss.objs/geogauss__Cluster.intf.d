@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Backup Gg_sim Gg_storage Metrics Node Params Txn

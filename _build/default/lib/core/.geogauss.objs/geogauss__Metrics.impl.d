@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Gg_util Hashtbl List Stdlib Txn

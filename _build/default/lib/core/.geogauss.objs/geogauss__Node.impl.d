@@ -1,0 +1,1 @@
+lib/core/node.ml: Array Backup Gg_crdt Gg_sim Gg_sql Gg_storage Gg_workload Hashtbl List Metrics Op_exec Option Params Queue Txn

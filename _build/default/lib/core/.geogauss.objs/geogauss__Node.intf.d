@@ -1,0 +1,1 @@
+lib/core/node.mli: Backup Gg_crdt Gg_sim Gg_storage Metrics Params Txn

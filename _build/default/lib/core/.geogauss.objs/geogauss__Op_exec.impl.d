@@ -1,0 +1,1 @@
+lib/core/op_exec.ml: Array Gg_crdt Gg_sql Gg_storage Gg_workload Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/op_exec.mli: Gg_crdt Gg_sql Gg_storage Gg_workload Stdlib

@@ -1,0 +1,1 @@
+lib/core/txn.ml: Gg_crdt Gg_sql Gg_storage Gg_workload

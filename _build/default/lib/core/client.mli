@@ -1,0 +1,36 @@
+(** Closed-loop benchmark clients.
+
+    Matches the paper's serving model: each connection has at most one
+    outstanding transaction and submits the next one as soon as the
+    previous commits or aborts. Clients are pinned to a home region;
+    when the home node fails they time out and re-route to the nearest
+    live node (Fig 13), returning home after recovery. *)
+
+type t
+
+val create :
+  Cluster.t ->
+  home:int ->
+  connections:int ->
+  gen:(unit -> Txn.request) ->
+  t
+(** [gen] is called once per submission (deterministic workload
+    generators make whole runs reproducible). *)
+
+val start : t -> unit
+val stop : t -> unit
+(** Stop issuing new transactions (in-flight ones may still finish). *)
+
+val committed : t -> int
+val aborted : t -> int
+val timeouts : t -> int
+val latency : t -> Gg_util.Stats.Hist.t
+(** Committed-transaction latency. *)
+
+val reset_stats : t -> unit
+(** Clear counters/histograms (end of warm-up). *)
+
+val timeline : t -> bucket_us:int -> (float * float * float) list
+(** Per-time-bucket [(t_seconds, committed_per_s, mean_latency_ms)] —
+    the Fig 13 view. Buckets with no commits report zero throughput and
+    latency. *)

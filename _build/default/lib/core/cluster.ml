@@ -1,0 +1,301 @@
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Topology = Gg_sim.Topology
+module Db = Gg_storage.Db
+module Raft = Gg_raft.Raft
+
+type view = { from_epoch : int; members : int list }
+
+type pending_transfer = { donor : int; target : int; rejoin_epoch : int }
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  params : Params.t;
+  topology : Topology.t;
+  backup : Backup.t;
+  env : Node.env;
+  nodes : Node.t array;
+  raft : Raft.t;
+  mutable views : view list;  (* newest first *)
+  applied_proposals : (string, unit) Hashtbl.t;
+  proposed : (string, unit) Hashtbl.t;
+  mutable pending_transfers : pending_transfer list;
+  mutable last_view_change : int;
+}
+
+let members_at_views views e =
+  let rec go = function
+    | [] -> []
+    | v :: rest -> if e >= v.from_epoch then v.members else go rest
+  in
+  go views
+
+let epoch_us t = t.params.Params.epoch_us
+let current_epoch t = Sim.now t.sim / epoch_us t
+
+(* --- membership view changes, committed through Raft --- *)
+
+let rec apply_view_change t data =
+  if not (Hashtbl.mem t.applied_proposals data) then begin
+    Hashtbl.replace t.applied_proposals data ();
+    t.last_view_change <- Sim.now t.sim;
+    match String.split_on_char ':' data with
+    | [ "remove"; p; e ] ->
+      let p = int_of_string p and e = int_of_string e in
+      let current = (List.hd t.views).members in
+      if List.mem p current then begin
+        t.views <-
+          { from_epoch = e + 1; members = List.filter (fun m -> m <> p) current }
+          :: t.views;
+        (* Survivors recover any of the failed node's sealed batches they
+           are missing from its backup server (one regional round trip),
+           then re-evaluate merges. *)
+        Array.iter
+          (fun node ->
+            let id = Node.id node in
+            if id <> p && not (Net.is_down t.net id) then begin
+              let missing = Node.missing_sealed_epochs node ~peer:p ~upto:e in
+              List.iter
+                (fun cen ->
+                  match Backup.get t.backup ~node:p ~cen with
+                  | None -> ()
+                  | Some batch ->
+                    let delay = 2 * Topology.latency t.topology id p in
+                    Sim.schedule t.sim ~after:delay (fun () ->
+                        Node.receive node (Node.Batch_msg batch)))
+                missing;
+              Node.try_advance node
+            end)
+          t.nodes
+      end
+    | [ "add"; p; e ] ->
+      let p = int_of_string p and er = int_of_string e in
+      let current = (List.hd t.views).members in
+      if not (List.mem p current) then begin
+        t.views <-
+          { from_epoch = er; members = List.sort compare (p :: current) } :: t.views;
+        (* Find a donor and queue the state transfer: it fires when the
+           donor generates snapshot (er - 1). *)
+        let donor =
+          List.fold_left
+            (fun best m ->
+              if m = p || Net.is_down t.net m then best
+              else
+                match best with
+                | None -> Some m
+                | Some b ->
+                  if
+                    Topology.latency t.topology p m
+                    < Topology.latency t.topology p b
+                  then Some m
+                  else best)
+            None current
+        in
+        match donor with
+        | None -> ()
+        | Some donor ->
+          t.pending_transfers <-
+            { donor; target = p; rejoin_epoch = er } :: t.pending_transfers;
+          (* The donor may already be past er - 1. *)
+          check_transfers t ~node:donor ~lsn:(Node.lsn t.nodes.(donor))
+      end
+    | _ -> ()
+  end
+
+and check_transfers t ~node ~lsn =
+  let ready, still =
+    List.partition
+      (fun p -> p.donor = node && lsn >= p.rejoin_epoch - 1)
+      t.pending_transfers
+  in
+  t.pending_transfers <- still;
+  List.iter
+    (fun { donor; target; rejoin_epoch } ->
+      let donor_node = t.nodes.(donor) in
+      let snapshot = Node.make_state_snapshot donor_node in
+      let bytes =
+        match snapshot with
+        | Node.State_snapshot { ckpt; _ } -> Bytes.length ckpt
+        | _ -> 0
+      in
+      Net.send t.net ~src:donor ~dst:target ~bytes (fun () ->
+          match snapshot with
+          | Node.State_snapshot { lsn; ckpt } ->
+            Node.install_state t.nodes.(target) ~lsn
+              ~db:(Gg_storage.Checkpoint.decode ckpt);
+            ignore rejoin_epoch;
+            (* Reset failure detection clocks for the re-joined node. *)
+            Array.iter
+              (fun n -> Node.touch_eof n ~peer:target)
+              t.nodes
+          | _ -> ()))
+    ready
+
+(* --- failure detection (500 ms EOF silence => propose removal) --- *)
+
+let rec schedule_detector t =
+  Sim.schedule t.sim ~after:100_000 (fun () ->
+      let now = Sim.now t.sim in
+      let current = (List.hd t.views).members in
+      let timeout = t.params.Params.membership_timeout_us in
+      List.iter
+        (fun p ->
+          let suspected =
+            List.exists
+              (fun o ->
+                o <> p
+                && (not (Net.is_down t.net o))
+                && Node.active t.nodes.(o)
+                && now - max (Node.last_eof_from t.nodes.(o) ~peer:p) t.last_view_change
+                   > timeout)
+              current
+          in
+          if suspected then begin
+            let e = max (Backup.last_sealed t.backup ~node:p) (Node.lsn t.nodes.(p)) in
+            let proposal = Printf.sprintf "remove:%d:%d" p e in
+            if not (Hashtbl.mem t.proposed proposal) then
+              if Raft.propose_anywhere t.raft proposal then
+                Hashtbl.replace t.proposed proposal ()
+          end)
+        current;
+      schedule_detector t)
+
+let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
+    ?(dup = 0.0) ?(reorder = 0.0) ~topology ~load () =
+  let sim = Sim.create () in
+  let rng = Gg_util.Rng.create params.Params.seed in
+  let net = Net.create sim ~rng ~topology ~jitter_frac ~loss ~dup ~reorder () in
+  let n = Topology.n_nodes topology in
+  let backup = Backup.create ~n in
+  let env =
+    {
+      Node.sim;
+      net;
+      params;
+      backup;
+      members_at = (fun _ -> List.init n (fun i -> i));
+      deliver = (fun ~dst:_ _ -> ());
+      on_snapshot = (fun ~node:_ ~lsn:_ -> ());
+    }
+  in
+  let nodes =
+    Array.init n (fun id ->
+        let db = Db.create () in
+        load db;
+        Node.create env ~id ~db)
+  in
+  (* The Raft apply callback needs the cluster record, which needs the
+     Raft instance: tie the knot with a forward reference. *)
+  let tref = ref None in
+  let raft =
+    Raft.create net
+      ~rng:(Gg_util.Rng.create (params.Params.seed + 17))
+      ~apply:(fun ~node:_ ~index:_ data ->
+        match !tref with Some t -> apply_view_change t data | None -> ())
+      ()
+  in
+  let t =
+    {
+      sim;
+      net;
+      params;
+      topology;
+      backup;
+      env;
+      nodes;
+      raft;
+      views = [ { from_epoch = 0; members = List.init n (fun i -> i) } ];
+      applied_proposals = Hashtbl.create 8;
+      proposed = Hashtbl.create 8;
+      pending_transfers = [];
+      last_view_change = 0;
+    }
+  in
+  tref := Some t;
+  env.Node.members_at <- (fun e -> members_at_views t.views e);
+  env.Node.deliver <- (fun ~dst msg -> Node.receive t.nodes.(dst) msg);
+  env.Node.on_snapshot <- (fun ~node ~lsn -> check_transfers t ~node ~lsn);
+  Array.iter Node.start nodes;
+  Raft.start raft;
+  schedule_detector t;
+  t
+
+let sim t = t.sim
+let net t = t.net
+let params t = t.params
+let n_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let metrics t i = Node.metrics t.nodes.(i)
+let backup t = t.backup
+
+let submit t ~node req cb = Node.submit t.nodes.(node) req cb
+
+let members t = (List.hd t.views).members
+
+let route t ~preferred =
+  let live = List.filter (fun m -> not (Net.is_down t.net m)) (members t) in
+  if List.mem preferred live then preferred
+  else
+    match live with
+    | [] -> preferred
+    | first :: _ ->
+      List.fold_left
+        (fun best m ->
+          if
+            Topology.latency t.topology preferred m
+            < Topology.latency t.topology preferred best
+          then m
+          else best)
+        first live
+
+let run_until t time = Sim.run_until t.sim time
+let run_for_ms t ms = Sim.run_until t.sim (Sim.now t.sim + Sim.ms ms)
+
+let crash t i =
+  Net.set_down t.net i true;
+  Node.set_active t.nodes.(i) false
+
+let recover t i =
+  Net.set_down t.net i false;
+  (* Re-join a few epochs in the future: enough for the membership change
+     to commit and the state snapshot to arrive. *)
+  let margin =
+    3 + ((500_000 + (2 * 40_000)) / epoch_us t)
+  in
+  let er = current_epoch t + margin in
+  let proposal = Printf.sprintf "add:%d:%d" i er in
+  let rec try_propose attempts =
+    if attempts > 0 && not (Raft.propose_anywhere t.raft proposal) then
+      Sim.schedule t.sim ~after:100_000 (fun () -> try_propose (attempts - 1))
+  in
+  try_propose 50
+
+let total_committed t =
+  Array.fold_left (fun acc n -> acc + Metrics.committed (Node.metrics n)) 0 t.nodes
+
+let total_aborted t =
+  Array.fold_left (fun acc n -> acc + Metrics.aborted (Node.metrics n)) 0 t.nodes
+
+let lsns t = Array.to_list (Array.map Node.lsn t.nodes)
+
+let digests t = Array.to_list (Array.map (fun n -> Db.digest (Node.db n)) t.nodes)
+
+let quiesce t =
+  (* Run until every live member's snapshot covers every epoch sealed
+     {e as of the call} (epochs keep sealing while we run, so the target
+     must be fixed up front or this would chase its own tail). *)
+  let live () = List.filter (fun m -> not (Net.is_down t.net m)) (members t) in
+  let target =
+    List.fold_left
+      (fun acc m -> max acc (Node.sealed_epoch t.nodes.(m)))
+      (-1) (live ())
+  in
+  let settled () =
+    List.for_all (fun m -> Node.lsn t.nodes.(m) >= target) (live ())
+  in
+  let budget = ref 2_000 in
+  while (not (settled ())) && !budget > 0 do
+    decr budget;
+    run_for_ms t 10
+  done

@@ -1,0 +1,59 @@
+(** A full GeoGauss deployment: N replica nodes over a simulated
+    geo-distributed network, plus Raft-based membership (§5.2), write-set
+    backup servers, failure detection and recovery orchestration. *)
+
+type t
+
+val create :
+  ?params:Params.t ->
+  ?jitter_frac:float ->
+  ?loss:float ->
+  ?dup:float ->
+  ?reorder:float ->
+  topology:Gg_sim.Topology.t ->
+  load:(Gg_storage.Db.t -> unit) ->
+  unit ->
+  t
+(** [load] populates each replica's database identically (the initial
+    consistent snapshot). *)
+
+val sim : t -> Gg_sim.Sim.t
+val net : t -> Gg_sim.Net.t
+val params : t -> Params.t
+val n_nodes : t -> int
+val node : t -> int -> Node.t
+val metrics : t -> int -> Metrics.t
+val backup : t -> Backup.t
+
+val submit : t -> node:int -> Txn.request -> (Txn.outcome -> unit) -> unit
+
+val route : t -> preferred:int -> int
+(** The node a client in [preferred]'s region should talk to: the
+    preferred node when it is alive and in the view, otherwise the
+    nearest live member. *)
+
+val members : t -> int list
+(** Current membership view. *)
+
+val run_for_ms : t -> int -> unit
+val run_until : t -> int -> unit
+
+val crash : t -> int -> unit
+(** Take a node down (network + service). *)
+
+val recover : t -> int -> unit
+(** Bring a crashed node back: re-join via Raft membership and a state
+    snapshot from the nearest live donor. *)
+
+val total_committed : t -> int
+val total_aborted : t -> int
+
+val lsns : t -> int list
+val digests : t -> string list
+(** Per-replica state digests; equal on replicas holding the same
+    snapshot. *)
+
+val quiesce : t -> unit
+(** Let in-flight epochs settle: advances the simulation until all live
+    members reach a common snapshot that covers every sealed epoch (give
+    clients a chance to stop submitting first). *)

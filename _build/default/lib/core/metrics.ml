@@ -1,0 +1,127 @@
+module Stats = Gg_util.Stats
+
+type epoch_cell = { mutable committed : int; latency : Stats.Acc.t }
+
+type t = {
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable ab_constraint : int;
+  mutable ab_read : int;
+  mutable ab_write : int;
+  mutable ab_ssi : int;
+  mutable ab_deleted : int;
+  mutable ab_failure : int;
+  mutable latency : Stats.Hist.t;
+  mutable commit_latency : Stats.Hist.t;
+  mutable parse : Stats.Acc.t;
+  mutable exec : Stats.Acc.t;
+  mutable wait : Stats.Acc.t;
+  mutable merge : Stats.Acc.t;
+  mutable log : Stats.Acc.t;
+  mutable per_epoch : (int, epoch_cell) Hashtbl.t;
+}
+
+let create () =
+  {
+    started = 0;
+    committed = 0;
+    aborted = 0;
+    ab_constraint = 0;
+    ab_read = 0;
+    ab_write = 0;
+    ab_ssi = 0;
+    ab_deleted = 0;
+    ab_failure = 0;
+    latency = Stats.Hist.create ();
+    commit_latency = Stats.Hist.create ();
+    parse = Stats.Acc.create ();
+    exec = Stats.Acc.create ();
+    wait = Stats.Acc.create ();
+    merge = Stats.Acc.create ();
+    log = Stats.Acc.create ();
+    per_epoch = Hashtbl.create 256;
+  }
+
+let record_start t = t.started <- t.started + 1
+
+let record_outcome t outcome =
+  let lat = float_of_int (Txn.outcome_latency outcome) in
+  Stats.Hist.add t.latency lat;
+  match outcome with
+  | Txn.Committed _ ->
+    t.committed <- t.committed + 1;
+    Stats.Hist.add t.commit_latency lat
+  | Txn.Aborted { reason; _ } -> (
+    t.aborted <- t.aborted + 1;
+    match reason with
+    | Txn.Constraint_violation _ -> t.ab_constraint <- t.ab_constraint + 1
+    | Txn.Read_validation -> t.ab_read <- t.ab_read + 1
+    | Txn.Write_conflict -> t.ab_write <- t.ab_write + 1
+    | Txn.Ssi_conflict -> t.ab_ssi <- t.ab_ssi + 1
+    | Txn.Row_deleted -> t.ab_deleted <- t.ab_deleted + 1
+    | Txn.Node_failure -> t.ab_failure <- t.ab_failure + 1)
+
+let record_phases t (p : Txn.phases) =
+  Stats.Acc.add t.parse (float_of_int p.parse_us);
+  Stats.Acc.add t.exec (float_of_int p.exec_us);
+  Stats.Acc.add t.wait (float_of_int p.wait_us);
+  Stats.Acc.add t.merge (float_of_int p.merge_us);
+  Stats.Acc.add t.log (float_of_int p.log_us)
+
+let record_epoch_commit t ~cen ~latency_us =
+  let cell =
+    match Hashtbl.find_opt t.per_epoch cen with
+    | Some c -> c
+    | None ->
+      let c = { committed = 0; latency = Stats.Acc.create () } in
+      Hashtbl.replace t.per_epoch cen c;
+      c
+  in
+  cell.committed <- cell.committed + 1;
+  Stats.Acc.add cell.latency (float_of_int latency_us)
+
+let started t = t.started
+let committed t = t.committed
+let aborted t = t.aborted
+
+let aborted_by t = function
+  | Txn.Constraint_violation _ -> t.ab_constraint
+  | Txn.Read_validation -> t.ab_read
+  | Txn.Write_conflict -> t.ab_write
+  | Txn.Ssi_conflict -> t.ab_ssi
+  | Txn.Row_deleted -> t.ab_deleted
+  | Txn.Node_failure -> t.ab_failure
+
+let latency t = t.latency
+let commit_latency t = t.commit_latency
+
+let phase_means_us t =
+  ( Stats.Acc.mean t.parse,
+    Stats.Acc.mean t.exec,
+    Stats.Acc.mean t.wait,
+    Stats.Acc.mean t.merge,
+    Stats.Acc.mean t.log )
+
+let epoch_cells t =
+  Hashtbl.fold (fun cen cell acc -> (cen, cell) :: acc) t.per_epoch []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let reset t =
+  t.started <- 0;
+  t.committed <- 0;
+  t.aborted <- 0;
+  t.ab_constraint <- 0;
+  t.ab_read <- 0;
+  t.ab_write <- 0;
+  t.ab_ssi <- 0;
+  t.ab_deleted <- 0;
+  t.ab_failure <- 0;
+  t.latency <- Stats.Hist.create ();
+  t.commit_latency <- Stats.Hist.create ();
+  t.parse <- Stats.Acc.create ();
+  t.exec <- Stats.Acc.create ();
+  t.wait <- Stats.Acc.create ();
+  t.merge <- Stats.Acc.create ();
+  t.log <- Stats.Acc.create ();
+  t.per_epoch <- Hashtbl.create 256

@@ -1,0 +1,802 @@
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Cpu = Gg_sim.Cpu
+module Topology = Gg_sim.Topology
+module Db = Gg_storage.Db
+module Table = Gg_storage.Table
+module Csn = Gg_storage.Csn
+module Row_header = Gg_storage.Row_header
+module Writeset = Gg_crdt.Writeset
+module Merge = Gg_crdt.Merge
+module Meta = Gg_crdt.Meta
+module Executor = Gg_sql.Executor
+
+type msg =
+  | Batch_msg of Writeset.Batch.t
+  | Ft_ack of { cen : int; from : int }
+  | Ft_commit of { cen : int; origin : int }
+  | State_snapshot of { lsn : int; ckpt : bytes }
+
+type env = {
+  sim : Sim.t;
+  net : Net.t;
+  params : Params.t;
+  backup : Backup.t;
+  mutable members_at : int -> int list;
+  mutable deliver : dst:int -> msg -> unit;
+  mutable on_snapshot : node:int -> lsn:int -> unit;
+}
+
+type batch_state = {
+  mutable txns : Writeset.t list;  (* newest first, deduplicated by csn *)
+  txn_keys : (int * int, unit) Hashtbl.t;
+  mutable eof : bool;
+  mutable expected : int;  (* txn count announced by the EOF; -1 until then *)
+  mutable committed : bool;  (* Ft_raft gate; true otherwise *)
+}
+
+type t = {
+  id : int;
+  env : env;
+  cpu : Cpu.t;
+  db : Db.t;
+  wal : Gg_storage.Wal.t;
+  metrics : Metrics.t;
+  mutable active : bool;
+  mutable lsn : int;
+  mutable sealed_epoch : int;
+  mutable current_send : (int * Writeset.t) list;  (* (cen, ws), newest first *)
+  remote : (int * int, batch_state) Hashtbl.t;  (* (cen, peer) *)
+  local_sealed : (int, Writeset.t list) Hashtbl.t;
+  waiting : (int, Txn.t list) Hashtbl.t;  (* cen -> local txns *)
+  notify_gate : (int, int) Hashtbl.t;  (* cen -> earliest client-notify time *)
+  ft_acks : (int, int list ref) Hashtbl.t;
+  sync_queue : Txn.t Queue.t;  (* GeoG-S: held until a fresh snapshot *)
+  last_eof : int array;
+  mutable merging : bool;
+  mutable csn_last : int;
+  mutable txn_seq : int;
+}
+
+let create env ~id ~db =
+  let n = Net.n_nodes env.net in
+  {
+    id;
+    env;
+    cpu = Cpu.create env.sim ~cores:env.params.Params.cores;
+    db;
+    wal = Gg_storage.Wal.create ~fsync_us:env.params.Params.cost.log_fsync_us ();
+    metrics = Metrics.create ();
+    active = true;
+    lsn = -1;
+    sealed_epoch = -1;
+    current_send = [];
+    remote = Hashtbl.create 64;
+    local_sealed = Hashtbl.create 64;
+    waiting = Hashtbl.create 64;
+    notify_gate = Hashtbl.create 64;
+    ft_acks = Hashtbl.create 16;
+    sync_queue = Queue.create ();
+    last_eof = Array.make n 0;
+    merging = false;
+    csn_last = 0;
+    txn_seq = 0;
+  }
+
+let id t = t.id
+let db t = t.db
+let lsn t = t.lsn
+let sealed_epoch t = t.sealed_epoch
+let metrics t = t.metrics
+let active t = t.active
+
+let pending_waiting t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.waiting 0
+
+let now t = Sim.now t.env.sim
+let epoch_us t = t.env.params.Params.epoch_us
+let epoch_of t time = time / epoch_us t
+let current_epoch t = epoch_of t (now t)
+
+let last_eof_from t ~peer = t.last_eof.(peer)
+let touch_eof t ~peer = t.last_eof.(peer) <- Sim.now t.env.sim
+
+let fresh_csn t =
+  let ts = max (now t) (t.csn_last + 1) in
+  t.csn_last <- ts;
+  Csn.make ~ts ~node:t.id
+
+let send_msg t ~dst ~bytes msg =
+  let env = t.env in
+  Net.send env.net ~src:t.id ~dst ~bytes (fun () -> env.deliver ~dst msg)
+
+let broadcast t ~bytes msg =
+  for dst = 0 to Net.n_nodes t.env.net - 1 do
+    if dst <> t.id then send_msg t ~dst ~bytes msg
+  done
+
+(* --- fault-tolerance notification gates (§5.2) --- *)
+
+(* Earliest time clients of epoch [cen] may be answered, measured from
+   the epoch seal time. *)
+let ft_gate_delay t =
+  let topo = Net.topology t.env.net in
+  match t.env.params.Params.ft with
+  | Params.Ft_none | Params.Ft_raft -> 0
+  | Params.Ft_local_backup ->
+    (* round trip to a same-region backup server *)
+    2 * Topology.latency topo t.id t.id
+  | Params.Ft_remote_backup ->
+    (* round trip to the nearest other-region backup *)
+    let best = ref max_int in
+    for p = 0 to Topology.n_nodes topo - 1 do
+      if Topology.region_of topo p <> Topology.region_of topo t.id then
+        best := min !best (Topology.latency topo t.id p)
+    done;
+    if !best = max_int then 0 else 2 * !best
+
+(* --- GeoG-A: coordination-free LWW apply (used by Async_merge) --- *)
+
+let lww_apply t (ws : Writeset.t) =
+  let meta = ws.Writeset.meta in
+  List.iter
+    (fun (r : Writeset.record) ->
+      match Db.get_table t.db r.Writeset.table with
+      | None -> ()
+      | Some table -> (
+        let key_str = Writeset.key_str r in
+        match Table.find table key_str with
+        | Some entry ->
+          if Csn.compare meta.Meta.csn entry.Table.header.Row_header.csn > 0
+          then begin
+            Row_header.stamp entry.Table.header ~sen:meta.Meta.sen
+              ~csn:meta.Meta.csn ~cen:meta.Meta.cen;
+            match r.Writeset.op with
+            | Writeset.Delete -> Table.delete table entry
+            | Writeset.Insert | Writeset.Update ->
+              Table.revive table entry r.Writeset.data
+          end
+        | None -> (
+          match r.Writeset.op with
+          | Writeset.Delete -> ()
+          | Writeset.Insert | Writeset.Update ->
+            let header = Row_header.create () in
+            Row_header.stamp header ~sen:meta.Meta.sen ~csn:meta.Meta.csn
+              ~cen:meta.Meta.cen;
+            Table.insert_committed table ~key:r.Writeset.key
+              ~data:r.Writeset.data ~header)))
+    ws.Writeset.records
+
+(* --- finishing transactions --- *)
+
+let finish t (txn : Txn.t) outcome =
+  if not txn.Txn.finished then begin
+    txn.Txn.finished <- true;
+    Metrics.record_outcome t.metrics outcome;
+    (match outcome with
+    | Txn.Committed _ -> Metrics.record_phases t.metrics txn.Txn.phases
+    | Txn.Aborted _ -> ());
+    txn.Txn.callback outcome
+  end
+
+let finish_committed t txn =
+  finish t txn
+    (Txn.Committed
+       {
+         latency_us = now t - txn.Txn.submit_time;
+         results = txn.Txn.sql_results;
+       })
+
+let finish_aborted t txn reason =
+  finish t txn (Txn.Aborted { latency_us = now t - txn.Txn.submit_time; reason })
+
+(* --- epoch sealing --- *)
+
+let seal_epoch t e =
+  let mine, rest = List.partition (fun (cen, _) -> cen = e) t.current_send in
+  t.current_send <- rest;
+  let txns = List.rev_map snd mine in
+  Hashtbl.replace t.local_sealed e txns;
+  let batch = Writeset.Batch.make ~node:t.id ~cen:e ~txns ~eof:true () in
+  Backup.put t.env.backup batch;
+  (* With pipelining the write sets already went out in mini-batches;
+     only the EOF marker (carrying the expected count) travels now. *)
+  let wire_batch =
+    if t.env.params.Params.pipeline then
+      Writeset.Batch.make ~node:t.id ~cen:e ~txns:[] ~eof:true
+        ~count:(List.length txns) ()
+    else batch
+  in
+  let bytes = Writeset.Batch.wire_size wire_batch in
+  broadcast t ~bytes (Batch_msg wire_batch);
+  Hashtbl.replace t.notify_gate e (now t + ft_gate_delay t);
+  t.sealed_epoch <- e
+
+let rec schedule_boundary t e =
+  let at = (e + 1) * epoch_us t in
+  Sim.schedule_at t.env.sim at (fun () ->
+      if t.active && not (Net.is_down t.env.net t.id) then begin
+        seal_epoch t e;
+        try_advance t
+      end;
+      schedule_boundary t (e + 1))
+
+(* --- the per-epoch merge: Algorithm 2 + validation + write-back --- *)
+
+and collect_epoch_txns t e =
+  (* Local + all remote updates of epoch e, deduplicated by csn (the
+     network may duplicate; merge must stay idempotent). *)
+  let seen = Hashtbl.create 64 in
+  let add acc (ws : Writeset.t) =
+    let k = ws.Writeset.meta.Meta.csn in
+    if Hashtbl.mem seen (k.Csn.ts, k.Csn.node) then acc
+    else begin
+      Hashtbl.replace seen (k.Csn.ts, k.Csn.node) ();
+      ws :: acc
+    end
+  in
+  let acc = List.fold_left add [] (Option.value ~default:[] (Hashtbl.find_opt t.local_sealed e)) in
+  let acc =
+    List.fold_left
+      (fun acc peer ->
+        if peer = t.id then acc
+        else
+          match Hashtbl.find_opt t.remote (e, peer) with
+          | None -> acc
+          | Some bs -> List.fold_left add acc (List.rev bs.txns))
+      acc
+      (t.env.members_at e)
+  in
+  List.rev acc
+
+and merge_ready t e =
+  t.sealed_epoch >= e
+  && List.for_all
+       (fun peer ->
+         peer = t.id
+         ||
+         match Hashtbl.find_opt t.remote (e, peer) with
+         | Some bs ->
+           bs.eof
+           && Hashtbl.length bs.txn_keys >= bs.expected
+           && (bs.committed || t.env.params.Params.ft <> Params.Ft_raft)
+         | None -> false)
+       (t.env.members_at e)
+
+and try_advance t =
+  if t.active && not t.merging then begin
+    let e = t.lsn + 1 in
+    if merge_ready t e then begin
+      t.merging <- true;
+      let txns = collect_epoch_txns t e in
+      let n_records =
+        List.fold_left (fun n ws -> n + List.length ws.Writeset.records) 0 txns
+      in
+      let cost = t.env.params.Params.cost in
+      (* Every blocked transaction thread is checked/notified around each
+         snapshot generation (§5.1): with short epochs this scan
+         dominates, which is why the paper's Fig 8 peaks at ~10 ms. *)
+      let duration =
+        cost.merge_base_us
+        + (pending_waiting t * cost.notify_us)
+        + (n_records * cost.merge_record_us / max 1 cost.merge_threads)
+      in
+      let merge_started = now t in
+      Sim.schedule t.env.sim ~after:duration (fun () ->
+          do_merge t e txns ~merge_started ~duration;
+          t.merging <- false;
+          try_advance t)
+    end
+  end
+
+and do_merge t e txns ~merge_started ~duration =
+  (* Phase A: pre-write every record of every update (DeltaCRDTMerge).
+     We deliberately keep pre-writing a transaction's remaining records
+     after one of them loses: each row's final header must be the
+     per-row Lemma 2 winner independent of processing order. *)
+  let dead : (int * int, Txn.abort_reason) Hashtbl.t = Hashtbl.create 64 in
+  let csn_key (ws : Writeset.t) =
+    let c = ws.Writeset.meta.Meta.csn in
+    (c.Csn.ts, c.Csn.node)
+  in
+  let mark ws reason =
+    let k = csn_key ws in
+    if not (Hashtbl.mem dead k) then Hashtbl.replace dead k reason
+  in
+  List.iter
+    (fun (ws : Writeset.t) ->
+      let meta = ws.Writeset.meta in
+      List.iter
+        (fun (r : Writeset.record) ->
+          match Db.get_table t.db r.Writeset.table with
+          | None -> mark ws (Txn.Constraint_violation "unknown table")
+          | Some table -> (
+            let key_str = Writeset.key_str r in
+            match r.Writeset.op with
+            | Writeset.Insert -> (
+              match Table.find_live table key_str with
+              | Some _ ->
+                mark ws (Txn.Constraint_violation "duplicate key")
+              | None -> (
+                let temp = Table.temp_add table ~key:r.Writeset.key ~key_str in
+                match Merge.merge_header temp.Table.header ~meta with
+                | Merge.Win | Merge.Already -> ()
+                | Merge.Lose -> mark ws Txn.Write_conflict))
+            | Writeset.Update | Writeset.Delete -> (
+              match Table.find table key_str with
+              | None -> mark ws Txn.Row_deleted
+              | Some entry when entry.Table.header.Row_header.deleted ->
+                mark ws Txn.Row_deleted
+              | Some entry -> (
+                match Merge.merge_header entry.Table.header ~meta with
+                | Merge.Win | Merge.Already -> ()
+                | Merge.Lose -> mark ws Txn.Write_conflict))))
+        ws.Writeset.records)
+    txns;
+  (* Phase B: validation — a transaction commits iff it still holds the
+     header of every row it wrote. *)
+  let committed_set : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ws : Writeset.t) ->
+      let k = csn_key ws in
+      if not (Hashtbl.mem dead k) then begin
+        let meta = ws.Writeset.meta in
+        let holds_all =
+          List.for_all
+            (fun (r : Writeset.record) ->
+              match Db.get_table t.db r.Writeset.table with
+              | None -> false
+              | Some table -> (
+                let key_str = Writeset.key_str r in
+                let header =
+                  match r.Writeset.op with
+                  | Writeset.Insert ->
+                    Option.map
+                      (fun e -> e.Table.header)
+                      (Table.temp_find table key_str)
+                  | Writeset.Update | Writeset.Delete ->
+                    Option.map (fun e -> e.Table.header) (Table.find table key_str)
+                in
+                match header with
+                | Some h -> Csn.equal h.Row_header.csn meta.Meta.csn
+                | None -> false))
+            ws.Writeset.records
+        in
+        if holds_all then Hashtbl.replace committed_set k ()
+        else mark ws Txn.Write_conflict
+      end)
+    txns;
+  (* SSI extension: among the write-write survivors, abort pivots — a
+     transaction with both an outgoing rw-antidependency (it read a row
+     another survivor wrote this epoch) and an incoming one (it wrote a
+     row another survivor read). Decisions are taken against the
+     pre-filter survivor set, so they are order-independent and identical
+     on every replica. *)
+  if t.env.params.Params.isolation = Params.SSI then begin
+    let writes_of : (string * string, (int * int) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let reads_of : (string * string, (int * int) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let add tbl key v =
+      Hashtbl.replace tbl key (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+    in
+    List.iter
+      (fun (ws : Writeset.t) ->
+        let k = csn_key ws in
+        if Hashtbl.mem committed_set k then begin
+          List.iter
+            (fun (r : Writeset.record) ->
+              add writes_of (r.Writeset.table, Writeset.key_str r) k)
+            ws.Writeset.records;
+          List.iter (fun rk -> add reads_of rk k) ws.Writeset.read_keys
+        end)
+      txns;
+    let others tbl key k =
+      List.exists (fun k' -> k' <> k) (Option.value ~default:[] (Hashtbl.find_opt tbl key))
+    in
+    List.iter
+      (fun (ws : Writeset.t) ->
+        let k = csn_key ws in
+        if Hashtbl.mem committed_set k then begin
+          let outgoing =
+            List.exists (fun rk -> others writes_of rk k) ws.Writeset.read_keys
+          in
+          let incoming =
+            List.exists
+              (fun (r : Writeset.record) ->
+                others reads_of (r.Writeset.table, Writeset.key_str r) k)
+              ws.Writeset.records
+          in
+          if outgoing && incoming then begin
+            Hashtbl.remove committed_set k;
+            Hashtbl.replace dead k Txn.Ssi_conflict
+          end
+        end)
+      txns
+  end;
+  (* Phase C: write-back for the winners. *)
+  List.iter
+    (fun (ws : Writeset.t) ->
+      if Hashtbl.mem committed_set (csn_key ws) then begin
+        let meta = ws.Writeset.meta in
+        List.iter
+          (fun (r : Writeset.record) ->
+            let table = Db.get_table_exn t.db r.Writeset.table in
+            let key_str = Writeset.key_str r in
+            match r.Writeset.op with
+            | Writeset.Insert -> (
+              match Table.find table key_str with
+              | Some entry ->
+                (* tombstone revival *)
+                Row_header.stamp entry.Table.header ~sen:meta.Meta.sen
+                  ~csn:meta.Meta.csn ~cen:meta.Meta.cen;
+                Table.revive table entry r.Writeset.data
+              | None ->
+                let temp = Option.get (Table.temp_find table key_str) in
+                Table.insert_committed table ~key:r.Writeset.key
+                  ~data:r.Writeset.data ~header:temp.Table.header)
+            | Writeset.Update ->
+              let entry = Option.get (Table.find table key_str) in
+              Table.write table entry r.Writeset.data
+            | Writeset.Delete ->
+              let entry = Option.get (Table.find table key_str) in
+              Table.delete table entry)
+          ws.Writeset.records
+      end)
+    txns;
+  Db.temp_clear_all t.db;
+  t.lsn <- e;
+  (* Tombstone GC: Algorithm 2 only needs tombstones for "the past few
+     epochs"; keep a generous window and reclaim the rest. *)
+  if e mod 100 = 0 then ignore (Db.purge_tombstones t.db ~before_cen:(e - 100));
+  (* Notify the local transactions of this epoch. *)
+  let locals = Option.value ~default:[] (Hashtbl.find_opt t.waiting e) in
+  let gate = Option.value ~default:0 (Hashtbl.find_opt t.notify_gate e) in
+  List.iter
+    (fun (txn : Txn.t) ->
+      let k =
+        match txn.Txn.writeset with
+        | Some ws -> csn_key ws
+        | None -> (0, 0)
+      in
+      txn.Txn.phases.wait_us <-
+        txn.Txn.phases.wait_us + (merge_started - txn.Txn.commit_point);
+      txn.Txn.phases.merge_us <- duration;
+      let ws_bytes =
+        match txn.Txn.writeset with
+        | Some ws -> Writeset.encoded_size ws
+        | None -> 0
+      in
+      let log_us = Gg_storage.Wal.append t.wal ~bytes:ws_bytes in
+      txn.Txn.phases.log_us <- log_us;
+      let extra_gate = max 0 (gate - now t) in
+      Sim.schedule t.env.sim ~after:(extra_gate + log_us) (fun () ->
+          if Hashtbl.mem committed_set k then begin
+            Metrics.record_epoch_commit t.metrics ~cen:e
+              ~latency_us:(now t - txn.Txn.submit_time);
+            finish_committed t txn
+          end
+          else
+            let reason =
+              Option.value ~default:Txn.Write_conflict (Hashtbl.find_opt dead k)
+            in
+            finish_aborted t txn reason))
+    locals;
+  (* Bounded memory: drop per-epoch bookkeeping. *)
+  Hashtbl.remove t.waiting e;
+  Hashtbl.remove t.local_sealed e;
+  Hashtbl.remove t.notify_gate e;
+  Hashtbl.remove t.ft_acks e;
+  List.iter (fun peer -> Hashtbl.remove t.remote (e, peer)) (t.env.members_at e);
+  t.env.on_snapshot ~node:t.id ~lsn:e;
+  (* GeoG-S: a fresh snapshot releases held transactions. *)
+  release_sync_queue t
+
+(* --- Algorithm 1: local transaction lifecycle --- *)
+
+and release_sync_queue t =
+  if t.env.params.Params.variant = Params.Sync_exec then begin
+    let ready = Queue.create () in
+    Queue.transfer t.sync_queue ready;
+    Queue.iter (fun txn -> start_execution t txn) ready
+  end
+
+and submit t request callback =
+  let txn =
+    Txn.create ~id:t.txn_seq ~node:t.id ~request ~submit_time:(now t) ~callback
+  in
+  t.txn_seq <- t.txn_seq + 1;
+  Metrics.record_start t.metrics;
+  if (not t.active) || Net.is_down t.env.net t.id then
+    finish_aborted t txn Txn.Node_failure
+  else begin
+    txn.Txn.sen <- current_epoch t;
+    txn.Txn.lsn <- t.lsn;
+    match t.env.params.Params.variant with
+    | Params.Sync_exec when t.lsn < current_epoch t - 1 ->
+      Queue.add txn t.sync_queue
+    | Params.Sync_exec | Params.Optimistic | Params.Async_merge ->
+      start_execution t txn
+  end
+
+and start_execution t (txn : Txn.t) =
+  let cost = t.env.params.Params.cost in
+  (* Time spent queued before execution (GeoG-S holds) counts as wait. *)
+  txn.Txn.phases.wait_us <- now t - txn.Txn.submit_time;
+  match txn.Txn.request with
+  | Txn.Op_txn o ->
+    (* Stored-procedure style: parse, then one execution slice. Reads
+       happen at the start of the slice; the commit point comes exec_us
+       (+ injected delay) later, so the snapshot may move underneath —
+       that is what RR/SI validation catches. *)
+    let parse_us = o.Gg_workload.Op.parse_cost_us in
+    let exec_us = Gg_workload.Op.n_ops o * cost.exec_op_us in
+    let extra_us = o.Gg_workload.Op.exec_extra_us in
+    txn.Txn.phases.parse_us <- parse_us;
+    txn.Txn.phases.exec_us <- exec_us + extra_us;
+    Cpu.run t.cpu ~cost:parse_us (fun () ->
+        match run_ops t txn o with
+        | Error m ->
+          Cpu.run t.cpu ~cost:exec_us (fun () ->
+              finish_aborted t txn (Txn.Constraint_violation m))
+        | Ok () ->
+          Cpu.run t.cpu ~cost:exec_us (fun () ->
+              if extra_us > 0 then
+                Sim.schedule t.env.sim ~after:extra_us (fun () -> commit_point t txn)
+              else commit_point t txn))
+  | Txn.Sql_txn { stmts; _ } ->
+    (* Interactive SQL executes statement by statement: each statement
+       pays its own parse + execution slice, so later statements observe
+       whatever snapshots were generated in the meantime (the source of
+       RR/SI read-validation aborts). *)
+    let per_stmt_parse = 400 in
+    txn.Txn.phases.parse_us <- List.length stmts * per_stmt_parse;
+    txn.Txn.phases.exec_us <- List.length stmts * cost.sql_stmt_us;
+    let ctx = Executor.Ctx.create t.db in
+    let rec step acc = function
+      | [] ->
+        txn.Txn.sql_results <- List.rev acc;
+        txn.Txn.read_set <- Executor.Ctx.read_set ctx;
+        let records = Executor.Ctx.writeset_records ctx in
+        if records = [] then txn.Txn.writeset <- None
+        else
+          txn.Txn.writeset <-
+            Some
+              (Writeset.make
+                 ~meta:(Meta.make ~sen:txn.Txn.sen ~cen:0 ~csn:Csn.zero)
+                 ~records ());
+        commit_point t txn
+      | (sql, params) :: rest ->
+        Cpu.run t.cpu ~cost:(per_stmt_parse + cost.sql_stmt_us) (fun () ->
+            match Executor.exec_sql ctx sql ~params with
+            | Error m -> finish_aborted t txn (Txn.Constraint_violation m)
+            | Ok r -> step (r :: acc) rest)
+    in
+    step [] stmts
+
+and run_ops t (txn : Txn.t) o =
+  match Op_exec.exec t.db o with
+  | Error m -> Error m
+  | Ok { Op_exec.reads; writes } ->
+    txn.Txn.read_set <- reads;
+    if writes = [] then begin
+      txn.Txn.writeset <- None;
+      Ok ()
+    end
+    else begin
+      (* meta is filled in at the commit point *)
+      txn.Txn.writeset <-
+        Some
+          (Writeset.make
+             ~meta:(Meta.make ~sen:txn.Txn.sen ~cen:0 ~csn:Csn.zero)
+             ~records:writes ());
+      Ok ()
+    end
+
+and read_validation t (txn : Txn.t) =
+  (* Algorithm 1, lines 9-18. *)
+  match t.env.params.Params.isolation with
+  | Params.RC -> Ok ()
+  | (Params.RR | Params.SI | Params.SSI) as iso -> (
+    let violation =
+      List.find_opt
+        (fun (r : Executor.read_record) ->
+          match Db.get_table t.db r.Executor.r_table with
+          | None -> true
+          | Some table -> (
+            match Table.find table r.Executor.r_key_str with
+            | None -> true (* row vanished *)
+            | Some entry ->
+              let h = entry.Table.header in
+              if h.Row_header.deleted then true
+              else if iso = Params.RR then
+                not (Csn.equal h.Row_header.csn r.Executor.r_csn)
+              else h.Row_header.cen - 1 > txn.Txn.lsn))
+        txn.Txn.read_set
+    in
+    match violation with None -> Ok () | Some _ -> Error Txn.Read_validation)
+
+and commit_point t (txn : Txn.t) =
+  if (not t.active) || Net.is_down t.env.net t.id then ()
+    (* crashed mid-flight; the client will time out *)
+  else
+    match read_validation t txn with
+    | Error reason -> finish_aborted t txn reason
+    | Ok () -> (
+      match txn.Txn.writeset with
+      | None -> finish_committed t txn (* read-only: Algorithm 1 l.19-20 *)
+      | Some ws -> (
+        let cen = current_epoch t in
+        let csn = fresh_csn t in
+        let meta = Meta.make ~sen:txn.Txn.sen ~cen ~csn in
+        let read_keys =
+          (* The SSI extension ships the read-set keys with the write set
+             so peers can detect rw-antidependencies (§4.3). *)
+          if t.env.params.Params.isolation = Params.SSI then
+            List.map
+              (fun (r : Executor.read_record) ->
+                (r.Executor.r_table, r.Executor.r_key_str))
+              txn.Txn.read_set
+          else []
+        in
+        let ws = { ws with Writeset.meta; read_keys } in
+        txn.Txn.writeset <- Some ws;
+        txn.Txn.cen <- cen;
+        txn.Txn.csn <- csn;
+        txn.Txn.commit_point <- now t;
+        match t.env.params.Params.variant with
+        | Params.Async_merge ->
+          (* GeoG-A: merge locally now, gossip, reply immediately. *)
+          lww_apply t ws;
+          let mini = Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false () in
+          broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini);
+          let cost = t.env.params.Params.cost in
+          txn.Txn.phases.merge_us <-
+            List.length ws.Writeset.records * cost.merge_record_us;
+          let log_us =
+            Gg_storage.Wal.append t.wal ~bytes:(Writeset.encoded_size ws)
+          in
+          txn.Txn.phases.log_us <- log_us;
+          Sim.schedule t.env.sim ~after:log_us (fun () -> finish_committed t txn)
+        | Params.Optimistic | Params.Sync_exec ->
+          t.current_send <- (cen, ws) :: t.current_send;
+          if t.env.params.Params.pipeline then begin
+            let mini =
+              Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false ()
+            in
+            broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini)
+          end;
+          let q = Option.value ~default:[] (Hashtbl.find_opt t.waiting cen) in
+          Hashtbl.replace t.waiting cen (txn :: q)))
+
+(* --- Algorithm 3: receive side --- *)
+
+and batch_state t ~cen ~peer =
+  match Hashtbl.find_opt t.remote (cen, peer) with
+  | Some bs -> bs
+  | None ->
+    let bs =
+      {
+        txns = [];
+        txn_keys = Hashtbl.create 8;
+        eof = false;
+        expected = -1;
+        committed = t.env.params.Params.ft <> Params.Ft_raft;
+      }
+    in
+    Hashtbl.replace t.remote (cen, peer) bs;
+    bs
+
+and receive t msg =
+  (* Messages to a down node are dropped by the network; a recovering
+     node (up but not yet reactivated) buffers batches so nothing from
+     its re-join epoch onwards is lost. *)
+  match msg with
+    | Batch_msg b ->
+      if t.env.params.Params.variant = Params.Async_merge then
+        List.iter (lww_apply t) b.Writeset.Batch.txns
+      else if b.Writeset.Batch.cen > t.lsn then begin
+        let bs = batch_state t ~cen:b.Writeset.Batch.cen ~peer:b.Writeset.Batch.node in
+        List.iter
+          (fun (ws : Writeset.t) ->
+            let c = ws.Writeset.meta.Meta.csn in
+            let k = (c.Csn.ts, c.Csn.node) in
+            if not (Hashtbl.mem bs.txn_keys k) then begin
+              Hashtbl.replace bs.txn_keys k ();
+              bs.txns <- ws :: bs.txns
+            end)
+          b.Writeset.Batch.txns;
+        if b.Writeset.Batch.eof then begin
+          bs.eof <- true;
+          bs.expected <- max bs.expected b.Writeset.Batch.count;
+          t.last_eof.(b.Writeset.Batch.node) <- now t;
+          if t.env.params.Params.ft = Params.Ft_raft then
+            send_msg t ~dst:b.Writeset.Batch.node ~bytes:32
+              (Ft_ack { cen = b.Writeset.Batch.cen; from = t.id })
+        end;
+        try_advance t
+      end
+    | Ft_ack { cen; from } ->
+      let acks =
+        match Hashtbl.find_opt t.ft_acks cen with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace t.ft_acks cen l;
+          l
+      in
+      if not (List.mem from !acks) then begin
+        acks := from :: !acks;
+        let n = List.length (t.env.members_at cen) in
+        (* self + acks form the majority *)
+        if (List.length !acks + 1) * 2 > n then
+          broadcast t ~bytes:32 (Ft_commit { cen; origin = t.id })
+      end
+    | Ft_commit { cen; origin } ->
+      let bs = batch_state t ~cen ~peer:origin in
+      bs.committed <- true;
+      try_advance t
+    | State_snapshot _ -> ()
+(* recovery installation goes through install_state *)
+
+(* --- lifecycle --- *)
+
+let start t = schedule_boundary t (current_epoch t)
+
+let set_active t v =
+  if t.active && not v then begin
+    (* Crash: drop all volatile per-epoch state; in-flight local txns are
+       lost (their clients time out and retry elsewhere). *)
+    t.active <- false;
+    Hashtbl.reset t.remote;
+    Hashtbl.reset t.local_sealed;
+    Hashtbl.reset t.waiting;
+    Hashtbl.reset t.notify_gate;
+    Hashtbl.reset t.ft_acks;
+    Queue.clear t.sync_queue;
+    t.current_send <- [];
+    t.merging <- false
+  end
+  else if (not t.active) && v then t.active <- true
+
+let missing_sealed_epochs t ~peer ~upto =
+  let missing = ref [] in
+  for e = upto downto t.lsn + 1 do
+    let have =
+      match Hashtbl.find_opt t.remote (e, peer) with
+      | Some bs -> bs.eof
+      | None -> false
+    in
+    if not have then missing := e :: !missing
+  done;
+  !missing
+
+let make_state_snapshot t =
+  State_snapshot { lsn = t.lsn; ckpt = Gg_storage.Checkpoint.encode t.db }
+
+let install_state t ~lsn ~db =
+  (* Keep batches buffered for epochs after the installed snapshot — the
+     peers broadcast them while the transfer was in flight. *)
+  let stale =
+    Hashtbl.fold
+      (fun (cen, peer) _ acc -> if cen <= lsn then (cen, peer) :: acc else acc)
+      t.remote []
+  in
+  List.iter (Hashtbl.remove t.remote) stale;
+  Hashtbl.reset t.local_sealed;
+  Hashtbl.reset t.waiting;
+  Db.replace_contents t.db ~from:db;
+  t.lsn <- lsn;
+  t.sealed_epoch <- max t.sealed_epoch lsn;
+  t.merging <- false;
+  t.active <- true;
+  (* Seal every epoch between the snapshot and the current one (all
+     empty — the node served no clients): peers are already waiting for
+     these EOFs, and our own merges need the local entries. The current
+     epoch is left to its own boundary timer. *)
+  for e = t.lsn + 1 to current_epoch t - 1 do
+    if e > t.sealed_epoch then seal_epoch t e
+  done;
+  try_advance t

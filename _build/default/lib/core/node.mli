@@ -1,0 +1,92 @@
+(** A GeoGauss master node: the per-replica state machine implementing
+    the paper's epoch-based multi-master OCC.
+
+    - {b Algorithm 1} (local transaction lifecycle) is spread across
+      {!submit} (epoch/snapshot assignment, execution scheduling), the
+      commit-point handler (read-set validation per isolation level,
+      write-set dissemination) and the per-epoch notification step.
+    - {b Algorithm 2} (DeltaCRDTMerge) runs inside the per-epoch merge,
+      via {!Gg_crdt.Merge}.
+    - {b Algorithm 3} (receive/merge threads) maps onto the message
+      handler plus [try_advance], which produces consistent snapshots
+      one by one.
+
+    Timing is simulated: CPU work goes through a {!Gg_sim.Cpu} pool,
+    write sets travel over {!Gg_sim.Net}, and per-phase durations follow
+    {!Params.cost}. State changes (reads, merges, write-backs) happen at
+    the simulated instants where the real system would perform them. *)
+
+type msg =
+  | Batch_msg of Gg_crdt.Writeset.Batch.t
+  | Ft_ack of { cen : int; from : int }
+      (** Raft-FT: receiver acknowledges an epoch batch *)
+  | Ft_commit of { cen : int; origin : int }
+      (** Raft-FT: origin saw a majority; batch may be merged *)
+  | State_snapshot of { lsn : int; ckpt : bytes }
+      (** recovery: serialized checkpoint of the state at snapshot [lsn]
+          (see {!Gg_storage.Checkpoint}) *)
+
+(** Shared environment; the [mutable] hooks are wired by {!Cluster}
+    after all nodes exist. *)
+type env = {
+  sim : Gg_sim.Sim.t;
+  net : Gg_sim.Net.t;
+  params : Params.t;
+  backup : Backup.t;
+  mutable members_at : int -> int list;
+      (** expected replica set for a given epoch *)
+  mutable deliver : dst:int -> msg -> unit;
+      (** local dispatch, invoked at network delivery time *)
+  mutable on_snapshot : node:int -> lsn:int -> unit;
+      (** cluster hook fired after each snapshot generation *)
+}
+
+type t
+
+val create : env -> id:int -> db:Gg_storage.Db.t -> t
+val start : t -> unit
+(** Arm the epoch-boundary timer. *)
+
+val submit : t -> Txn.request -> (Txn.outcome -> unit) -> unit
+(** Accept a client transaction. The callback fires exactly once. *)
+
+val receive : t -> msg -> unit
+
+(** {1 Accessors} *)
+
+val id : t -> int
+val db : t -> Gg_storage.Db.t
+val lsn : t -> int
+(** Latest globally consistent snapshot number (-1 before the first). *)
+
+val sealed_epoch : t -> int
+val current_epoch : t -> int
+val metrics : t -> Metrics.t
+val active : t -> bool
+val pending_waiting : t -> int
+(** Local transactions blocked on future snapshots (diagnostics). *)
+
+(** {1 Failure / recovery hooks (driven by Cluster)} *)
+
+val set_active : t -> bool -> unit
+(** [false]: stop sealing epochs and fail new submissions (crash).
+    In-flight transactions are dropped; clients must time out. *)
+
+val last_eof_from : t -> peer:int -> int
+(** Sim time of the last EOF received from a peer (failure detection). *)
+
+val touch_eof : t -> peer:int -> unit
+(** Reset a peer's failure-detection clock (e.g. after it re-joins). *)
+
+val missing_sealed_epochs : t -> peer:int -> upto:int -> int list
+(** Epochs in (lsn, upto] with no EOF from [peer] — to be recovered from
+    the peer's backup server. *)
+
+val make_state_snapshot : t -> msg
+(** Donor side of recovery: deep copy of the current snapshot state. *)
+
+val install_state : t -> lsn:int -> db:Gg_storage.Db.t -> unit
+(** Recovering side: adopt a transferred snapshot and resume. *)
+
+val try_advance : t -> unit
+(** Re-evaluate merge prerequisites (call after view changes). *)

@@ -1,0 +1,17 @@
+(** Key-level (stored-procedure) transaction execution against a
+    replica's database — the op-level counterpart of the SQL executor.
+    Produces the same read/write sets so both front ends feed the same
+    multi-master OCC. *)
+
+type result = {
+  reads : Gg_sql.Executor.read_record list;
+  writes : Gg_crdt.Writeset.record list;
+}
+
+val exec :
+  Gg_storage.Db.t -> Gg_workload.Op.txn -> (result, string) Stdlib.result
+(** Execute all operations with read-your-writes semantics. Errors:
+    [Add]/[Delete] on a missing row, [Insert] on an existing live row,
+    unknown table, non-integer [Add] column. A plain [Read] of a missing
+    key is a no-op (not an error). Writes per key coalesce (last wins;
+    insert-then-delete cancels). *)

@@ -1,0 +1,75 @@
+type isolation = RC | RR | SI | SSI
+
+type variant = Optimistic | Sync_exec | Async_merge
+
+type ft_mode = Ft_none | Ft_local_backup | Ft_remote_backup | Ft_raft
+
+type cost = {
+  exec_op_us : int;
+  sql_stmt_us : int;
+  merge_record_us : int;
+  merge_threads : int;
+  merge_base_us : int;
+  notify_us : int;
+  log_fsync_us : int;
+}
+
+type t = {
+  epoch_us : int;
+  isolation : isolation;
+  variant : variant;
+  ft : ft_mode;
+  cores : int;
+  pipeline : bool;
+  seed : int;
+  cost : cost;
+  membership_timeout_us : int;
+  client_retry_us : int;
+}
+
+let default_cost =
+  {
+    exec_op_us = 150;
+    sql_stmt_us = 400;
+    merge_record_us = 6;
+    merge_threads = 8;
+    merge_base_us = 200;
+    notify_us = 1;
+    log_fsync_us = 3_000;
+  }
+
+let default =
+  {
+    epoch_us = 10_000;
+    isolation = RC;
+    variant = Optimistic;
+    ft = Ft_local_backup;
+    cores = 32;
+    pipeline = true;
+    seed = 42;
+    cost = default_cost;
+    membership_timeout_us = 500_000;
+    client_retry_us = 2_000_000;
+  }
+
+let with_epoch_ms t ms = { t with epoch_us = ms * 1_000 }
+let with_isolation t isolation = { t with isolation }
+let with_variant t variant = { t with variant }
+let with_ft t ft = { t with ft }
+
+let isolation_to_string = function
+  | RC -> "RC"
+  | RR -> "RR"
+  | SI -> "SI"
+  | SSI -> "SSI"
+
+let variant_to_string = function
+  | Optimistic -> "GeoGauss"
+  | Sync_exec -> "GeoG-S"
+  | Async_merge -> "GeoG-A"
+
+let ft_to_string = function
+  | Ft_none -> "none"
+  | Ft_local_backup -> "local-backup"
+  | Ft_remote_backup -> "remote-backup"
+  | Ft_raft -> "raft"

@@ -1,0 +1,65 @@
+(** GeoGauss cluster configuration. *)
+
+(** Isolation levels supported by the multi-master OCC (§4.3). [SSI] is
+    the serializable-snapshot extension the paper sketches but does not
+    ship (it requires exchanging each transaction's read keys, §4.3):
+    write sets carry read-key sets and the per-epoch merge aborts pivot
+    transactions (an incoming and an outgoing rw-antidependency within
+    the epoch). *)
+type isolation = RC | RR | SI | SSI
+
+(** Execution variants benchmarked in the paper:
+    - [Optimistic]: GeoGauss proper — asynchronous execution,
+      synchronous per-epoch validation.
+    - [Sync_exec]: GeoG-S — epoch i's transactions wait for snapshot
+      (i-1) before executing.
+    - [Async_merge]: GeoG-A — no epochs; CRDT merge on arrival, eventual
+      consistency, no abort/commit semantics. *)
+type variant = Optimistic | Sync_exec | Async_merge
+
+(** Fault-tolerance options of §5.2, cheapest to most expensive. *)
+type ft_mode =
+  | Ft_none
+  | Ft_local_backup  (** ~0.5 cross-region RTT before client notify *)
+  | Ft_remote_backup  (** ~1 RTT *)
+  | Ft_raft  (** write sets applied remotely only after majority ack, ~1.5 RTT *)
+
+(** CPU / phase cost model, calibrated against the paper's Table 2
+    per-phase breakdown. *)
+type cost = {
+  exec_op_us : int;  (** execution cost per key-level operation *)
+  sql_stmt_us : int;  (** execution cost per SQL statement *)
+  merge_record_us : int;  (** merge cost per write-set record *)
+  merge_threads : int;  (** merge-thread parallelism on a node *)
+  merge_base_us : int;  (** fixed per-epoch merge overhead *)
+  notify_us : int;
+      (** per blocked transaction thread, per epoch: the cost of the
+          thread-blocking/notification machinery of §5.1 — the reason
+          very short epochs hurt (Fig 8) *)
+  log_fsync_us : int;  (** group-commit log flush *)
+}
+
+type t = {
+  epoch_us : int;  (** epoch length, default 10 ms *)
+  isolation : isolation;  (** default RC (the paper's default) *)
+  variant : variant;
+  ft : ft_mode;
+  cores : int;  (** vCPUs per node, default 32 *)
+  pipeline : bool;  (** ship write sets in mini-batches (§5.1) *)
+  seed : int;
+  cost : cost;
+  membership_timeout_us : int;  (** failure-detection timeout, 500 ms *)
+  client_retry_us : int;  (** client resubmission timeout after node failure *)
+}
+
+val default_cost : cost
+val default : t
+
+val with_epoch_ms : t -> int -> t
+val with_isolation : t -> isolation -> t
+val with_variant : t -> variant -> t
+val with_ft : t -> ft_mode -> t
+
+val isolation_to_string : isolation -> string
+val variant_to_string : variant -> string
+val ft_to_string : ft_mode -> string

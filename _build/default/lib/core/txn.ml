@@ -1,0 +1,81 @@
+type request =
+  | Op_txn of Gg_workload.Op.txn
+  | Sql_txn of {
+      label : string;
+      stmts : (string * Gg_storage.Value.t array) list;
+    }
+
+type abort_reason =
+  | Constraint_violation of string
+  | Read_validation
+  | Write_conflict
+  | Ssi_conflict
+  | Row_deleted
+  | Node_failure
+
+type outcome =
+  | Committed of { latency_us : int; results : Gg_sql.Executor.result list }
+  | Aborted of { latency_us : int; reason : abort_reason }
+
+type phases = {
+  mutable parse_us : int;
+  mutable exec_us : int;
+  mutable wait_us : int;
+  mutable merge_us : int;
+  mutable log_us : int;
+}
+
+type t = {
+  id : int;
+  node : int;
+  request : request;
+  submit_time : int;
+  callback : outcome -> unit;
+  phases : phases;
+  mutable sen : int;
+  mutable lsn : int;
+  mutable cen : int;
+  mutable csn : Gg_storage.Csn.t;
+  mutable read_set : Gg_sql.Executor.read_record list;
+  mutable writeset : Gg_crdt.Writeset.t option;
+  mutable sql_results : Gg_sql.Executor.result list;
+  mutable commit_point : int;
+  mutable finished : bool;
+}
+
+let create ~id ~node ~request ~submit_time ~callback =
+  {
+    id;
+    node;
+    request;
+    submit_time;
+    callback;
+    phases = { parse_us = 0; exec_us = 0; wait_us = 0; merge_us = 0; log_us = 0 };
+    sen = 0;
+    lsn = 0;
+    cen = 0;
+    csn = Gg_storage.Csn.zero;
+    read_set = [];
+    writeset = None;
+    sql_results = [];
+    commit_point = 0;
+    finished = false;
+  }
+
+let label t =
+  match t.request with
+  | Op_txn o -> o.Gg_workload.Op.label
+  | Sql_txn { label; _ } -> label
+
+let abort_reason_to_string = function
+  | Constraint_violation m -> "constraint: " ^ m
+  | Read_validation -> "read-validation"
+  | Write_conflict -> "write-conflict"
+  | Ssi_conflict -> "ssi-rw-antidependency"
+  | Row_deleted -> "row-deleted"
+  | Node_failure -> "node-failure"
+
+let outcome_latency = function
+  | Committed { latency_us; _ } | Aborted { latency_us; _ } -> latency_us
+
+let is_committed = function Committed _ -> true | Aborted _ -> false

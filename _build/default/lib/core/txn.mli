@@ -1,0 +1,65 @@
+(** Transaction requests, outcomes and runtime bookkeeping. *)
+
+type request =
+  | Op_txn of Gg_workload.Op.txn
+      (** key-level stored-procedure style transaction (benchmarks) *)
+  | Sql_txn of {
+      label : string;
+      stmts : (string * Gg_storage.Value.t array) list;
+          (** statements with positional parameters, executed in order *)
+    }
+
+type abort_reason =
+  | Constraint_violation of string
+  | Read_validation  (** RR/SI read-set check failed (Algorithm 1 l.9-18) *)
+  | Write_conflict  (** lost the write-write merge (Algorithm 1 l.26-29) *)
+  | Ssi_conflict
+      (** SSI extension: pivot of consecutive rw-antidependencies *)
+  | Row_deleted  (** wrote a row deleted by an earlier epoch *)
+  | Node_failure  (** host crashed before responding *)
+
+type outcome =
+  | Committed of {
+      latency_us : int;
+      results : Gg_sql.Executor.result list;
+          (** SQL result sets; empty for op-level transactions *)
+    }
+  | Aborted of { latency_us : int; reason : abort_reason }
+
+(** Per-phase latency breakdown of a transaction (paper Table 2). All in
+    µs; [wait] covers both waiting for the previous snapshot and for the
+    epoch's remote updates. *)
+type phases = {
+  mutable parse_us : int;
+  mutable exec_us : int;
+  mutable wait_us : int;
+  mutable merge_us : int;
+  mutable log_us : int;
+}
+
+type t = {
+  id : int;
+  node : int;
+  request : request;
+  submit_time : int;
+  callback : outcome -> unit;
+  phases : phases;
+  mutable sen : int;
+  mutable lsn : int;  (** snapshot the transaction read from *)
+  mutable cen : int;
+  mutable csn : Gg_storage.Csn.t;
+  mutable read_set : Gg_sql.Executor.read_record list;
+  mutable writeset : Gg_crdt.Writeset.t option;
+  mutable sql_results : Gg_sql.Executor.result list;
+  mutable commit_point : int;  (** time the send-buffer append happened *)
+  mutable finished : bool;
+}
+
+val create :
+  id:int -> node:int -> request:request -> submit_time:int ->
+  callback:(outcome -> unit) -> t
+
+val label : t -> string
+val abort_reason_to_string : abort_reason -> string
+val outcome_latency : outcome -> int
+val is_committed : outcome -> bool

@@ -1,0 +1,1 @@
+lib/crdt/lattice.ml: Map Set Stdlib String

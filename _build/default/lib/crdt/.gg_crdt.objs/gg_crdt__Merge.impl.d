@@ -1,0 +1,1 @@
+lib/crdt/merge.ml: Gg_storage Meta

@@ -1,0 +1,1 @@
+lib/crdt/merge.mli: Gg_storage Meta

@@ -1,0 +1,1 @@
+lib/crdt/meta.ml: Gg_storage Gg_util Printf

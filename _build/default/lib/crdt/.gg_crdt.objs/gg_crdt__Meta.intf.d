@@ -1,0 +1,1 @@
+lib/crdt/meta.mli: Gg_storage Gg_util

@@ -1,0 +1,1 @@
+lib/crdt/writeset.ml: Array Bytes Gg_storage Gg_util List Meta Option Printf

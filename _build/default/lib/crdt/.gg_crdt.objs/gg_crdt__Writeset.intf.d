@@ -1,0 +1,1 @@
+lib/crdt/writeset.mli: Gg_storage Gg_util Meta

@@ -1,0 +1,26 @@
+type t = { sen : int; cen : int; csn : Gg_storage.Csn.t }
+
+let make ~sen ~cen ~csn = { sen; cen; csn }
+
+let wins_over a b =
+  if a.cen <> b.cen then
+    invalid_arg "Meta.wins_over: comparing metas from different epochs";
+  a.sen > b.sen || (a.sen = b.sen && Gg_storage.Csn.compare a.csn b.csn < 0)
+
+let equal a b =
+  a.sen = b.sen && a.cen = b.cen && Gg_storage.Csn.equal a.csn b.csn
+
+let to_string t =
+  Printf.sprintf "{sen=%d cen=%d csn=%s}" t.sen t.cen
+    (Gg_storage.Csn.to_string t.csn)
+
+let encode enc t =
+  Gg_util.Codec.Enc.varint enc t.sen;
+  Gg_util.Codec.Enc.varint enc t.cen;
+  Gg_storage.Csn.encode enc t.csn
+
+let decode dec =
+  let sen = Gg_util.Codec.Dec.varint dec in
+  let cen = Gg_util.Codec.Dec.varint dec in
+  let csn = Gg_storage.Csn.decode dec in
+  { sen; cen; csn }

@@ -1,0 +1,23 @@
+(** Transaction metadata carried with every write set: the tuple
+    {b \{sen, csn, cen\}} of paper §4.1.
+
+    - [sen]: start epoch number — epoch in which the transaction began.
+    - [cen]: commit epoch number — epoch whose snapshot the transaction
+      commits into.
+    - [csn]: globally unique commit sequence number (timestamp, node). *)
+
+type t = { sen : int; cen : int; csn : Gg_storage.Csn.t }
+
+val make : sen:int -> cen:int -> csn:Gg_storage.Csn.t -> t
+
+val wins_over : t -> t -> bool
+(** [wins_over a b] is the strict total order of Lemma 2 restricted to a
+    single epoch: [a] beats [b] iff [a.sen > b.sen] (shorter transaction
+    wins) or [a.sen = b.sen && a.csn < b.csn] (first write wins). Only
+    meaningful when [a.cen = b.cen]; raises [Invalid_argument]
+    otherwise. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val encode : Gg_util.Codec.Enc.t -> t -> unit
+val decode : Gg_util.Codec.Dec.t -> t

@@ -1,0 +1,116 @@
+module Value = Gg_storage.Value
+module Enc = Gg_util.Codec.Enc
+module Dec = Gg_util.Codec.Dec
+
+type op = Insert | Update | Delete
+
+type record = {
+  table : string;
+  key : Value.t array;
+  op : op;
+  data : Value.t array;
+}
+
+type t = {
+  meta : Meta.t;
+  records : record list;
+  read_keys : (string * string) list;
+      (* (table, encoded key); shipped only under the SSI extension *)
+}
+
+let make ?(read_keys = []) ~meta ~records () = { meta; records; read_keys }
+
+let key_str r = Value.encode_key r.key
+
+let op_to_string = function
+  | Insert -> "insert"
+  | Update -> "update"
+  | Delete -> "delete"
+
+let op_tag = function Insert -> 0 | Update -> 1 | Delete -> 2
+
+let op_of_tag = function
+  | 0 -> Insert
+  | 1 -> Update
+  | 2 -> Delete
+  | n -> invalid_arg (Printf.sprintf "Writeset: bad op tag %d" n)
+
+let encode_record enc r =
+  Enc.string enc r.table;
+  Enc.varint enc (Array.length r.key);
+  Array.iter (Value.encode enc) r.key;
+  Enc.byte enc (op_tag r.op);
+  Enc.varint enc (Array.length r.data);
+  Array.iter (Value.encode enc) r.data
+
+let decode_record dec =
+  let table = Dec.string dec in
+  let klen = Dec.varint dec in
+  let key = Array.init klen (fun _ -> Value.decode dec) in
+  let op = op_of_tag (Dec.byte dec) in
+  let dlen = Dec.varint dec in
+  let data = Array.init dlen (fun _ -> Value.decode dec) in
+  { table; key; op; data }
+
+let encode enc t =
+  Meta.encode enc t.meta;
+  Enc.varint enc (List.length t.records);
+  List.iter (encode_record enc) t.records;
+  Enc.varint enc (List.length t.read_keys);
+  List.iter
+    (fun (table, key_str) ->
+      Enc.string enc table;
+      Enc.string enc key_str)
+    t.read_keys
+
+let decode dec =
+  let meta = Meta.decode dec in
+  let n = Dec.varint dec in
+  let records = List.init n (fun _ -> decode_record dec) in
+  let nr = Dec.varint dec in
+  let read_keys =
+    List.init nr (fun _ ->
+        let table = Dec.string dec in
+        let key_str = Dec.string dec in
+        (table, key_str))
+  in
+  { meta; records; read_keys }
+
+let encoded_size t =
+  let enc = Enc.create () in
+  encode enc t;
+  Enc.length enc
+
+module Batch = struct
+  type ws = t
+
+  type t = { node : int; cen : int; txns : ws list; eof : bool; count : int }
+
+  let make ~node ~cen ~txns ~eof ?count () =
+    { node; cen; txns; eof; count = Option.value count ~default:(List.length txns) }
+
+  let to_wire t =
+    let enc = Enc.create () in
+    Enc.varint enc t.node;
+    Enc.varint enc t.cen;
+    Enc.bool enc t.eof;
+    Enc.varint enc t.count;
+    Enc.varint enc (List.length t.txns);
+    List.iter (encode enc) t.txns;
+    Gg_util.Compress.compress (Enc.to_bytes enc)
+
+  let of_wire bytes =
+    let raw = Gg_util.Compress.decompress bytes in
+    let dec = Dec.of_bytes raw in
+    try
+      let node = Dec.varint dec in
+      let cen = Dec.varint dec in
+      let eof = Dec.bool dec in
+      let count = Dec.varint dec in
+      let n = Dec.varint dec in
+      let txns = List.init n (fun _ -> decode dec) in
+      { node; cen; txns; eof; count }
+    with Dec.Truncated -> invalid_arg "Writeset.Batch.of_wire: truncated"
+
+  let wire_size t = Bytes.length (to_wire t)
+end

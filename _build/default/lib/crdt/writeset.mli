@@ -1,0 +1,78 @@
+(** Write sets — the delta states GeoGauss replicates (paper §3).
+
+    A transaction's write set is the list of rows it wrote, each a full
+    row image plus operation kind. Write sets are the only thing
+    exchanged between masters: together with {!Meta.t} they form the
+    delta-state CRDT update merged by {!Merge}. *)
+
+type op = Insert | Update | Delete
+
+type record = {
+  table : string;
+  key : Gg_storage.Value.t array;
+  op : op;
+  data : Gg_storage.Value.t array;  (** empty for [Delete] *)
+}
+
+type t = {
+  meta : Meta.t;
+  records : record list;
+  read_keys : (string * string) list;
+      (** (table, encoded key) read-set keys, shipped only under the SSI
+          extension (§4.3 sketches this and rejects it for WAN cost; we
+          make the cost measurable) *)
+}
+
+val make :
+  ?read_keys:(string * string) list ->
+  meta:Meta.t ->
+  records:record list ->
+  unit ->
+  t
+
+val key_str : record -> string
+(** Encoded primary key (hash-index key). *)
+
+val op_to_string : op -> string
+
+val encode : Gg_util.Codec.Enc.t -> t -> unit
+val decode : Gg_util.Codec.Dec.t -> t
+
+val encoded_size : t -> int
+(** Size of the uncompressed binary encoding in bytes. *)
+
+(** {1 Epoch batches}
+
+    At the end of each epoch a node packages all write sets with that
+    commit epoch number and ships them to every peer. An [eof] batch may
+    carry zero transactions — the "empty message" of §4.2.3 that prevents
+    remote peers from waiting forever. Mini-batches ([eof = false])
+    support the pipelining optimisation of §5.1. *)
+
+module Batch : sig
+  type ws = t
+
+  type t = {
+    node : int;  (** originating replica *)
+    cen : int;  (** commit epoch of every transaction inside *)
+    txns : ws list;
+    eof : bool;  (** final batch of this node's epoch [cen] *)
+    count : int;
+        (** on [eof] batches: total transactions the node committed into
+            this epoch, across all mini-batches. Receivers use it to
+            verify completeness even when the network reorders
+            mini-batches after the EOF marker. *)
+  }
+
+  val make : node:int -> cen:int -> txns:ws list -> eof:bool -> ?count:int -> unit -> t
+  (** [count] defaults to [List.length txns]. *)
+
+  val to_wire : t -> bytes
+  (** Encode then compress (the paper pipes write sets through protobuf +
+      gzip). *)
+
+  val of_wire : bytes -> t
+  (** Raises [Invalid_argument] on corrupt input. *)
+
+  val wire_size : t -> int
+end

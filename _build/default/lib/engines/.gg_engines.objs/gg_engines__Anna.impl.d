@@ -1,0 +1,1 @@
+lib/engines/anna.ml: Array Buffer Digest Engine Gg_crdt Gg_sim Gg_workload List Printf

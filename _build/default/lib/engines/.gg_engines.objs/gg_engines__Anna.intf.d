@@ -1,0 +1,1 @@
+lib/engines/anna.mli: Engine

@@ -1,0 +1,1 @@
+lib/engines/aria.ml: Det_base

@@ -1,0 +1,1 @@
+lib/engines/aria.mli: Engine Gg_sim

@@ -1,0 +1,1 @@
+lib/engines/calvin.ml: Det_base

@@ -1,0 +1,1 @@
+lib/engines/calvin.mli: Engine Gg_sim

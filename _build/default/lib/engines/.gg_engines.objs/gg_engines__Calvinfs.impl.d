@@ -1,0 +1,1 @@
+lib/engines/calvinfs.ml: Det_base

@@ -1,0 +1,1 @@
+lib/engines/calvinfs.mli: Engine

@@ -1,0 +1,1 @@
+lib/engines/crdb.ml: Array Engine Gg_sim Gg_workload Hashtbl List Option

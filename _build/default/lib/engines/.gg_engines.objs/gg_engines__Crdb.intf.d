@@ -1,0 +1,1 @@
+lib/engines/crdb.mli: Engine

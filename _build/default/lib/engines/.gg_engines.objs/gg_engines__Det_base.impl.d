@@ -1,0 +1,1 @@
+lib/engines/det_base.ml: Array Engine Fun Gg_sim Gg_workload Hashtbl List Option

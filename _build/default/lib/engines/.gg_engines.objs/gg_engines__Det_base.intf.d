@@ -1,0 +1,1 @@
+lib/engines/det_base.mli: Engine Gg_sim Gg_workload

@@ -1,0 +1,1 @@
+lib/engines/engine.ml: Array Bytes Gg_sim Gg_storage Gg_util Gg_workload List

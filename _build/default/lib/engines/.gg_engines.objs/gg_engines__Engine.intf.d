@@ -1,0 +1,1 @@
+lib/engines/engine.mli: Gg_sim Gg_workload

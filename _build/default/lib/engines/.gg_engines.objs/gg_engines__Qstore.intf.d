@@ -1,0 +1,1 @@
+lib/engines/qstore.mli: Engine

@@ -1,0 +1,1 @@
+lib/engines/slog.mli: Engine

@@ -1,0 +1,98 @@
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Cpu = Gg_sim.Cpu
+module Op = Gg_workload.Op
+module Lww = Gg_crdt.Lattice.Lww
+module Lww_map = Gg_crdt.Lattice.Lww_map
+
+type node_state = {
+  id : int;
+  cpu : Cpu.t;
+  mutable state : Lww_map.t;
+  mutable last_gossip_ts : int;
+  mutable clock : int;  (* local lamport-ish timestamp *)
+}
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  cfg : Engine.config;
+  nodes : node_state array;
+  gossip_us : int;
+  mutable started : bool;
+}
+
+let name = "Anna"
+
+let create net cfg =
+  let sim = Net.sim net in
+  {
+    sim;
+    net;
+    cfg;
+    nodes =
+      Array.init (Net.n_nodes net) (fun id ->
+          {
+            id;
+            cpu = Cpu.create sim ~cores:cfg.Engine.cores;
+            state = Lww_map.empty;
+            last_gossip_ts = min_int;
+            clock = 0;
+          });
+    gossip_us = 50_000;
+    started = false;
+  }
+
+let delta_bytes delta =
+  (* key + stamp + small value per entry *)
+  64 + (Lww_map.cardinal delta * 48)
+
+let gossip t nd =
+  let delta = Lww_map.delta nd.state ~since:nd.last_gossip_ts in
+  nd.last_gossip_ts <- nd.clock;
+  if Lww_map.cardinal delta > 0 then
+    Net.broadcast t.net ~src:nd.id ~bytes:(delta_bytes delta) (fun dst () ->
+        let peer = t.nodes.(dst) in
+        peer.state <- Lww_map.merge peer.state delta)
+
+let rec schedule_gossip t nd =
+  Sim.schedule t.sim ~after:t.gossip_us (fun () ->
+      gossip t nd;
+      schedule_gossip t nd)
+
+let ensure_started t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iter (fun nd -> schedule_gossip t nd) t.nodes
+  end
+
+let apply_op nd (op : Op.op) =
+  match op with
+  | Op.Read _ -> ()
+  | Op.Write _ | Op.Add _ | Op.Insert _ | Op.Delete _ ->
+    nd.clock <- nd.clock + 1;
+    let key = Op.op_table op ^ "/" ^ Op.op_key_str op in
+    nd.state <-
+      Lww_map.set nd.state ~key
+        (Lww.make ~ts:nd.clock ~node:nd.id ~value:(string_of_int nd.clock))
+
+let submit t ~node (txn : Op.txn) cb =
+  ensure_started t;
+  let nd = t.nodes.(node) in
+  let submit_time = Sim.now t.sim in
+  let cost = (Op.n_ops txn * t.cfg.Engine.exec_op_us) + txn.Op.exec_extra_us in
+  Cpu.run nd.cpu ~cost (fun () ->
+      Array.iter (apply_op nd) txn.Op.ops;
+      cb { Engine.committed = true; latency_us = Sim.now t.sim - submit_time })
+
+let state_digest t ~node =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, (v : Lww.t)) ->
+      Buffer.add_string buf k;
+      Buffer.add_string buf (Printf.sprintf "=%d@%d:%s;" v.Lww.ts v.Lww.node v.Lww.value))
+    (Lww_map.bindings t.nodes.(node).state);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let flush_gossip t =
+  Array.iter (fun nd -> gossip t nd) t.nodes

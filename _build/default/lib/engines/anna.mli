@@ -1,0 +1,14 @@
+(** Anna (Wu et al., TKDE'19): coordination-free KV store built from
+    lattice composition. Operations apply to the local replica and are
+    answered immediately; deltas gossip to peers on a timer and merge via
+    the LWW map lattice. Eventual consistency: no commit/abort
+    notification semantics, no aborts ever (paper Fig 5's caveat). *)
+
+include Engine.S
+
+val state_digest : t -> node:int -> string
+(** Digest of a node's lattice state (for convergence tests). *)
+
+val flush_gossip : t -> unit
+(** Force an immediate gossip round (used by tests to reach
+    convergence). *)

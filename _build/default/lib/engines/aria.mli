@@ -1,0 +1,10 @@
+(** Aria (Lu et al., VLDB'20): deterministic batches without ordered
+    locks — every transaction in a batch executes against the same
+    snapshot, then a reservation pass aborts WAW/RAW conflicts with
+    earlier transactions. A per-transaction dependency-analysis cost
+    raises latency; batch barriers make long transactions expensive. *)
+
+include Engine.S
+
+val create_ft : Gg_sim.Net.t -> Engine.config -> t
+(** Aria-Raft (Fig 12). *)

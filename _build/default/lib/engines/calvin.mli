@@ -1,0 +1,9 @@
+(** Calvin (Thomson et al., SIGMOD'12): deterministic multi-master with
+    input replication and ordered-lock execution. Conflicting
+    transactions serialize on per-key lock chains; rounds are barriers,
+    so long transactions stall the whole batch (paper §6, Fig 7). *)
+
+include Engine.S
+
+val create_ft : Gg_sim.Net.t -> Engine.config -> t
+(** Calvin-Raft: input batches replicated through Raft (Fig 12). *)

@@ -1,0 +1,5 @@
+(** CalvinFS (Thomson & Abadi, FAST'15): Calvin extended with
+    quorum-replicated metadata — each round pays an extra quorum check,
+    reducing throughput below Calvin (paper Fig 5). *)
+
+include Engine.S

@@ -1,0 +1,115 @@
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Topology = Gg_sim.Topology
+module Cpu = Gg_sim.Cpu
+module Op = Gg_workload.Op
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  cfg : Engine.config;
+  cpus : Cpu.t array;
+  key_free : (string * string, int) Hashtbl.t;  (* per-key lock release time *)
+  region_first_node : int array;  (* leaseholder node per region *)
+}
+
+let name = "CRDB"
+
+let create net cfg =
+  let topo = Net.topology net in
+  let n_regions = Topology.n_regions topo in
+  let region_first_node =
+    Array.init n_regions (fun r ->
+        match Topology.nodes_in_region topo r with
+        | first :: _ -> first
+        | [] -> 0)
+  in
+  {
+    sim = Net.sim net;
+    net;
+    cfg;
+    cpus =
+      Array.init (Net.n_nodes net) (fun _ ->
+          Cpu.create (Net.sim net) ~cores:cfg.Engine.cores);
+    key_free = Hashtbl.create 4096;
+    region_first_node;
+  }
+
+let leaseholder t key_str =
+  let h = Hashtbl.hash key_str in
+  t.region_first_node.(h mod Array.length t.region_first_node)
+
+(* Raft quorum cost at a leaseholder: one round trip to the nearest
+   replica outside its region (each range keeps a replica per region). *)
+let quorum_rtt t node =
+  let topo = Net.topology t.net in
+  let best = ref max_int in
+  for p = 0 to Topology.n_nodes topo - 1 do
+    if Topology.region_of topo p <> Topology.region_of topo node then
+      best := min !best (Topology.latency topo node p)
+  done;
+  if !best = max_int then 1_000 else 2 * !best
+
+let submit t ~node (txn : Op.txn) cb =
+  let exec_cost = (Op.n_ops txn * t.cfg.Engine.exec_op_us) + txn.Op.exec_extra_us in
+  let submit_time = Sim.now t.sim in
+  Cpu.run t.cpus.(node) ~cost:exec_cost (fun () ->
+      let topo = Net.topology t.net in
+      let write_keys =
+        Array.to_list txn.Op.ops
+        |> List.filter_map (fun op ->
+               match op with
+               | Op.Read _ -> None
+               | Op.Write _ | Op.Add _ | Op.Insert _ | Op.Delete _ ->
+                 Some (Op.op_table op, Op.op_key_str op))
+      in
+      if write_keys = [] then
+        (* Follower reads are served from the local replica. *)
+        cb { Engine.committed = true; latency_us = Sim.now t.sim - submit_time }
+      else begin
+        let now = Sim.now t.sim in
+        (* Serializable writes queue behind earlier writers of the same
+           keys. *)
+        let lock_wait =
+          List.fold_left
+            (fun acc k ->
+              max acc (Option.value ~default:0 (Hashtbl.find_opt t.key_free k) - now))
+            0 write_keys
+        in
+        (* Parallel commit: intents to all leaseholders go out together;
+           the transaction finishes when the slowest write path (routing
+           + quorum) completes. *)
+        let coord =
+          List.fold_left
+            (fun acc (_, key_str) ->
+              let lh = leaseholder t key_str in
+              let route = if lh = node then 0 else 2 * Topology.latency topo node lh in
+              max acc (route + quorum_rtt t lh))
+            0 write_keys
+        in
+        let total = max 0 lock_wait + coord in
+        let finish = now + total in
+        (* Traffic accounting: each write ships its row image to the
+           leaseholder (if remote) and through Raft to a remote-region
+           replica. *)
+        let per_write = 96 + (Op.write_data_size txn / max 1 (List.length write_keys)) in
+        List.iter
+          (fun (_, key_str) ->
+            let lh = leaseholder t key_str in
+            if lh <> node then Net.send t.net ~src:node ~dst:lh ~bytes:per_write (fun () -> ());
+            let topo = Net.topology t.net in
+            let quorum_peer = ref lh in
+            for p = 0 to Topology.n_nodes topo - 1 do
+              if
+                Topology.region_of topo p <> Topology.region_of topo lh
+                && (!quorum_peer = lh
+                   || Topology.latency topo lh p < Topology.latency topo lh !quorum_peer)
+              then quorum_peer := p
+            done;
+            if !quorum_peer <> lh then
+              Net.send t.net ~src:lh ~dst:!quorum_peer ~bytes:per_write (fun () -> ()))
+          write_keys;
+        List.iter (fun k -> Hashtbl.replace t.key_free k finish) write_keys;
+        Sim.schedule t.sim ~after:total (fun () ->
+            cb { Engine.committed = true; latency_us = Sim.now t.sim - submit_time })
+      end)

@@ -1,0 +1,13 @@
+(** CockroachDB-style baseline: sharded master-follower ranges with
+    per-range Raft and transactional 2PC (parallel commits).
+
+    Matches the paper's §7 configuration: in-memory store, follower
+    ("stale") reads served locally, two extra replicas per region. Every
+    {e write} pays: routing to the key's leaseholder region (if remote)
+    plus a Raft quorum round from the leaseholder to the nearest other
+    region — per-transaction coordination that dominates geo-distributed
+    latency, which is exactly the drawback GeoGauss's epoch-level
+    coordination removes. Serializable conflicts queue on per-key
+    locks. *)
+
+include Engine.S

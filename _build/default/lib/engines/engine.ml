@@ -1,0 +1,57 @@
+module Op = Gg_workload.Op
+module Value = Gg_storage.Value
+module Enc = Gg_util.Codec.Enc
+
+type outcome = { committed : bool; latency_us : int }
+
+type config = { cores : int; batch_us : int; exec_op_us : int; seed : int }
+
+let default_config = { cores = 32; batch_us = 10_000; exec_op_us = 150; seed = 42 }
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Gg_sim.Net.t -> config -> t
+  val submit : t -> node:int -> Gg_workload.Op.txn -> (outcome -> unit) -> unit
+end
+
+let encode_op enc op =
+  let put_key key =
+    Enc.varint enc (Array.length key);
+    Array.iter (Value.encode enc) key
+  in
+  Enc.string enc (Op.op_table op);
+  match op with
+  | Op.Read { key; _ } ->
+    Enc.byte enc 0;
+    put_key key
+  | Op.Write { key; data; _ } ->
+    Enc.byte enc 1;
+    put_key key;
+    Enc.varint enc (Array.length data);
+    Array.iter (Value.encode enc) data
+  | Op.Add { key; col; delta; _ } ->
+    Enc.byte enc 2;
+    put_key key;
+    Enc.varint enc col;
+    Enc.zigzag enc delta
+  | Op.Insert { key; data; _ } ->
+    Enc.byte enc 3;
+    put_key key;
+    Enc.varint enc (Array.length data);
+    Array.iter (Value.encode enc) data
+  | Op.Delete { key; _ } ->
+    Enc.byte enc 4;
+    put_key key
+
+let input_wire_bytes txns =
+  let enc = Enc.create () in
+  Enc.varint enc (List.length txns);
+  List.iter
+    (fun (t : Op.txn) ->
+      Enc.string enc t.Op.label;
+      Enc.varint enc (Array.length t.Op.ops);
+      Array.iter (encode_op enc) t.Op.ops)
+    txns;
+  Bytes.length (Gg_util.Compress.compress (Enc.to_bytes enc))

@@ -1,0 +1,29 @@
+(** Common surface shared by every baseline engine the paper compares
+    against (§7). Baselines are timing-and-conflict models: they process
+    the same op-level transactions as GeoGauss, pay realistic network
+    round trips and CPU costs on the simulator, and resolve conflicts
+    per their published protocols — but do not materialize row data. *)
+
+type outcome = { committed : bool; latency_us : int }
+
+type config = {
+  cores : int;  (** vCPUs per node *)
+  batch_us : int;  (** batch/epoch interval of deterministic engines *)
+  exec_op_us : int;  (** execution cost per operation *)
+  seed : int;
+}
+
+val default_config : config
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Gg_sim.Net.t -> config -> t
+  val submit : t -> node:int -> Gg_workload.Op.txn -> (outcome -> unit) -> unit
+end
+
+val input_wire_bytes : Gg_workload.Op.txn list -> int
+(** Compressed size of a batch of transaction {e inputs} (parameters) —
+    what input-replicating deterministic databases ship, as opposed to
+    GeoGauss's output write sets (Table 3). *)

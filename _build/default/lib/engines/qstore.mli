@@ -1,0 +1,6 @@
+(** Q-Store (Qadah et al., EDBT'20): Calvin-family deterministic engine
+    with queue-oriented, control-free execution — much lower scheduling
+    overhead than ordered locks, but the same coordination structure, so
+    the geo-distributed gain is limited (paper Fig 5 discussion). *)
+
+include Engine.S

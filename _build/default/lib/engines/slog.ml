@@ -1,0 +1,94 @@
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Topology = Gg_sim.Topology
+module Cpu = Gg_sim.Cpu
+module Op = Gg_workload.Op
+
+type region_state = {
+  master : int;
+  cpu : Cpu.t;
+  mutable log_free : int;  (* deterministic log replay is serial-ish *)
+}
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  cfg : Engine.config;
+  regions : region_state array;
+  orderer : int;  (* global ordering node for multi-home txns *)
+}
+
+let name = "SLOG"
+
+let create net cfg =
+  let topo = Net.topology net in
+  let sim = Net.sim net in
+  let regions =
+    Array.init (Topology.n_regions topo) (fun r ->
+        let master =
+          match Topology.nodes_in_region topo r with
+          | first :: _ -> first
+          | [] -> 0
+        in
+        { master; cpu = Cpu.create sim ~cores:cfg.Engine.cores; log_free = 0 })
+  in
+  { sim; net; cfg; regions; orderer = 0 }
+
+let home t key_str = Hashtbl.hash key_str mod Array.length t.regions
+
+let homes_of t (txn : Op.txn) =
+  Array.fold_left
+    (fun acc op ->
+      let h = home t (Op.op_key_str op) in
+      if List.mem h acc then acc else h :: acc)
+    [] txn.Op.ops
+
+let submit t ~node (txn : Op.txn) cb =
+  let topo = Net.topology t.net in
+  let submit_time = Sim.now t.sim in
+  let homes = homes_of t txn in
+  let primary_home = match homes with h :: _ -> h | [] -> 0 in
+  let region = t.regions.(primary_home) in
+  let route_us =
+    if Topology.region_of topo node = primary_home then 0
+    else 2 * Topology.latency topo node region.master
+  in
+  (* Multi-home transactions detour through the global orderer. *)
+  let order_us =
+    if List.length homes <= 1 then 0
+    else
+      (2 * Topology.latency topo region.master t.orderer)
+      + (t.cfg.Engine.batch_us / 2)
+  in
+  (* Wait for the next input-log batch boundary, then deterministic
+     replay; the regional log is also synchronously replicated within
+     the region (cheap) and asynchronously across regions. *)
+  let batch_wait = t.cfg.Engine.batch_us / 2 in
+  let intra_quorum = 2_000 in
+  let exec_cost = (Op.n_ops txn * t.cfg.Engine.exec_op_us) + txn.Op.exec_extra_us in
+  (* Traffic accounting: the input joins the home-region log, which is
+     replicated to every other region's follower. *)
+  let input_bytes = 64 + Engine.input_wire_bytes [ txn ] in
+  (if Topology.region_of topo node <> primary_home then
+     Net.send t.net ~src:node ~dst:region.master ~bytes:input_bytes (fun () -> ()));
+  Array.iteri
+    (fun r (other : region_state) ->
+      if r <> primary_home then
+        Net.send t.net ~src:region.master ~dst:other.master ~bytes:input_bytes
+          (fun () -> ()))
+    t.regions;
+  Sim.schedule t.sim ~after:(route_us + order_us + batch_wait) (fun () ->
+      (* Deterministic replay serializes conflicting work; approximate
+         with a per-region log pipeline. *)
+      let now = Sim.now t.sim in
+      let start = max now region.log_free in
+      let replay = exec_cost / 4 in
+      region.log_free <- start + replay;
+      Cpu.run region.cpu ~cost:exec_cost (fun () ->
+          let after = max 0 (start + replay - Sim.now t.sim) + intra_quorum in
+          Sim.schedule t.sim ~after (fun () ->
+              cb
+                {
+                  Engine.committed = true;
+                  latency_us = Sim.now t.sim - submit_time;
+                })))

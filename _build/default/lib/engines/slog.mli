@@ -1,0 +1,9 @@
+(** SLOG (Ren et al., VLDB'19): sharded master-follower deterministic
+    engine. Every key has a home region; single-home transactions join
+    their home region's input log (cross-region routing if the client is
+    elsewhere), while multi-home transactions are shipped to a global
+    ordering node first. Writes and linearizable reads must be served by
+    the master region, so read-only workloads behave like mixed ones
+    (paper Fig 5). *)
+
+include Engine.S

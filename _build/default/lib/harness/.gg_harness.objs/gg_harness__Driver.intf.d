@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Geogauss Gg_engines Gg_sim Gg_storage Gg_workload Result

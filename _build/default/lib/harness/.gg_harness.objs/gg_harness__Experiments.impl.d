@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Driver Float Geogauss Gg_engines Gg_sim Gg_util Gg_workload List Printf Result

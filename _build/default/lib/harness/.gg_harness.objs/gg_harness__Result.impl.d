@@ -1,0 +1,1 @@
+lib/harness/result.ml: Gg_util

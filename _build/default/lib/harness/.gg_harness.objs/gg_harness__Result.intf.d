@@ -1,0 +1,1 @@
+lib/harness/result.mli: Gg_util

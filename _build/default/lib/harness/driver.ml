@@ -1,0 +1,121 @@
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Topology = Gg_sim.Topology
+module Op = Gg_workload.Op
+module Engine = Gg_engines.Engine
+module Stats = Gg_util.Stats
+
+type workload_gen = int -> unit -> Op.txn
+
+let ycsb_gens profile ~seed node =
+  let g = Gg_workload.Ycsb.create profile ~seed:(seed + (1_000 * node)) in
+  fun () -> Gg_workload.Ycsb.next_txn g
+
+let tpcc_gens cfg ~seed node =
+  let g = Gg_workload.Tpcc.create cfg ~seed:(seed + (1_000 * node)) ~node in
+  fun () -> Gg_workload.Tpcc.next_txn g
+
+(* Shared closed-loop measurement over an abstract submit function. *)
+let drive ~sim ~net ~submit ~gen ~connections ~warmup_ms ~measure_ms =
+  let n = Net.n_nodes net in
+  let committed = ref 0 and aborted = ref 0 in
+  let latency = Stats.Hist.create () in
+  let warmup_end = Sim.now sim + Sim.ms warmup_ms in
+  let measure_end = warmup_end + Sim.ms measure_ms in
+  let in_window () =
+    let now = Sim.now sim in
+    now > warmup_end && now <= measure_end
+  in
+  for node = 0 to n - 1 do
+    let next = gen node in
+    for _ = 1 to connections do
+      let rec loop () =
+        let txn = next () in
+        submit ~node txn (fun (o : Engine.outcome) ->
+            if in_window () then
+              if o.Engine.committed then begin
+                incr committed;
+                Stats.Hist.add latency (float_of_int o.Engine.latency_us)
+              end
+              else incr aborted;
+            loop ())
+      in
+      loop ()
+    done
+  done;
+  Sim.run_until sim warmup_end;
+  Net.reset_accounting net;
+  Sim.run_until sim measure_end;
+  (!committed, !aborted, latency, Net.wan_bytes net)
+
+let run_engine_with ~make ~topology ~gen ~connections ~warmup_ms ~measure_ms
+    ~label () =
+  let sim = Sim.create () in
+  let rng = Gg_util.Rng.create 4242 in
+  let net = Net.create sim ~rng ~topology () in
+  let submit = make net in
+  let committed, aborted, latency, wan =
+    drive ~sim ~net ~submit ~gen ~connections ~warmup_ms ~measure_ms
+  in
+  Result.make ~label
+    ~window_s:(float_of_int measure_ms /. 1000.0)
+    ~committed ~aborted ~latency ~wan_bytes:wan
+
+let run_engine (module E : Gg_engines.Engine.S) ?(config = Engine.default_config)
+    ~topology ~gen ~connections ~warmup_ms ~measure_ms ~label () =
+  run_engine_with
+    ~make:(fun net ->
+      let e = E.create net config in
+      fun ~node txn cb -> E.submit e ~node txn cb)
+    ~topology ~gen ~connections ~warmup_ms ~measure_ms ~label ()
+
+type geo_extra = {
+  phase_means : (string * (float * float * float * float * float)) list;
+  epoch_cells : (int * Geogauss.Metrics.epoch_cell) list;
+}
+
+let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
+    ~topology ~load ~gen ~warmup_ms ~measure_ms ~label () =
+  let cluster = Geogauss.Cluster.create ~params ~topology ~load () in
+  let n = Topology.n_nodes topology in
+  let clients =
+    List.init n (fun i ->
+        let next = gen i in
+        let cl =
+          Geogauss.Client.create cluster ~home:i ~connections ~gen:(fun () ->
+              Geogauss.Txn.Op_txn (next ()))
+        in
+        Geogauss.Client.start cl;
+        cl)
+  in
+  Geogauss.Cluster.run_for_ms cluster warmup_ms;
+  List.iter Geogauss.Client.reset_stats clients;
+  for i = 0 to n - 1 do
+    Geogauss.Metrics.reset (Geogauss.Cluster.metrics cluster i)
+  done;
+  Net.reset_accounting (Geogauss.Cluster.net cluster);
+  Geogauss.Cluster.run_for_ms cluster measure_ms;
+  let committed = List.fold_left (fun a c -> a + Geogauss.Client.committed c) 0 clients in
+  let aborted = List.fold_left (fun a c -> a + Geogauss.Client.aborted c) 0 clients in
+  let latency =
+    List.fold_left
+      (fun acc c -> Stats.Hist.merge acc (Geogauss.Client.latency c))
+      (Stats.Hist.create ()) clients
+  in
+  let wan = Net.wan_bytes (Geogauss.Cluster.net cluster) in
+  let result =
+    Result.make ~label
+      ~window_s:(float_of_int measure_ms /. 1000.0)
+      ~committed ~aborted ~latency ~wan_bytes:wan
+  in
+  let extra =
+    {
+      phase_means =
+        List.init n (fun i ->
+            ( Printf.sprintf "node%d" i,
+              Geogauss.Metrics.phase_means_us (Geogauss.Cluster.metrics cluster i) ));
+      epoch_cells =
+        Geogauss.Metrics.epoch_cells (Geogauss.Cluster.metrics cluster 0);
+    }
+  in
+  (result, extra)

@@ -1,0 +1,62 @@
+(** Closed-loop measurement drivers.
+
+    {!run_engine} drives any baseline implementing
+    {!Gg_engines.Engine.S}; {!run_engine_with} accepts a custom
+    constructor (e.g. the Raft-replicated Calvin/Aria variants);
+    {!run_geogauss} builds a full GeoGauss cluster with per-region
+    clients. All warm up, reset counters, then measure over a fixed
+    window of simulated time. *)
+
+type workload_gen = int -> unit -> Gg_workload.Op.txn
+(** [gen node] returns that node's transaction generator. *)
+
+val ycsb_gens : Gg_workload.Ycsb.profile -> seed:int -> workload_gen
+val tpcc_gens : Gg_workload.Tpcc.config -> seed:int -> workload_gen
+
+val run_engine_with :
+  make:
+    (Gg_sim.Net.t ->
+    node:int ->
+    Gg_workload.Op.txn ->
+    (Gg_engines.Engine.outcome -> unit) ->
+    unit) ->
+  topology:Gg_sim.Topology.t ->
+  gen:workload_gen ->
+  connections:int ->
+  warmup_ms:int ->
+  measure_ms:int ->
+  label:string ->
+  unit ->
+  Result.t
+
+val run_engine :
+  (module Gg_engines.Engine.S) ->
+  ?config:Gg_engines.Engine.config ->
+  topology:Gg_sim.Topology.t ->
+  gen:workload_gen ->
+  connections:int ->
+  warmup_ms:int ->
+  measure_ms:int ->
+  label:string ->
+  unit ->
+  Result.t
+
+type geo_extra = {
+  phase_means : (string * (float * float * float * float * float)) list;
+      (** per-node (parse, exec, wait, merge, log) means in µs over
+          committed transactions *)
+  epoch_cells : (int * Geogauss.Metrics.epoch_cell) list;
+      (** node 0's per-epoch commit counts and latencies (Fig 6) *)
+}
+
+val run_geogauss :
+  ?params:Geogauss.Params.t ->
+  ?connections:int ->
+  topology:Gg_sim.Topology.t ->
+  load:(Gg_storage.Db.t -> unit) ->
+  gen:workload_gen ->
+  warmup_ms:int ->
+  measure_ms:int ->
+  label:string ->
+  unit ->
+  Result.t * geo_extra

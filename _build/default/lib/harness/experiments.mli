@@ -1,0 +1,56 @@
+(** One function per table/figure of the paper's evaluation (§7). Each
+    runs the relevant simulated-cluster experiments and prints
+    paper-style tables to stdout.
+
+    [fast] shrinks populations and measurement windows (used by tests
+    and smoke runs); shapes remain, absolute numbers get noisier. *)
+
+val fig5 : ?fast:bool -> unit -> unit
+(** Cross-system throughput/latency comparison on YCSB-RO/MC/HC and
+    TPC-C. *)
+
+val table2 : ?fast:bool -> unit -> unit
+(** Per-phase runtime breakdown of a committed TPC-C transaction for
+    GeoG-S / GeoG-A / GeoGauss. *)
+
+val fig6 : ?fast:bool -> unit -> unit
+(** Per-epoch committed transactions and latency, GeoGauss vs GeoG-S
+    (TPC-C). *)
+
+val fig7 : ?fast:bool -> unit -> unit
+(** Throughput slowdown vs fraction of long transactions (20 ms and
+    100 ms injected delays). *)
+
+val table3 : ?fast:bool -> unit -> unit
+(** Average compressed WAN traffic per transaction, GeoGauss vs
+    Calvin. *)
+
+val fig8 : ?fast:bool -> unit -> unit
+(** Effect of epoch length (1–200 ms). *)
+
+val fig9 : ?fast:bool -> unit -> unit
+(** Effect of isolation level (RC / RR / SI). *)
+
+val fig10 : ?fast:bool -> unit -> unit
+(** Effect of contention (Zipf theta sweep). *)
+
+val fig11 : ?fast:bool -> unit -> unit
+(** Scalability: 3–15 replicas (China) and 3–25 replicas (worldwide). *)
+
+val fig12 : ?fast:bool -> unit -> unit
+(** Fault-tolerance modes: GeoG-LB / GeoG-RB / GeoG-Raft vs Calvin-Raft
+    / Aria-Raft. *)
+
+val fig13 : ?fast:bool -> unit -> unit
+(** Throughput/latency timeline across a node crash and recovery. *)
+
+val ablations : ?fast:bool -> unit -> unit
+(** Not a paper figure: ablations of the §5.1 design choices
+    (pipelining, merge parallelism, write-set size). *)
+
+val all : (string * (?fast:bool -> unit -> unit)) list
+(** Experiment registry in paper order (plus the ablations). *)
+
+val run : ?fast:bool -> string -> bool
+(** Run one experiment by name ("fig5", "table2", …); false if
+    unknown. *)

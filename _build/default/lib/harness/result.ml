@@ -1,0 +1,55 @@
+module Stats = Gg_util.Stats
+
+type t = {
+  label : string;
+  window_s : float;
+  committed : int;
+  aborted : int;
+  tput : float;
+  abort_tput : float;
+  mean_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+  abort_rate : float;
+  wan_kb_per_txn : float;
+}
+
+let make ~label ~window_s ~committed ~aborted ~latency ~wan_bytes =
+  let finished = committed + aborted in
+  {
+    label;
+    window_s;
+    committed;
+    aborted;
+    tput = float_of_int committed /. window_s;
+    abort_tput = float_of_int aborted /. window_s;
+    mean_ms = Stats.Hist.mean latency /. 1000.0;
+    p50_ms = Stats.Hist.p50 latency /. 1000.0;
+    p99_ms = Stats.Hist.p99 latency /. 1000.0;
+    abort_rate =
+      (if finished = 0 then 0.0
+       else float_of_int aborted /. float_of_int finished);
+    wan_kb_per_txn =
+      (if finished = 0 then 0.0
+       else float_of_int wan_bytes /. 1024.0 /. float_of_int finished);
+  }
+
+let headers =
+  [
+    "system"; "tput (txn/s)"; "abort/s"; "mean lat (ms)"; "p50 (ms)";
+    "p99 (ms)"; "abort rate"; "WAN KB/txn";
+  ]
+
+let f = Gg_util.Tablefmt.fmt_f
+
+let row t =
+  [
+    t.label;
+    f ~dec:0 t.tput;
+    f ~dec:0 t.abort_tput;
+    f ~dec:1 t.mean_ms;
+    f ~dec:1 t.p50_ms;
+    f ~dec:1 t.p99_ms;
+    f ~dec:3 t.abort_rate;
+    f ~dec:2 t.wan_kb_per_txn;
+  ]

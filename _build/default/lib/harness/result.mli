@@ -1,0 +1,29 @@
+(** Measurement results shared by every experiment. *)
+
+type t = {
+  label : string;
+  window_s : float;  (** measurement window (simulated seconds) *)
+  committed : int;
+  aborted : int;
+  tput : float;  (** committed transactions per second *)
+  abort_tput : float;
+  mean_ms : float;  (** mean committed latency *)
+  p50_ms : float;
+  p99_ms : float;
+  abort_rate : float;  (** aborted / (committed + aborted) *)
+  wan_kb_per_txn : float;  (** compressed cross-region bytes per finished txn *)
+}
+
+val make :
+  label:string ->
+  window_s:float ->
+  committed:int ->
+  aborted:int ->
+  latency:Gg_util.Stats.Hist.t ->
+  wan_bytes:int ->
+  t
+
+val row : t -> string list
+(** [label; tput; abort-tput; mean; p50; p99; abort rate; wan] cells. *)
+
+val headers : string list

@@ -1,0 +1,1 @@
+lib/raft/raft.ml: Array Gg_sim Gg_util List Option String

@@ -1,0 +1,1 @@
+lib/raft/raft.mli: Gg_sim Gg_util

@@ -1,0 +1,1 @@
+lib/sim/net.mli: Gg_util Sim Topology

@@ -1,0 +1,18 @@
+(** Min-heap of timestamped events. Ties are broken by insertion order so
+    simulation runs are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Insert an event at the given timestamp. *)
+
+val peek_time : 'a t -> int option
+(** Timestamp of the earliest event, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event (FIFO among equal
+    timestamps). *)

@@ -1,0 +1,101 @@
+type t = {
+  sim : Sim.t;
+  rng : Gg_util.Rng.t;
+  topology : Topology.t;
+  jitter_frac : float;
+  loss : float;
+  dup : float;
+  reorder : float;
+  bandwidth_bps : int;
+  down : bool array;
+  egress_free : int array; (* absolute time each node's egress pipe frees up *)
+  mutable sent_messages : int;
+  mutable sent_bytes : int;
+  mutable wan_bytes : int;
+  wan_bytes_from : int array;
+}
+
+let create sim ~rng ~topology ?(jitter_frac = 0.05) ?(loss = 0.0) ?(dup = 0.0)
+    ?(reorder = 0.0) ?(bandwidth_bps = 100_000_000) () =
+  let n = Topology.n_nodes topology in
+  {
+    sim;
+    rng;
+    topology;
+    jitter_frac;
+    loss;
+    dup;
+    reorder;
+    bandwidth_bps;
+    down = Array.make n false;
+    egress_free = Array.make n 0;
+    sent_messages = 0;
+    sent_bytes = 0;
+    wan_bytes = 0;
+    wan_bytes_from = Array.make n 0;
+  }
+
+let sim t = t.sim
+let topology t = t.topology
+let n_nodes t = Topology.n_nodes t.topology
+
+let set_down t node v = t.down.(node) <- v
+let is_down t node = t.down.(node)
+
+let delay t ~src ~dst ~bytes =
+  let base = Topology.latency t.topology src dst in
+  let jitter =
+    if t.jitter_frac <= 0.0 then 0
+    else
+      int_of_float
+        (Gg_util.Rng.exponential t.rng (t.jitter_frac *. float_of_int base))
+  in
+  (* Egress serialization: the pipe is shared, so messages queue. *)
+  let tx_us = bytes * 8 * 1_000_000 / t.bandwidth_bps in
+  let now = Sim.now t.sim in
+  let start = max now t.egress_free.(src) in
+  t.egress_free.(src) <- start + tx_us;
+  let reorder_extra =
+    if t.reorder > 0.0 && Gg_util.Rng.chance t.rng t.reorder then
+      Gg_util.Rng.int_in t.rng base (3 * base)
+    else 0
+  in
+  start - now + tx_us + base + jitter + reorder_extra
+
+let deliver t ~dst ~after k =
+  Sim.schedule t.sim ~after (fun () -> if not t.down.(dst) then k ())
+
+let send t ~src ~dst ~bytes k =
+  if not (t.down.(src) || t.down.(dst)) then begin
+    t.sent_messages <- t.sent_messages + 1;
+    t.sent_bytes <- t.sent_bytes + bytes;
+    if Topology.region_of t.topology src <> Topology.region_of t.topology dst
+    then begin
+      t.wan_bytes <- t.wan_bytes + bytes;
+      t.wan_bytes_from.(src) <- t.wan_bytes_from.(src) + bytes
+    end;
+    if not (t.loss > 0.0 && Gg_util.Rng.chance t.rng t.loss) then begin
+      let after = delay t ~src ~dst ~bytes in
+      deliver t ~dst ~after k;
+      if t.dup > 0.0 && Gg_util.Rng.chance t.rng t.dup then begin
+        let extra = delay t ~src ~dst ~bytes in
+        deliver t ~dst ~after:(max after extra + 1) k
+      end
+    end
+  end
+
+let broadcast t ~src ~bytes f =
+  for dst = 0 to n_nodes t - 1 do
+    if dst <> src then send t ~src ~dst ~bytes (f dst)
+  done
+
+let sent_messages t = t.sent_messages
+let sent_bytes t = t.sent_bytes
+let wan_bytes t = t.wan_bytes
+let wan_bytes_from t node = t.wan_bytes_from.(node)
+
+let reset_accounting t =
+  t.sent_messages <- 0;
+  t.sent_bytes <- 0;
+  t.wan_bytes <- 0;
+  Array.fill t.wan_bytes_from 0 (Array.length t.wan_bytes_from) 0

@@ -1,0 +1,39 @@
+type t = { mutable now : int; queue : (unit -> unit) Event_queue.t }
+
+let create () = { now = 0; queue = Event_queue.create () }
+
+let now t = t.now
+
+let schedule t ~after f =
+  let after = max 0 after in
+  Event_queue.push t.queue ~time:(t.now + after) f
+
+let schedule_at t time f =
+  Event_queue.push t.queue ~time:(max time t.now) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- max t.now time;
+    f ();
+    true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= limit -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.now < limit then t.now <- limit
+
+let pending t = Event_queue.length t.queue
+
+let us x = x
+let ms x = x * 1_000
+let sec x = x * 1_000_000
+let to_ms x = float_of_int x /. 1_000.0
+let to_sec x = float_of_int x /. 1_000_000.0

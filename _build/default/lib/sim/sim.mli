@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    Time is an [int] count of {e microseconds}. All cluster components
+    (nodes, clients, the network) are callbacks scheduled on a single
+    engine, which makes whole geo-distributed runs deterministic and
+    seedable. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time (µs). *)
+
+val schedule : t -> after:int -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs [f] at [now t + max 0 after]. Events with
+    equal timestamps run in scheduling order. *)
+
+val schedule_at : t -> int -> (unit -> unit) -> unit
+(** Absolute-time variant; past times run "now". *)
+
+val step : t -> bool
+(** Run the single earliest event. [false] when the queue is empty. *)
+
+val run : t -> unit
+(** Run until no events remain. *)
+
+val run_until : t -> int -> unit
+(** [run_until t limit] runs all events with timestamp [<= limit] and
+    leaves [now t = limit] (even if the queue drained earlier). *)
+
+val pending : t -> int
+(** Number of queued events (diagnostics). *)
+
+(** {1 Time helpers} *)
+
+val us : int -> int
+val ms : int -> int
+val sec : int -> int
+
+val to_ms : int -> float
+val to_sec : int -> float

@@ -1,0 +1,117 @@
+type t = {
+  name : string;
+  regions : string array;
+  node_region : int array;
+  region_latency_us : int array array;
+}
+
+let n_nodes t = Array.length t.node_region
+let n_regions t = Array.length t.regions
+let region_of t node = t.node_region.(node)
+let region_name t node = t.regions.(t.node_region.(node))
+
+let latency t a b =
+  t.region_latency_us.(t.node_region.(a)).(t.node_region.(b))
+
+let nodes_in_region t r =
+  let acc = ref [] in
+  for i = Array.length t.node_region - 1 downto 0 do
+    if t.node_region.(i) = r then acc := i :: !acc
+  done;
+  !acc
+
+let validate t =
+  let nr = Array.length t.regions in
+  if Array.length t.region_latency_us <> nr then
+    invalid_arg "Topology: latency matrix row count mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> nr then
+        invalid_arg "Topology: latency matrix column count mismatch")
+    t.region_latency_us;
+  for i = 0 to nr - 1 do
+    for j = 0 to nr - 1 do
+      if t.region_latency_us.(i).(j) <> t.region_latency_us.(j).(i) then
+        invalid_arg "Topology: latency matrix must be symmetric";
+      if t.region_latency_us.(i).(j) < 0 then
+        invalid_arg "Topology: negative latency"
+    done
+  done;
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= nr then invalid_arg "Topology: node region out of range")
+    t.node_region;
+  t
+
+let custom ~name ~regions ~node_region ~region_latency_us =
+  validate { name; regions; node_region; region_latency_us }
+
+let ms x = x * 1_000
+
+let round_robin n_regions n = Array.init n (fun i -> i mod n_regions)
+
+(* One-way latencies. Intra-region is 500 µs (same-city DC network). *)
+let china_regions = [| "Zhangjiakou"; "Chengdu"; "Shenzhen"; "Beijing"; "Shanghai" |]
+
+let china_matrix =
+  [|
+    (*               ZJK       CD        SZ        BJ        SH   *)
+    [| 500;      ms 30;    ms 35;    ms 5;     ms 15 |];
+    [| ms 30;    500;      ms 25;    ms 28;    ms 22 |];
+    [| ms 35;    ms 25;    500;      ms 32;    ms 18 |];
+    [| ms 5;     ms 28;    ms 32;    500;      ms 14 |];
+    [| ms 15;    ms 22;    ms 18;    ms 14;    500 |];
+  |]
+
+let china3 () =
+  validate
+    {
+      name = "china3";
+      regions = Array.sub china_regions 0 3;
+      node_region = [| 0; 1; 2 |];
+      region_latency_us =
+        Array.init 3 (fun i -> Array.sub china_matrix.(i) 0 3);
+    }
+
+let china n =
+  if n <= 0 then invalid_arg "Topology.china: need at least one node";
+  validate
+    {
+      name = Printf.sprintf "china%d" n;
+      regions = china_regions;
+      node_region = round_robin 5 n;
+      region_latency_us = china_matrix;
+    }
+
+let worldwide_regions =
+  [| "London"; "Singapore"; "Tokyo"; "SiliconValley"; "Virginia" |]
+
+let worldwide_matrix =
+  [|
+    (*               LON       SGP       TYO       SV        VA   *)
+    [| 250;      ms 85;    ms 110;   ms 70;    ms 38 |];
+    [| ms 85;    250;      ms 35;    ms 85;    ms 110 |];
+    [| ms 110;   ms 35;    250;      ms 55;    ms 75 |];
+    [| ms 70;    ms 85;    ms 55;    250;      ms 30 |];
+    [| ms 38;    ms 110;   ms 75;    ms 30;    250 |];
+  |]
+
+let worldwide n =
+  if n <= 0 then invalid_arg "Topology.worldwide: need at least one node";
+  validate
+    {
+      name = Printf.sprintf "worldwide%d" n;
+      regions = worldwide_regions;
+      node_region = round_robin 5 n;
+      region_latency_us = worldwide_matrix;
+    }
+
+let single_region n =
+  if n <= 0 then invalid_arg "Topology.single_region: need at least one node";
+  validate
+    {
+      name = Printf.sprintf "local%d" n;
+      regions = [| "local" |];
+      node_region = Array.make n 0;
+      region_latency_us = [| [| 200 |] |];
+    }

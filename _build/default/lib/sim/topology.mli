@@ -1,0 +1,53 @@
+(** Geo-distributed cluster topologies with one-way latency matrices.
+
+    Latencies are one-way microsecond figures between regions, modelled on
+    the paper's two testbeds: a 3-region China cluster (Zhangjiakou /
+    Chengdu / Shenzhen, one-way delays around 25–35 ms) and a worldwide
+    5-DC cluster (London, Singapore, Tokyo, Silicon Valley, Virginia). *)
+
+type t = {
+  name : string;
+  regions : string array;
+  node_region : int array;  (** region index of each node *)
+  region_latency_us : int array array;
+      (** one-way latency between regions; the diagonal is intra-region *)
+}
+
+val n_nodes : t -> int
+val n_regions : t -> int
+
+val region_of : t -> int -> int
+(** Region index of a node. *)
+
+val region_name : t -> int -> string
+(** Region name of a node. *)
+
+val latency : t -> int -> int -> int
+(** One-way node-to-node latency in µs. *)
+
+val nodes_in_region : t -> int -> int list
+(** Nodes placed in the given region, ascending. *)
+
+val china3 : unit -> t
+(** The paper's main testbed: one node in each of Zhangjiakou, Chengdu,
+    Shenzhen. *)
+
+val china : int -> t
+(** [china n] spreads [n] nodes round-robin over five Chinese regions
+    (the §7.6 scalability setting, 3–15 nodes). *)
+
+val worldwide : int -> t
+(** [worldwide n] spreads [n] nodes round-robin over the five worldwide
+    data centers (§7.6, 3–25 nodes). *)
+
+val single_region : int -> t
+(** [single_region n]: all nodes co-located (LAN); useful for tests. *)
+
+val custom :
+  name:string ->
+  regions:string array ->
+  node_region:int array ->
+  region_latency_us:int array array ->
+  t
+(** Validated constructor; raises [Invalid_argument] on shape or symmetry
+    errors. *)

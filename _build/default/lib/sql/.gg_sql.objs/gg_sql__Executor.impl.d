@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Array Ast Env Expr Gg_crdt Gg_storage Hashtbl List Option Parser Plan Printf

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Gg_crdt Gg_storage Stdlib

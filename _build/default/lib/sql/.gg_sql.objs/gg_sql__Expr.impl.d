@@ -1,0 +1,1 @@
+lib/sql/expr.ml: Array Ast Gg_storage List Printf String

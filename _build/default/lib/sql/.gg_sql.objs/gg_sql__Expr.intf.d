@@ -1,0 +1,1 @@
+lib/sql/expr.mli: Ast Gg_storage

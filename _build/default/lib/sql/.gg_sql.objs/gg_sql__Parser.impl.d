@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Gg_storage Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/sql/plan.ml: Array Ast Gg_storage List Option Printf

@@ -1,0 +1,1 @@
+lib/sql/plan.mli: Ast Gg_storage

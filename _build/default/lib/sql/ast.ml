@@ -1,0 +1,87 @@
+(** Abstract syntax of the supported SQL dialect.
+
+    Statements: CREATE TABLE, INSERT, SELECT (single table or one INNER
+    JOIN, WHERE, ORDER BY, LIMIT, aggregates), UPDATE, DELETE. Positional
+    parameters are written [?]. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Concat
+
+type unop = Neg | Not
+
+type expr =
+  | Const of Gg_storage.Value.t
+  | Col of string option * string  (** optional table qualifier *)
+  | Param of int  (** 0-based positional parameter *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | In_list of expr * expr list  (** e IN (e1, e2, …) *)
+  | Between of expr * expr * expr  (** e BETWEEN lo AND hi *)
+  | Like of expr * expr  (** string pattern match, % and _ wildcards *)
+
+type agg_fn = Count | Sum | Min | Max | Avg
+
+type proj =
+  | Star
+  | Expr_proj of expr * string option  (** expression, optional alias *)
+  | Agg of agg_fn * expr option * string option
+      (** aggregate, argument ([None] means COUNT star), alias *)
+
+type order_dir = Asc | Desc
+
+type table_ref = { table : string; alias : string option }
+
+type select = {
+  projs : proj list;
+  from : table_ref;
+  join : (table_ref * expr) option;  (** INNER JOIN t ON e *)
+  where : expr option;
+  group_by : expr list;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+}
+
+type stmt =
+  | Select of select
+  | Insert of {
+      table : string;
+      cols : string list option;
+      rows : expr list list;
+    }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of {
+      name : string;
+      cols : (string * Gg_storage.Schema.col_ty) list;
+      key : string list;
+    }
+  | Create_index of { name : string; table : string; cols : string list }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+  | Concat -> "||"

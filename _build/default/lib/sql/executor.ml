@@ -1,0 +1,679 @@
+module Value = Gg_storage.Value
+module Schema = Gg_storage.Schema
+module Table = Gg_storage.Table
+module Db = Gg_storage.Db
+module Writeset = Gg_crdt.Writeset
+
+open Expr (* for Sql_error and Env *)
+
+type read_record = {
+  r_table : string;
+  r_key_str : string;
+  r_csn : Gg_storage.Csn.t;
+  r_cen : int;
+}
+
+type write_buf = {
+  w_table : string;
+  w_key : Value.t array;
+  w_key_str : string;
+  w_existed : bool;  (* live row existed when first written *)
+  mutable w_op : Writeset.op;
+  mutable w_data : Value.t array;
+  mutable w_dead : bool;  (* insert-then-delete: no net effect *)
+}
+
+module Ctx = struct
+  type t = {
+    db : Db.t;
+    mutable reads_rev : read_record list;
+    read_keys : (string * string, unit) Hashtbl.t;
+    writes : (string * string, write_buf) Hashtbl.t;
+    mutable write_order_rev : write_buf list;
+  }
+
+  let create db =
+    {
+      db;
+      reads_rev = [];
+      read_keys = Hashtbl.create 16;
+      writes = Hashtbl.create 16;
+      write_order_rev = [];
+    }
+
+  let db t = t.db
+
+  let record_read t ~table ~key_str ~(header : Gg_storage.Row_header.t) =
+    (* Keep the first observation of each row: RR compares the commit-time
+       version against the first read. *)
+    if not (Hashtbl.mem t.read_keys (table, key_str)) then begin
+      Hashtbl.replace t.read_keys (table, key_str) ();
+      t.reads_rev <-
+        { r_table = table; r_key_str = key_str; r_csn = header.csn; r_cen = header.cen }
+        :: t.reads_rev
+    end
+
+  let read_set t = List.rev t.reads_rev
+
+  let reread_csns t =
+    List.rev_map (fun r -> (r.r_table, r.r_key_str, r.r_csn)) t.reads_rev
+
+  let find_write t ~table ~key_str = Hashtbl.find_opt t.writes (table, key_str)
+
+  let add_write t w =
+    Hashtbl.replace t.writes (w.w_table, w.w_key_str) w;
+    t.write_order_rev <- w :: t.write_order_rev
+
+  let writeset_records t =
+    List.rev t.write_order_rev
+    |> List.filter_map (fun w ->
+           if w.w_dead then None
+           else
+             Some
+               {
+                 Writeset.table = w.w_table;
+                 key = w.w_key;
+                 op = w.w_op;
+                 data = (match w.w_op with Writeset.Delete -> [||] | _ -> w.w_data);
+               })
+
+  let has_writes t =
+    List.exists (fun w -> not w.w_dead) t.write_order_rev
+end
+
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+  affected : int;
+}
+
+let get_table db name =
+  match Db.get_table db name with
+  | Some t -> t
+  | None -> raise (Sql_error (Printf.sprintf "unknown table %s" name))
+
+(* A visible row: base-table entry overlaid with the txn's own writes. *)
+type vrow = {
+  v_key : Value.t array;
+  v_key_str : string;
+  v_data : Value.t array;
+  v_entry : Table.entry option;  (* None for rows inserted by this txn *)
+}
+
+(* Iterate the visible rows of [table] under [access], applying the
+   read-your-writes overlay. *)
+let visible_rows ctx table access ~params f =
+  let tbl = get_table (Ctx.db ctx) table in
+  let tname = (Table.schema tbl).Schema.table_name in
+  let overlaid entry =
+    let e_key_str = entry.Table.key_str in
+    match Ctx.find_write ctx ~table:tname ~key_str:e_key_str with
+    | Some w when not w.w_dead -> (
+      match w.w_op with
+      | Writeset.Delete -> None
+      | Writeset.Insert | Writeset.Update ->
+        Some
+          {
+            v_key = entry.Table.key;
+            v_key_str = e_key_str;
+            v_data = w.w_data;
+            v_entry = Some entry;
+          })
+    | Some _ | None ->
+      Some
+        {
+          v_key = entry.Table.key;
+          v_key_str = e_key_str;
+          v_data = entry.Table.data;
+          v_entry = Some entry;
+        }
+  in
+  let visit_entry entry =
+    match overlaid entry with Some v -> f v | None -> ()
+  in
+  let eval_key_exprs exprs =
+    Array.map (fun e -> Expr.eval_const ~params e) exprs
+  in
+  (match access with
+  | Plan.Point exprs -> (
+    let key = eval_key_exprs exprs in
+    let key_str = Value.encode_key key in
+    (* The txn may have inserted this key itself. *)
+    match Ctx.find_write ctx ~table:tname ~key_str with
+    | Some w when (not w.w_dead) && (not w.w_existed) && w.w_op <> Writeset.Delete ->
+      f { v_key = key; v_key_str = key_str; v_data = w.w_data; v_entry = None }
+    | Some _ | None -> (
+      match Table.find_live tbl key_str with
+      | Some entry -> visit_entry entry
+      | None -> ()))
+  | Plan.Prefix exprs ->
+    let prefix = eval_key_exprs exprs in
+    Table.scan_prefix tbl ~prefix visit_entry;
+    (* Own inserts matching the prefix. *)
+    Hashtbl.iter
+      (fun (t, _) w ->
+        if
+          t = tname && (not w.w_dead) && (not w.w_existed)
+          && w.w_op <> Writeset.Delete
+          && Array.length w.w_key >= Array.length prefix
+          &&
+          let ok = ref true in
+          Array.iteri
+            (fun i p -> if Value.compare p w.w_key.(i) <> 0 then ok := false)
+            prefix;
+          !ok
+        then
+          f { v_key = w.w_key; v_key_str = w.w_key_str; v_data = w.w_data; v_entry = None })
+      ctx.Ctx.writes
+  | Plan.Sec_index (iname, exprs) ->
+    let probe = eval_key_exprs exprs in
+    List.iter visit_entry (Table.index_lookup tbl ~name:iname ~key:probe);
+    (* own inserts whose indexed columns match the probe *)
+    (match Table.index_cols tbl ~name:iname with
+    | None -> ()
+    | Some cols ->
+      Hashtbl.iter
+        (fun (t, _) w ->
+          if
+            t = tname && (not w.w_dead) && (not w.w_existed)
+            && w.w_op <> Writeset.Delete
+            && Array.length w.w_data > Array.fold_left max 0 cols
+            &&
+            let ok = ref true in
+            Array.iteri
+              (fun i c ->
+                if Value.compare probe.(i) w.w_data.(c) <> 0 then ok := false)
+              cols;
+            !ok
+          then
+            f { v_key = w.w_key; v_key_str = w.w_key_str; v_data = w.w_data; v_entry = None })
+        ctx.Ctx.writes)
+  | Plan.Full ->
+    Table.scan tbl ~f:visit_entry;
+    Hashtbl.iter
+      (fun (t, _) w ->
+        if t = tname && (not w.w_dead) && (not w.w_existed) && w.w_op <> Writeset.Delete
+        then
+          f { v_key = w.w_key; v_key_str = w.w_key_str; v_data = w.w_data; v_entry = None })
+      ctx.Ctx.writes)
+
+let record_vrow_read ctx ~table v =
+  match v.v_entry with
+  | Some entry -> Ctx.record_read ctx ~table ~key_str:v.v_key_str ~header:entry.Table.header
+  | None -> () (* own insert: nothing to validate *)
+
+(* --- SELECT --- *)
+
+let binding_names (tr : Ast.table_ref) =
+  match tr.alias with Some a -> [ a; tr.table ] | None -> [ tr.table ]
+
+let proj_name i = function
+  | Ast.Star -> "*"
+  | Ast.Expr_proj (Ast.Col (_, c), None) -> c
+  | Ast.Expr_proj (_, Some a) | Ast.Agg (_, _, Some a) -> a
+  | Ast.Expr_proj (_, None) -> Printf.sprintf "col%d" i
+  | Ast.Agg (fn, _, None) -> (
+    match fn with
+    | Ast.Count -> "count"
+    | Ast.Sum -> "sum"
+    | Ast.Min -> "min"
+    | Ast.Max -> "max"
+    | Ast.Avg -> "avg")
+
+let has_agg projs =
+  List.exists (function Ast.Agg _ -> true | _ -> false) projs
+
+(* Per-group aggregation state; one implicit group when GROUP BY is
+   absent. Non-aggregate projections and sort keys are captured at the
+   group's first row. *)
+type group_state = {
+  g_count : int array;
+  g_sumf : float array;
+  g_sumi : int array;
+  g_int_only : bool array;
+  g_min : Value.t array;
+  g_max : Value.t array;
+  g_repr : Value.t array;
+  g_sort : (Value.t * Ast.order_dir) list;
+}
+
+let select ctx (s : Ast.select) ~params =
+  let db = Ctx.db ctx in
+  let from_tbl = get_table db s.from.table in
+  let from_name = Option.value s.from.alias ~default:s.from.table in
+  let from_binding =
+    { Env.binding_name = from_name; schema = Table.schema from_tbl; row = [||] }
+  in
+  let join_info =
+    Option.map
+      (fun ((tr : Ast.table_ref), on) ->
+        let tbl = get_table db tr.table in
+        let name = Option.value tr.alias ~default:tr.table in
+        let binding =
+          { Env.binding_name = name; schema = Table.schema tbl; row = [||] }
+        in
+        (tr, on, binding))
+      s.join
+  in
+  let env =
+    match join_info with
+    | None -> [ from_binding ]
+    | Some (_, _, jb) -> [ from_binding; jb ]
+  in
+  let access =
+    Plan.access_path_table from_tbl ~names:(binding_names s.from) s.where
+  in
+  (* Collected matches: projected row + sort keys. *)
+  let matches = ref [] in
+  let n_matches = ref 0 in
+  let where_ok () =
+    match s.where with
+    | None -> true
+    | Some w -> Expr.is_truthy (Expr.eval env ~params w)
+  in
+  let n_projs = List.length s.projs in
+  let project () =
+    List.concat_map
+      (fun p ->
+        match p with
+        | Ast.Star -> List.concat_map (fun b -> Array.to_list b.Env.row) env
+        | Ast.Expr_proj (e, _) -> [ Expr.eval env ~params e ]
+        | Ast.Agg _ -> assert false)
+      s.projs
+    |> Array.of_list
+  in
+  let sort_keys () =
+    List.map (fun (e, dir) -> (Expr.eval env ~params e, dir)) s.order_by
+  in
+  (* Grouped/aggregated path. *)
+  let aggregating = has_agg s.projs || s.group_by <> [] in
+  if aggregating then
+    List.iter
+      (function
+        | Ast.Agg _ -> ()
+        | Ast.Expr_proj _ when s.group_by <> [] -> ()
+        | Ast.Star | Ast.Expr_proj _ ->
+          raise (Sql_error "mixing aggregates and plain projections needs GROUP BY"))
+      s.projs;
+  let groups : (Value.t list, group_state) Hashtbl.t = Hashtbl.create 16 in
+  let group_order = ref [] in
+  let fresh_state ~repr ~sort =
+    {
+      g_count = Array.make n_projs 0;
+      g_sumf = Array.make n_projs 0.0;
+      g_sumi = Array.make n_projs 0;
+      g_int_only = Array.make n_projs true;
+      g_min = Array.make n_projs Value.Null;
+      g_max = Array.make n_projs Value.Null;
+      g_repr = repr;
+      g_sort = sort;
+    }
+  in
+  let aggregate_row () =
+    let key = List.map (fun e -> Expr.eval env ~params e) s.group_by in
+    let st =
+      match Hashtbl.find_opt groups key with
+      | Some st -> st
+      | None ->
+        let repr =
+          List.map
+            (fun p ->
+              match p with
+              | Ast.Expr_proj (e, _) -> Expr.eval env ~params e
+              | Ast.Agg _ | Ast.Star -> Value.Null)
+            s.projs
+          |> Array.of_list
+        in
+        let st = fresh_state ~repr ~sort:(sort_keys ()) in
+        Hashtbl.replace groups key st;
+        group_order := key :: !group_order;
+        st
+    in
+    List.iteri
+      (fun i p ->
+        match p with
+        | Ast.Agg (fn, arg, _) -> (
+          let v =
+            match arg with
+            | None -> Value.Int 1
+            | Some e -> Expr.eval env ~params e
+          in
+          match (fn, v) with
+          | _, Value.Null -> ()
+          | Ast.Count, _ -> st.g_count.(i) <- st.g_count.(i) + 1
+          | (Ast.Sum | Ast.Avg), Value.Int n ->
+            st.g_count.(i) <- st.g_count.(i) + 1;
+            st.g_sumf.(i) <- st.g_sumf.(i) +. float_of_int n;
+            st.g_sumi.(i) <- st.g_sumi.(i) + n
+          | (Ast.Sum | Ast.Avg), Value.Float f ->
+            st.g_count.(i) <- st.g_count.(i) + 1;
+            st.g_sumf.(i) <- st.g_sumf.(i) +. f;
+            st.g_int_only.(i) <- false
+          | (Ast.Sum | Ast.Avg), v ->
+            raise (Sql_error (Printf.sprintf "SUM/AVG of %s" (Value.type_name v)))
+          | Ast.Min, v ->
+            if st.g_min.(i) = Value.Null || Value.compare v st.g_min.(i) < 0 then
+              st.g_min.(i) <- v
+          | Ast.Max, v ->
+            if st.g_max.(i) = Value.Null || Value.compare v st.g_max.(i) > 0 then
+              st.g_max.(i) <- v)
+        | Ast.Star | Ast.Expr_proj _ -> ())
+      s.projs
+  in
+  let handle_match () =
+    if aggregating then aggregate_row ()
+    else begin
+      matches := (project (), sort_keys ()) :: !matches;
+      incr n_matches
+    end
+  in
+  let process_outer v =
+    from_binding.Env.row <- v.v_data;
+    match join_info with
+    | None ->
+      if where_ok () then begin
+        record_vrow_read ctx ~table:s.from.table v;
+        handle_match ()
+      end
+    | Some (jtr, on, jb) ->
+      let jaccess =
+        (* Try to use the ON clause for the inner lookup only when it is a
+           plain equality against column-free values; otherwise full scan.
+           Nested-loop with the outer row bound is correct either way. *)
+        Plan.Full
+      in
+      ignore jaccess;
+      visible_rows ctx jtr.Ast.table Plan.Full ~params (fun jv ->
+          jb.Env.row <- jv.v_data;
+          if Expr.is_truthy (Expr.eval env ~params on) && where_ok () then begin
+            record_vrow_read ctx ~table:s.from.table v;
+            record_vrow_read ctx ~table:jtr.Ast.table jv;
+            handle_match ()
+          end)
+  in
+  visible_rows ctx s.from.table access ~params process_outer;
+  let columns = List.mapi proj_name s.projs in
+  let columns =
+    (* Expand star into actual column names. *)
+    List.concat_map
+      (fun (p, n) ->
+        match p with
+        | Ast.Star ->
+          List.concat_map
+            (fun b ->
+              Array.to_list
+                (Array.map
+                   (fun (c : Schema.column) -> c.Schema.name)
+                   b.Env.schema.Schema.columns))
+            env
+        | Ast.Expr_proj _ | Ast.Agg _ -> [ n ])
+      (List.combine s.projs columns)
+  in
+  if aggregating then begin
+    let row_of (st : group_state) =
+      List.mapi
+        (fun i p ->
+          match p with
+          | Ast.Agg (Ast.Count, _, _) -> Value.Int st.g_count.(i)
+          | Ast.Agg (Ast.Sum, _, _) ->
+            if st.g_count.(i) = 0 then Value.Null
+            else if st.g_int_only.(i) then Value.Int st.g_sumi.(i)
+            else Value.Float st.g_sumf.(i)
+          | Ast.Agg (Ast.Avg, _, _) ->
+            if st.g_count.(i) = 0 then Value.Null
+            else Value.Float (st.g_sumf.(i) /. float_of_int st.g_count.(i))
+          | Ast.Agg (Ast.Min, _, _) -> st.g_min.(i)
+          | Ast.Agg (Ast.Max, _, _) -> st.g_max.(i)
+          | Ast.Star -> assert false
+          | Ast.Expr_proj _ -> st.g_repr.(i))
+        s.projs
+      |> Array.of_list
+    in
+    let rows =
+      List.rev_map
+        (fun key ->
+          let st = Hashtbl.find groups key in
+          (row_of st, st.g_sort))
+        !group_order
+    in
+    (* With no GROUP BY and no matches, SQL still yields one row. *)
+    let rows =
+      if rows = [] && s.group_by = [] then
+        [ (row_of (fresh_state ~repr:(Array.make n_projs Value.Null) ~sort:[]), []) ]
+      else rows
+    in
+    let rows =
+      if s.order_by = [] then rows
+      else
+        List.stable_sort
+          (fun (_, ka) (_, kb) ->
+            let rec cmp a b =
+              match (a, b) with
+              | (va, dir) :: ra, (vb, _) :: rb ->
+                let c = Value.compare va vb in
+                let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+                if c <> 0 then c else cmp ra rb
+              | _, _ -> 0
+            in
+            cmp ka kb)
+          rows
+    in
+    let rows = List.map fst rows in
+    let rows =
+      match s.limit with
+      | None -> rows
+      | Some k -> List.filteri (fun i _ -> i < k) rows
+    in
+    { columns; rows; affected = 0 }
+  end
+  else begin
+    let rows = List.rev !matches in
+    let rows =
+      if s.order_by = [] then rows
+      else
+        List.stable_sort
+          (fun (_, ka) (_, kb) ->
+            let rec cmp a b =
+              match (a, b) with
+              | [], [] -> 0
+              | (va, dir) :: ra, (vb, _) :: rb ->
+                let c = Value.compare va vb in
+                let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+                if c <> 0 then c else cmp ra rb
+              | _ -> 0
+            in
+            cmp ka kb)
+          rows
+    in
+    let rows = List.map fst rows in
+    let rows =
+      match s.limit with
+      | None -> rows
+      | Some k -> List.filteri (fun i _ -> i < k) rows
+    in
+    { columns; rows; affected = 0 }
+  end
+
+(* --- INSERT --- *)
+
+let insert ctx ~table ~cols ~rows ~params =
+  let tbl = get_table (Ctx.db ctx) table in
+  let schema = Table.schema tbl in
+  let arity = Schema.arity schema in
+  let col_map =
+    match cols with
+    | None -> Array.init arity (fun i -> i)
+    | Some cs ->
+      Array.of_list
+        (List.map
+           (fun c ->
+             match Schema.col_index schema c with
+             | Some i -> i
+             | None ->
+               raise (Sql_error (Printf.sprintf "unknown column %s" c)))
+           cs)
+  in
+  let n = ref 0 in
+  List.iter
+    (fun exprs ->
+      if List.length exprs <> Array.length col_map then
+        raise (Sql_error "INSERT arity mismatch");
+      let row = Array.make arity Value.Null in
+      List.iteri
+        (fun i e -> row.(col_map.(i)) <- Expr.eval_const ~params e)
+        exprs;
+      (match Schema.validate_row schema row with
+      | Ok () -> ()
+      | Error m -> raise (Sql_error m));
+      let key = Schema.primary_key schema row in
+      let key_str = Value.encode_key key in
+      (* Duplicate checks against own writes then the table. *)
+      (match Ctx.find_write ctx ~table ~key_str with
+      | Some w when (not w.w_dead) && w.w_op <> Writeset.Delete ->
+        raise (Sql_error (Printf.sprintf "duplicate key in table %s" table))
+      | Some w ->
+        (* re-insert over own delete: becomes an update of the base row *)
+        w.w_dead <- false;
+        w.w_op <- (if w.w_existed then Writeset.Update else Writeset.Insert);
+        w.w_data <- row
+      | None -> (
+        match Table.find_live tbl key_str with
+        | Some _ ->
+          raise (Sql_error (Printf.sprintf "duplicate key in table %s" table))
+        | None ->
+          Ctx.add_write ctx
+            {
+              w_table = table;
+              w_key = key;
+              w_key_str = key_str;
+              w_existed = false;
+              w_op = Writeset.Insert;
+              w_data = row;
+              w_dead = false;
+            }));
+      incr n)
+    rows;
+  { columns = []; rows = []; affected = !n }
+
+(* --- UPDATE / DELETE --- *)
+
+let collect_targets ctx table where ~params =
+  let tbl = get_table (Ctx.db ctx) table in
+  let access = Plan.access_path_table tbl ~names:[ table ] where in
+  let binding =
+    { Env.binding_name = table; schema = Table.schema tbl; row = [||] }
+  in
+  let env = [ binding ] in
+  let acc = ref [] in
+  visible_rows ctx table access ~params (fun v ->
+      binding.Env.row <- v.v_data;
+      let ok =
+        match where with
+        | None -> true
+        | Some w -> Expr.is_truthy (Expr.eval env ~params w)
+      in
+      if ok then acc := v :: !acc);
+  (tbl, binding, env, List.rev !acc)
+
+let buffer_write ctx ~table ~(v : vrow) ~op ~data =
+  match Ctx.find_write ctx ~table ~key_str:v.v_key_str with
+  | Some w when not w.w_dead ->
+    (match (w.w_op, op) with
+    | Writeset.Insert, Writeset.Delete ->
+      if w.w_existed then begin
+        w.w_op <- Writeset.Delete;
+        w.w_data <- [||]
+      end
+      else w.w_dead <- true
+    | Writeset.Insert, _ -> w.w_data <- data
+    | _, Writeset.Delete ->
+      w.w_op <- Writeset.Delete;
+      w.w_data <- [||]
+    | _, _ ->
+      w.w_op <- (if w.w_existed then Writeset.Update else Writeset.Insert);
+      w.w_data <- data)
+  | Some w ->
+    (* previously cancelled; revive *)
+    if op <> Writeset.Delete then begin
+      w.w_dead <- false;
+      w.w_op <- (if w.w_existed then Writeset.Update else Writeset.Insert);
+      w.w_data <- data
+    end
+  | None ->
+    Ctx.add_write ctx
+      {
+        w_table = table;
+        w_key = v.v_key;
+        w_key_str = v.v_key_str;
+        w_existed = v.v_entry <> None;
+        w_op = op;
+        w_data = data;
+        w_dead = false;
+      }
+
+let update ctx ~table ~sets ~where ~params =
+  let tbl, binding, env, targets = collect_targets ctx table where ~params in
+  let schema = Table.schema tbl in
+  let set_indices =
+    List.map
+      (fun (c, e) ->
+        match Schema.col_index schema c with
+        | None -> raise (Sql_error (Printf.sprintf "unknown column %s" c))
+        | Some i ->
+          if Schema.is_key_col schema i then
+            raise (Sql_error (Printf.sprintf "cannot update key column %s" c));
+          (i, e))
+      sets
+  in
+  List.iter
+    (fun v ->
+      binding.Env.row <- v.v_data;
+      let new_row = Array.copy v.v_data in
+      List.iter
+        (fun (i, e) -> new_row.(i) <- Expr.eval env ~params e)
+        set_indices;
+      (match Schema.validate_row schema new_row with
+      | Ok () -> ()
+      | Error m -> raise (Sql_error m));
+      record_vrow_read ctx ~table v;
+      buffer_write ctx ~table ~v ~op:Writeset.Update ~data:new_row)
+    targets;
+  { columns = []; rows = []; affected = List.length targets }
+
+let delete ctx ~table ~where ~params =
+  let _, _, _, targets = collect_targets ctx table where ~params in
+  List.iter
+    (fun v ->
+      record_vrow_read ctx ~table v;
+      buffer_write ctx ~table ~v ~op:Writeset.Delete ~data:[||])
+    targets;
+  { columns = []; rows = []; affected = List.length targets }
+
+(* --- entry points --- *)
+
+let exec ctx stmt ~params =
+  try
+    match stmt with
+    | Ast.Select s -> Ok (select ctx s ~params)
+    | Ast.Insert { table; cols; rows } -> Ok (insert ctx ~table ~cols ~rows ~params)
+    | Ast.Update { table; sets; where } -> Ok (update ctx ~table ~sets ~where ~params)
+    | Ast.Delete { table; where } -> Ok (delete ctx ~table ~where ~params)
+    | Ast.Create_table { name; cols; key } ->
+      let columns =
+        List.map (fun (n, ty) -> { Schema.name = n; ty }) cols
+      in
+      let key = if key = [] then [ fst (List.hd cols) ] else key in
+      ignore (Db.create_table (Ctx.db ctx) ~name ~columns ~key);
+      Ok { columns = []; rows = []; affected = 0 }
+    | Ast.Create_index { name; table; cols } ->
+      let tbl = get_table (Ctx.db ctx) table in
+      Table.create_index tbl ~name ~cols;
+      Ok { columns = []; rows = []; affected = 0 }
+  with
+  | Sql_error m -> Error m
+  | Invalid_argument m -> Error m
+
+let exec_sql ctx sql ~params =
+  match Parser.parse_result sql with
+  | Error m -> Error m
+  | Ok stmt -> exec ctx stmt ~params

@@ -1,0 +1,60 @@
+(** SQL execution inside a transaction context.
+
+    The executor runs statements against a replica's {!Gg_storage.Db}
+    while accumulating the transaction's read set (row versions observed)
+    and write set (buffered writes with read-your-writes semantics).
+    Nothing touches the shared tables until the OCC write-back phase; the
+    write set produced here is exactly what GeoGauss ships to its
+    peers. *)
+
+type read_record = {
+  r_table : string;
+  r_key_str : string;
+  r_csn : Gg_storage.Csn.t;  (** row version at read time *)
+  r_cen : int;  (** row's commit epoch at read time *)
+}
+
+module Ctx : sig
+  type t
+
+  val create : Gg_storage.Db.t -> t
+  val db : t -> Gg_storage.Db.t
+
+  val read_set : t -> read_record list
+  (** In read order (first read first). A row read several times keeps
+      its {e first} observation, which is what RR validation compares
+      against. *)
+
+  val reread_csns : t -> (string * string * Gg_storage.Csn.t) list
+  (** Most recent observation per (table, key) — diagnostics. *)
+
+  val writeset_records : t -> Gg_crdt.Writeset.record list
+  (** Net effect of the buffered writes, in first-write order.
+      Insert-then-delete pairs cancel out. *)
+
+  val has_writes : t -> bool
+end
+
+type result = {
+  columns : string list;
+  rows : Gg_storage.Value.t array list;
+  affected : int;
+}
+
+val exec :
+  Ctx.t ->
+  Ast.stmt ->
+  params:Gg_storage.Value.t array ->
+  (result, string) Stdlib.result
+(** Execute one statement. [Create_table] acts directly on the catalog
+    (DDL is not transactional). Errors (constraint violations, type
+    errors, unknown tables/columns) are returned as [Error _]; the
+    context's buffered writes from {e earlier} statements are
+    untouched. *)
+
+val exec_sql :
+  Ctx.t ->
+  string ->
+  params:Gg_storage.Value.t array ->
+  (result, string) Stdlib.result
+(** Parse then {!exec}. *)

@@ -1,0 +1,158 @@
+module Value = Gg_storage.Value
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
+
+module Env = struct
+  type binding = {
+    binding_name : string;
+    schema : Gg_storage.Schema.t;
+    mutable row : Value.t array;
+  }
+
+  type t = binding list
+
+  let resolve env qualifier col =
+    match qualifier with
+    | Some q -> (
+      match List.find_opt (fun b -> b.binding_name = q) env with
+      | None -> fail "unknown table or alias %s" q
+      | Some b -> (
+        match Gg_storage.Schema.col_index b.schema col with
+        | Some i -> (b, i)
+        | None -> fail "unknown column %s.%s" q col))
+    | None -> (
+      let hits =
+        List.filter_map
+          (fun b ->
+            match Gg_storage.Schema.col_index b.schema col with
+            | Some i -> Some (b, i)
+            | None -> None)
+          env
+      in
+      match hits with
+      | [ hit ] -> hit
+      | [] -> fail "unknown column %s" col
+      | _ :: _ :: _ -> fail "ambiguous column %s" col)
+end
+
+let is_truthy = Value.is_truthy
+
+let num_binop op a b =
+  let open Ast in
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Add -> Value.Int (x + y)
+    | Sub -> Value.Int (x - y)
+    | Mul -> Value.Int (x * y)
+    | Div -> if y = 0 then fail "division by zero" else Value.Int (x / y)
+    | Mod -> if y = 0 then fail "modulo by zero" else Value.Int (x mod y)
+    | _ -> assert false)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    let fx = match a with Value.Int i -> float_of_int i | Value.Float f -> f | _ -> 0.0 in
+    let fy = match b with Value.Int i -> float_of_int i | Value.Float f -> f | _ -> 0.0 in
+    (match op with
+    | Add -> Value.Float (fx +. fy)
+    | Sub -> Value.Float (fx -. fy)
+    | Mul -> Value.Float (fx *. fy)
+    | Div -> if fy = 0.0 then fail "division by zero" else Value.Float (fx /. fy)
+    | Mod -> fail "modulo on float"
+    | _ -> assert false)
+  | _ ->
+    fail "arithmetic on non-numeric values (%s, %s)" (Value.type_name a)
+      (Value.type_name b)
+
+let cmp_binop op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+    let c = Value.compare a b in
+    let r =
+      let open Ast in
+      match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | _ -> assert false
+    in
+    Value.Int (if r then 1 else 0)
+
+(* SQL LIKE with % (any run) and _ (any single char). *)
+let like_match s p =
+  let ns = String.length s and np = String.length p in
+  let rec go i j =
+    if j >= np then i >= ns
+    else
+      match p.[j] with
+      | '%' ->
+        (* try every suffix *)
+        let rec try_from k = k <= ns && (go k (j + 1) || try_from (k + 1)) in
+        try_from i
+      | '_' -> i < ns && go (i + 1) (j + 1)
+      | c -> i < ns && s.[i] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let rec eval env ~params e =
+  let open Ast in
+  match e with
+  | Const v -> v
+  | Param i ->
+    if i < 0 || i >= Array.length params then
+      fail "parameter ?%d not supplied (%d given)" (i + 1) (Array.length params)
+    else params.(i)
+  | Col (q, c) ->
+    let b, i = Env.resolve env q c in
+    b.Env.row.(i)
+  | Unop (Neg, e) -> (
+    match eval env ~params e with
+    | Value.Null -> Value.Null
+    | Value.Int i -> Value.Int (-i)
+    | Value.Float f -> Value.Float (-.f)
+    | v -> fail "negation of %s" (Value.type_name v))
+  | Unop (Not, e) ->
+    Value.Int (if is_truthy (eval env ~params e) then 0 else 1)
+  | Binop (And, a, b) ->
+    if is_truthy (eval env ~params a) then
+      Value.Int (if is_truthy (eval env ~params b) then 1 else 0)
+    else Value.Int 0
+  | Binop (Or, a, b) ->
+    if is_truthy (eval env ~params a) then Value.Int 1
+    else Value.Int (if is_truthy (eval env ~params b) then 1 else 0)
+  | Binop (Concat, a, b) -> (
+    match (eval env ~params a, eval env ~params b) with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | Value.Str x, Value.Str y -> Value.Str (x ^ y)
+    | x, y -> Value.Str (Value.to_string x ^ Value.to_string y))
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+    num_binop op (eval env ~params a) (eval env ~params b)
+  | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) ->
+    cmp_binop op (eval env ~params a) (eval env ~params b)
+  | In_list (e, items) ->
+    let v = eval env ~params e in
+    if v = Value.Null then Value.Null
+    else
+      Value.Int
+        (if List.exists (fun i -> Value.compare v (eval env ~params i) = 0) items
+         then 1
+         else 0)
+  | Between (e, lo, hi) ->
+    let v = eval env ~params e in
+    let l = eval env ~params lo and h = eval env ~params hi in
+    if v = Value.Null || l = Value.Null || h = Value.Null then Value.Null
+    else Value.Int (if Value.compare v l >= 0 && Value.compare v h <= 0 then 1 else 0)
+  | Like (e, pat) -> (
+    match (eval env ~params e, eval env ~params pat) with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | Value.Str s, Value.Str p -> Value.Int (if like_match s p then 1 else 0)
+    | v, p ->
+      fail "LIKE expects strings, got %s and %s" (Value.type_name v)
+        (Value.type_name p))
+
+let eval_const ~params e = eval [] ~params e

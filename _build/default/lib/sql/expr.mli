@@ -1,0 +1,30 @@
+(** Expression evaluation over row environments. *)
+
+exception Sql_error of string
+
+module Env : sig
+  type binding = {
+    binding_name : string;  (** alias if given, else table name *)
+    schema : Gg_storage.Schema.t;
+    mutable row : Gg_storage.Value.t array;
+  }
+
+  type t = binding list
+
+  val resolve : t -> string option -> string -> binding * int
+  (** [resolve env qualifier col] finds the binding and column index.
+      Raises {!Sql_error} on unknown or ambiguous columns. *)
+end
+
+val eval :
+  Env.t -> params:Gg_storage.Value.t array -> Ast.expr -> Gg_storage.Value.t
+(** Evaluate an expression. NULL propagates through arithmetic and
+    comparisons; AND/OR treat NULL as false. Comparisons return
+    [Int 1]/[Int 0]. Raises {!Sql_error} on type errors, missing columns
+    or out-of-range parameters. *)
+
+val eval_const : params:Gg_storage.Value.t array -> Ast.expr -> Gg_storage.Value.t
+(** Evaluate an expression that must not reference columns (INSERT
+    values, key equality right-hand sides). *)
+
+val is_truthy : Gg_storage.Value.t -> bool

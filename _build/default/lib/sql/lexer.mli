@@ -1,0 +1,21 @@
+(** SQL tokenizer. Keywords and identifiers are case-insensitive
+    (identifiers are lowercased); string literals use single quotes with
+    [''] as the escape. *)
+
+type token =
+  | Ident of string  (** lowercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Punct of string  (** operators and punctuation, e.g. "(", "<=", "," *)
+  | Question  (** positional parameter *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input. The result always ends with
+    [Eof]. *)
+
+val is_keyword : string -> bool
+(** Recognizes the dialect's reserved words (lowercase form). *)

@@ -1,0 +1,460 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list; mutable n_params : int }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let token_to_string = function
+  | Lexer.Ident s -> s
+  | Lexer.Int_lit i -> string_of_int i
+  | Lexer.Float_lit f -> string_of_float f
+  | Lexer.Str_lit s -> Printf.sprintf "'%s'" s
+  | Lexer.Punct p -> p
+  | Lexer.Question -> "?"
+  | Lexer.Eof -> "<eof>"
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.Punct q when q = p -> advance st
+  | t -> fail (Printf.sprintf "expected %s, got %s" p (token_to_string t))
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.Ident s when s = kw -> advance st
+  | t -> fail (Printf.sprintf "expected %s, got %s" kw (token_to_string t))
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Ident s when s = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.Punct q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+(* Some TPC-C-ish column names collide with soft keywords; allow any ident
+   for column/table positions except hard structural keywords. *)
+let name st =
+  match peek st with
+  | Lexer.Ident s
+    when not
+           (List.mem s
+              [
+                "select"; "from"; "where"; "insert"; "update"; "delete";
+                "create"; "values"; "set"; "order"; "limit"; "join"; "on";
+                "and"; "or"; "not";
+              ]) ->
+    advance st;
+    s
+  | t -> fail (Printf.sprintf "expected name, got %s" (token_to_string t))
+
+(* --- expressions --- *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let left = ref (and_expr st) in
+  while accept_kw st "or" do
+    let right = and_expr st in
+    left := Binop (Or, !left, right)
+  done;
+  !left
+
+and and_expr st =
+  let left = ref (not_expr st) in
+  while accept_kw st "and" do
+    let right = not_expr st in
+    left := Binop (And, !left, right)
+  done;
+  !left
+
+and not_expr st =
+  if accept_kw st "not" then Unop (Not, not_expr st) else cmp_expr st
+
+and cmp_expr st =
+  let left = add_expr st in
+  let negated = accept_kw st "not" in
+  let wrap e = if negated then Unop (Not, e) else e in
+  match peek st with
+  | Lexer.Ident "in" ->
+    advance st;
+    expect_punct st "(";
+    let items = ref [ expr st ] in
+    while accept_punct st "," do
+      items := expr st :: !items
+    done;
+    expect_punct st ")";
+    wrap (In_list (left, List.rev !items))
+  | Lexer.Ident "between" ->
+    advance st;
+    let lo = add_expr st in
+    expect_kw st "and";
+    let hi = add_expr st in
+    wrap (Between (left, lo, hi))
+  | Lexer.Ident "like" ->
+    advance st;
+    wrap (Like (left, add_expr st))
+  | _ when negated -> fail "expected IN, BETWEEN or LIKE after NOT"
+  | _ -> (
+    let op =
+      match peek st with
+      | Lexer.Punct "=" -> Some Eq
+      | Lexer.Punct "<>" -> Some Ne
+      | Lexer.Punct "<" -> Some Lt
+      | Lexer.Punct "<=" -> Some Le
+      | Lexer.Punct ">" -> Some Gt
+      | Lexer.Punct ">=" -> Some Ge
+      | _ -> None
+    in
+    match op with
+    | None -> left
+    | Some op ->
+      advance st;
+      let right = add_expr st in
+      Binop (op, left, right))
+
+and add_expr st =
+  let left = ref (mul_expr st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.Punct "+" ->
+      advance st;
+      left := Binop (Add, !left, mul_expr st)
+    | Lexer.Punct "-" ->
+      advance st;
+      left := Binop (Sub, !left, mul_expr st)
+    | Lexer.Punct "||" ->
+      advance st;
+      left := Binop (Concat, !left, mul_expr st)
+    | _ -> continue := false
+  done;
+  !left
+
+and mul_expr st =
+  let left = ref (unary_expr st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.Punct "*" ->
+      advance st;
+      left := Binop (Mul, !left, unary_expr st)
+    | Lexer.Punct "/" ->
+      advance st;
+      left := Binop (Div, !left, unary_expr st)
+    | Lexer.Punct "%" ->
+      advance st;
+      left := Binop (Mod, !left, unary_expr st)
+    | _ -> continue := false
+  done;
+  !left
+
+and unary_expr st =
+  if accept_punct st "-" then Unop (Neg, unary_expr st) else primary st
+
+and primary st =
+  match peek st with
+  | Lexer.Int_lit i ->
+    advance st;
+    Const (Gg_storage.Value.Int i)
+  | Lexer.Float_lit f ->
+    advance st;
+    Const (Gg_storage.Value.Float f)
+  | Lexer.Str_lit s ->
+    advance st;
+    Const (Gg_storage.Value.Str s)
+  | Lexer.Question ->
+    advance st;
+    let p = st.n_params in
+    st.n_params <- st.n_params + 1;
+    Param p
+  | Lexer.Punct "(" ->
+    advance st;
+    let e = expr st in
+    expect_punct st ")";
+    e
+  | Lexer.Ident "null" ->
+    advance st;
+    Const Gg_storage.Value.Null
+  | Lexer.Ident _ ->
+    let first = name st in
+    if accept_punct st "." then
+      let col = name st in
+      Col (Some first, col)
+    else Col (None, first)
+  | t -> fail (Printf.sprintf "unexpected token %s" (token_to_string t))
+
+(* --- projections --- *)
+
+let agg_of_string = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "avg" -> Some Avg
+  | _ -> None
+
+let alias_opt st =
+  if accept_kw st "as" then Some (name st)
+  else
+    match peek st with
+    | Lexer.Ident s when not (Lexer.is_keyword s) ->
+      advance st;
+      Some s
+    | _ -> None
+
+let proj st =
+  match peek st with
+  | Lexer.Punct "*" ->
+    advance st;
+    Star
+  | Lexer.Ident s when agg_of_string s <> None -> (
+    match st.tokens with
+    | Lexer.Ident _ :: Lexer.Punct "(" :: _ ->
+      advance st;
+      advance st;
+      let fn = Option.get (agg_of_string s) in
+      let arg =
+        if accept_punct st "*" then None
+        else Some (expr st)
+      in
+      expect_punct st ")";
+      let alias = alias_opt st in
+      Agg (fn, arg, alias)
+    | _ ->
+      let e = expr st in
+      Expr_proj (e, alias_opt st))
+  | _ ->
+    let e = expr st in
+    Expr_proj (e, alias_opt st)
+
+let table_ref st =
+  let table = name st in
+  let alias = alias_opt st in
+  { table; alias }
+
+(* --- statements --- *)
+
+let select_stmt st =
+  expect_kw st "select";
+  let projs = ref [ proj st ] in
+  while accept_punct st "," do
+    projs := proj st :: !projs
+  done;
+  expect_kw st "from";
+  let from = table_ref st in
+  let join =
+    if accept_kw st "inner" || (match peek st with Lexer.Ident "join" -> true | _ -> false)
+    then begin
+      expect_kw st "join";
+      let tr = table_ref st in
+      expect_kw st "on";
+      let on = expr st in
+      Some (tr, on)
+    end
+    else None
+  in
+  let where = if accept_kw st "where" then Some (expr st) else None in
+  let group_by =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      let items = ref [ expr st ] in
+      while accept_punct st "," do
+        items := expr st :: !items
+      done;
+      List.rev !items
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      let item () =
+        let e = expr st in
+        let dir =
+          if accept_kw st "desc" then Desc
+          else begin
+            ignore (accept_kw st "asc");
+            Asc
+          end
+        in
+        (e, dir)
+      in
+      let items = ref [ item () ] in
+      while accept_punct st "," do
+        items := item () :: !items
+      done;
+      List.rev !items
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then
+      match peek st with
+      | Lexer.Int_lit i ->
+        advance st;
+        Some i
+      | t -> fail (Printf.sprintf "LIMIT expects an integer, got %s" (token_to_string t))
+    else None
+  in
+  Select { projs = List.rev !projs; from; join; where; group_by; order_by; limit }
+
+let insert_stmt st =
+  expect_kw st "insert";
+  expect_kw st "into";
+  let table = name st in
+  let cols =
+    if accept_punct st "(" then begin
+      let cols = ref [ name st ] in
+      while accept_punct st "," do
+        cols := name st :: !cols
+      done;
+      expect_punct st ")";
+      Some (List.rev !cols)
+    end
+    else None
+  in
+  expect_kw st "values";
+  let tuple () =
+    expect_punct st "(";
+    let vals = ref [ expr st ] in
+    while accept_punct st "," do
+      vals := expr st :: !vals
+    done;
+    expect_punct st ")";
+    List.rev !vals
+  in
+  let rows = ref [ tuple () ] in
+  while accept_punct st "," do
+    rows := tuple () :: !rows
+  done;
+  Insert { table; cols; rows = List.rev !rows }
+
+let update_stmt st =
+  expect_kw st "update";
+  let table = name st in
+  expect_kw st "set";
+  let assignment () =
+    let col = name st in
+    expect_punct st "=";
+    let e = expr st in
+    (col, e)
+  in
+  let sets = ref [ assignment () ] in
+  while accept_punct st "," do
+    sets := assignment () :: !sets
+  done;
+  let where = if accept_kw st "where" then Some (expr st) else None in
+  Update { table; sets = List.rev !sets; where }
+
+let delete_stmt st =
+  expect_kw st "delete";
+  expect_kw st "from";
+  let table = name st in
+  let where = if accept_kw st "where" then Some (expr st) else None in
+  Delete { table; where }
+
+let col_ty st =
+  match peek st with
+  | Lexer.Ident "int" ->
+    advance st;
+    Gg_storage.Schema.TInt
+  | Lexer.Ident "float" ->
+    advance st;
+    Gg_storage.Schema.TFloat
+  | Lexer.Ident ("string" | "text") ->
+    advance st;
+    Gg_storage.Schema.TStr
+  | Lexer.Ident "varchar" ->
+    advance st;
+    if accept_punct st "(" then begin
+      (match peek st with
+      | Lexer.Int_lit _ -> advance st
+      | t -> fail (Printf.sprintf "varchar expects a size, got %s" (token_to_string t)));
+      expect_punct st ")"
+    end;
+    Gg_storage.Schema.TStr
+  | t -> fail (Printf.sprintf "expected a column type, got %s" (token_to_string t))
+
+let create_index_stmt st =
+  (* CREATE INDEX name ON table (col, ...) *)
+  let iname = name st in
+  expect_kw st "on";
+  let table = name st in
+  expect_punct st "(";
+  let cols = ref [ name st ] in
+  while accept_punct st "," do
+    cols := name st :: !cols
+  done;
+  expect_punct st ")";
+  Create_index { name = iname; table; cols = List.rev !cols }
+
+let create_stmt st =
+  expect_kw st "create";
+  if accept_kw st "index" then create_index_stmt st
+  else begin
+  expect_kw st "table";
+  let table = name st in
+  expect_punct st "(";
+  let cols = ref [] in
+  let key = ref [] in
+  let item () =
+    if accept_kw st "primary" then begin
+      expect_kw st "key";
+      expect_punct st "(";
+      let ks = ref [ name st ] in
+      while accept_punct st "," do
+        ks := name st :: !ks
+      done;
+      expect_punct st ")";
+      key := List.rev !ks
+    end
+    else begin
+      let cname = name st in
+      let ty = col_ty st in
+      cols := (cname, ty) :: !cols
+    end
+  in
+  item ();
+  while accept_punct st "," do
+    item ()
+  done;
+  expect_punct st ")";
+  Create_table { name = table; cols = List.rev !cols; key = !key }
+  end
+
+let statement st =
+  match peek st with
+  | Lexer.Ident "select" -> select_stmt st
+  | Lexer.Ident "insert" -> insert_stmt st
+  | Lexer.Ident "update" -> update_stmt st
+  | Lexer.Ident "delete" -> delete_stmt st
+  | Lexer.Ident "create" -> create_stmt st
+  | t -> fail (Printf.sprintf "expected a statement, got %s" (token_to_string t))
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input; n_params = 0 } in
+  let s = statement st in
+  ignore (accept_punct st ";");
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail (Printf.sprintf "trailing input: %s" (token_to_string t)));
+  s
+
+let parse_result input =
+  match parse input with
+  | s -> Ok s
+  | exception Parse_error m -> Error ("parse error: " ^ m)
+  | exception Lexer.Lex_error m -> Error ("lex error: " ^ m)

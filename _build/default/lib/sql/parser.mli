@@ -1,0 +1,11 @@
+(** Recursive-descent SQL parser. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt
+(** Parse one statement (an optional trailing [;] is allowed). Raises
+    {!Parse_error} or {!Lexer.Lex_error}. Positional [?] parameters are
+    numbered 0, 1, … left to right. *)
+
+val parse_result : string -> (Ast.stmt, string) result
+(** Exception-free wrapper. *)

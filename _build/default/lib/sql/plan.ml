@@ -1,0 +1,112 @@
+type access =
+  | Point of Ast.expr array
+  | Prefix of Ast.expr array
+  | Sec_index of string * Ast.expr array
+  | Full
+
+let rec conjuncts e acc =
+  match e with
+  | Ast.Binop (Ast.And, a, b) -> conjuncts a (conjuncts b acc)
+  | e -> e :: acc
+
+let rec column_free = function
+  | Ast.Const _ | Ast.Param _ -> true
+  | Ast.Col _ -> false
+  | Ast.Unop (_, e) -> column_free e
+  | Ast.Binop (_, a, b) -> column_free a && column_free b
+  | Ast.In_list (e, items) -> column_free e && List.for_all column_free items
+  | Ast.Between (e, lo, hi) -> column_free e && column_free lo && column_free hi
+  | Ast.Like (e, p) -> column_free e && column_free p
+
+let access_path schema ~names where =
+  match where with
+  | None -> Full
+  | Some where ->
+    let key_cols = schema.Gg_storage.Schema.key_cols in
+    let n_key = Array.length key_cols in
+    (* For each key column, the first usable equality expression. *)
+    let found : Ast.expr option array = Array.make n_key None in
+    let key_pos col_idx =
+      let rec go i =
+        if i >= n_key then None
+        else if key_cols.(i) = col_idx then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let consider col_q col_name rhs =
+      if column_free rhs && (col_q = None || List.mem (Option.get col_q) names)
+      then
+        match Gg_storage.Schema.col_index schema col_name with
+        | None -> ()
+        | Some ci -> (
+          match key_pos ci with
+          | Some kp when found.(kp) = None -> found.(kp) <- Some rhs
+          | Some _ | None -> ())
+    in
+    List.iter
+      (function
+        | Ast.Binop (Ast.Eq, Ast.Col (q, c), rhs) -> consider q c rhs
+        | Ast.Binop (Ast.Eq, lhs, Ast.Col (q, c)) -> consider q c lhs
+        | _ -> ())
+      (conjuncts where []);
+    let prefix_len =
+      let rec go i = if i < n_key && found.(i) <> None then go (i + 1) else i in
+      go 0
+    in
+    if prefix_len = 0 then Full
+    else
+      let exprs = Array.init prefix_len (fun i -> Option.get found.(i)) in
+      if prefix_len = n_key then Point exprs else Prefix exprs
+
+let describe = function
+  | Point _ -> "point"
+  | Prefix e -> Printf.sprintf "prefix(%d)" (Array.length e)
+  | Sec_index (n, _) -> Printf.sprintf "index(%s)" n
+  | Full -> "full-scan"
+
+(* Equality bindings (column index -> rhs) usable for index probes. *)
+let equalities schema ~names where =
+  let acc = ref [] in
+  (match where with
+  | None -> ()
+  | Some where ->
+    let consider q c rhs =
+      if column_free rhs && (q = None || List.mem (Option.get q) names) then
+        match Gg_storage.Schema.col_index schema c with
+        | Some ci when not (List.mem_assoc ci !acc) -> acc := (ci, rhs) :: !acc
+        | Some _ | None -> ()
+    in
+    List.iter
+      (function
+        | Ast.Binop (Ast.Eq, Ast.Col (q, c), rhs) -> consider q c rhs
+        | Ast.Binop (Ast.Eq, lhs, Ast.Col (q, c)) -> consider q c lhs
+        | _ -> ())
+      (conjuncts where []));
+  !acc
+
+let access_path_table table ~names where =
+  let schema = Gg_storage.Table.schema table in
+  match access_path schema ~names where with
+  | (Point _ | Prefix _ | Sec_index _) as a -> a
+  | Full -> (
+    (* try a secondary index fully covered by equality conjuncts *)
+    let eqs = equalities schema ~names where in
+    let candidate =
+      List.fold_left
+        (fun acc iname ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match Gg_storage.Table.index_cols table ~name:iname with
+            | None -> None
+            | Some cols ->
+              if Array.for_all (fun c -> List.mem_assoc c eqs) cols then
+                Some (iname, Array.map (fun c -> List.assoc c eqs) cols)
+              else None))
+        None
+        (Gg_storage.Table.index_names table)
+    in
+    match candidate with
+    | Some (iname, exprs) -> Sec_index (iname, exprs)
+    | None -> Full)

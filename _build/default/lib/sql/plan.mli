@@ -1,0 +1,29 @@
+(** Physical access-path selection.
+
+    The planner inspects a statement's WHERE clause and chooses, per base
+    table, between a primary-key point lookup, a key-prefix range scan,
+    or a full scan with residual filtering. *)
+
+type access =
+  | Point of Ast.expr array
+      (** one constant/parameter expression per key column *)
+  | Prefix of Ast.expr array
+      (** expressions for a strict prefix of the key columns *)
+  | Sec_index of string * Ast.expr array
+      (** secondary-index probe: index name + one expression per indexed
+          column *)
+  | Full
+
+val access_path :
+  Gg_storage.Schema.t -> names:string list -> Ast.expr option -> access
+(** [access_path schema ~names where] — [names] are the identifiers
+    (alias/table name) that refer to the target table; qualified columns
+    with other qualifiers are ignored. Only top-level conjuncts of the
+    form [col = expr] where [expr] is column-free are considered. *)
+
+val access_path_table :
+  Gg_storage.Table.t -> names:string list -> Ast.expr option -> access
+(** Like {!access_path} but also considers the table's secondary
+    indexes when the primary key is unusable. *)
+
+val describe : access -> string

@@ -1,0 +1,1 @@
+lib/storage/checkpoint.ml: Array Bytes Csn Db Gg_util List Option Printf Row_header Schema Table Value

@@ -1,0 +1,1 @@
+lib/storage/csn.ml: Gg_util Printf Stdlib

@@ -1,0 +1,1 @@
+lib/storage/csn.mli: Gg_util

@@ -1,0 +1,1 @@
+lib/storage/db.ml: Digest Gg_util Hashtbl List Printf Schema Stdlib Table

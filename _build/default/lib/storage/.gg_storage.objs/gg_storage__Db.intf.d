@@ -1,0 +1,1 @@
+lib/storage/db.mli: Schema Table

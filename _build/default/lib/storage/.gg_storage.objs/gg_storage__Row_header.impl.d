@@ -1,0 +1,1 @@
+lib/storage/row_header.ml: Csn Printf

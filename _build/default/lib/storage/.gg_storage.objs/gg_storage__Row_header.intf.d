@@ -1,0 +1,1 @@
+lib/storage/row_header.mli: Csn

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Csn Gg_util Hashtbl List Map Option Printf Row_header Schema Seq Stdlib Value

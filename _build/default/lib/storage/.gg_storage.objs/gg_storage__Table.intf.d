@@ -1,0 +1,1 @@
+lib/storage/table.mli: Gg_util Row_header Schema Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Array Bytes Format Gg_util Printf Stdlib

@@ -1,0 +1,17 @@
+(** Full-database checkpoints: canonical serialization and restore of an
+    entire replica state (schemas, rows, headers, tombstones).
+
+    This is the MOT-style durability substrate behind two features: the
+    state-snapshot transfer that re-joins a recovered replica, and
+    checkpoint+redo recovery (a checkpoint plus the write sets of later
+    epochs reproduces the exact pre-crash state, because epoch merges are
+    deterministic). *)
+
+val encode : Db.t -> bytes
+(** Deterministic: equal states produce equal bytes. *)
+
+val decode : bytes -> Db.t
+(** Raises [Invalid_argument] on corrupt input. *)
+
+val size : Db.t -> int
+(** Serialized size (state-transfer cost model). *)

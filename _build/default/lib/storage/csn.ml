@@ -1,0 +1,20 @@
+type t = { ts : int; node : int }
+
+let make ~ts ~node = { ts; node }
+let zero = { ts = 0; node = 0 }
+
+let compare a b =
+  let c = Stdlib.compare a.ts b.ts in
+  if c <> 0 then c else Stdlib.compare a.node b.node
+
+let equal a b = compare a b = 0
+let to_string t = Printf.sprintf "%d@%d" t.ts t.node
+
+let encode enc t =
+  Gg_util.Codec.Enc.varint enc t.ts;
+  Gg_util.Codec.Enc.varint enc t.node
+
+let decode dec =
+  let ts = Gg_util.Codec.Dec.varint dec in
+  let node = Gg_util.Codec.Dec.varint dec in
+  { ts; node }

@@ -1,0 +1,19 @@
+(** Commit sequence numbers.
+
+    A csn is the pair (local commit timestamp, server id) assigned at a
+    transaction's commit point. Because server ids are unique, csns are
+    globally unique, which is what gives the paper's merge rule (Lemma 2)
+    a strict total order within an epoch. *)
+
+type t = { ts : int; node : int }
+
+val make : ts:int -> node:int -> t
+val zero : t
+
+val compare : t -> t -> int
+(** Order by timestamp, then by node id. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val encode : Gg_util.Codec.Enc.t -> t -> unit
+val decode : Gg_util.Codec.Dec.t -> t

@@ -1,0 +1,61 @@
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let add_table t schema =
+  let name = schema.Schema.table_name in
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Db.add_table: table %s exists" name);
+  let table = Table.create schema in
+  Hashtbl.replace t.tables name table;
+  table
+
+let create_table t ~name ~columns ~key =
+  add_table t (Schema.create ~name ~columns ~key)
+
+let get_table t name = Hashtbl.find_opt t.tables name
+
+let get_table_exn t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> raise Not_found
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort Stdlib.compare
+
+let temp_clear_all t = Hashtbl.iter (fun _ table -> Table.temp_clear table) t.tables
+
+let purge_tombstones t ~before_cen =
+  Hashtbl.fold
+    (fun _ table acc -> acc + Table.purge_tombstones table ~before_cen)
+    t.tables 0
+
+let digest t =
+  let enc = Gg_util.Codec.Enc.create () in
+  List.iter
+    (fun name -> Table.digest_into (get_table_exn t name) enc)
+    (table_names t);
+  Digest.to_hex (Digest.bytes (Gg_util.Codec.Enc.to_bytes enc))
+
+let row_count t =
+  Hashtbl.fold (fun _ table acc -> acc + Table.live_count table) t.tables 0
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter
+    (fun name table -> Hashtbl.replace fresh.tables name (Table.copy table))
+    t.tables;
+  fresh
+
+let replace_contents t ~from =
+  Hashtbl.reset t.tables;
+  Hashtbl.iter
+    (fun name table -> Hashtbl.replace t.tables name (Table.copy table))
+    from.tables
+
+let estimated_bytes t =
+  (* Rough serialized size for state-transfer cost modeling. *)
+  let enc = Gg_util.Codec.Enc.create () in
+  List.iter (fun name -> Table.digest_into (get_table_exn t name) enc) (table_names t);
+  Gg_util.Codec.Enc.length enc

@@ -1,0 +1,42 @@
+(** A catalog of tables — one full replica's database state. *)
+
+type t
+
+val create : unit -> t
+
+val create_table :
+  t -> name:string -> columns:Schema.column list -> key:string list -> Table.t
+(** Raises [Invalid_argument] if the table exists. *)
+
+val add_table : t -> Schema.t -> Table.t
+(** Create a table from an existing schema. *)
+
+val get_table : t -> string -> Table.t option
+val get_table_exn : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_names : t -> string list
+(** Sorted. *)
+
+val temp_clear_all : t -> unit
+(** Drop every table's temporary insert entries (end of epoch). *)
+
+val purge_tombstones : t -> before_cen:int -> int
+(** GC tombstones older than the given epoch across all tables. *)
+
+val digest : t -> string
+(** Canonical MD5 digest of all table contents and headers. Two replicas
+    holding consistent snapshots produce equal digests. *)
+
+val row_count : t -> int
+(** Total live rows across tables. *)
+
+val copy : t -> t
+(** Deep copy of every table (state transfer to a recovering replica). *)
+
+val replace_contents : t -> from:t -> unit
+(** Replace this database's tables with deep copies of [from]'s (the
+    receiving side of state transfer). *)
+
+val estimated_bytes : t -> int
+(** Rough serialized size, used to model state-transfer time. *)

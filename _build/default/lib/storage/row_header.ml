@@ -1,0 +1,22 @@
+type t = {
+  mutable sen : int;
+  mutable csn : Csn.t;
+  mutable cen : int;
+  mutable deleted : bool;
+}
+
+(* cen = -1: a fresh row belongs to the initial snapshot, which precedes
+   epoch 0 — otherwise the pristine header would win first-write-wins
+   against every epoch-0 transaction. *)
+let create () = { sen = -1; csn = Csn.zero; cen = -1; deleted = false }
+
+let stamp t ~sen ~csn ~cen =
+  t.sen <- sen;
+  t.csn <- csn;
+  t.cen <- cen
+
+let copy t = { sen = t.sen; csn = t.csn; cen = t.cen; deleted = t.deleted }
+
+let to_string t =
+  Printf.sprintf "{sen=%d csn=%s cen=%d%s}" t.sen (Csn.to_string t.csn) t.cen
+    (if t.deleted then " deleted" else "")

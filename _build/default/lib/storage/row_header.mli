@@ -1,0 +1,25 @@
+(** Per-row metadata used by the multi-master OCC (paper §4.1).
+
+    A row header records the start epoch number [sen], commit sequence
+    number [csn] and commit epoch number [cen] of the last transaction to
+    pre-write the row, plus a tombstone flag. Pre-writes during
+    {!Gg_crdt} merge overwrite these fields; validation then compares a
+    transaction's own csn against the header's to detect write-write
+    conflict losses. *)
+
+type t = {
+  mutable sen : int;
+  mutable csn : Csn.t;
+  mutable cen : int;
+  mutable deleted : bool;
+}
+
+val create : unit -> t
+(** Fresh header: epoch -1 (the initial snapshot precedes epoch 0), zero
+    csn, live. *)
+
+val stamp : t -> sen:int -> csn:Csn.t -> cen:int -> unit
+(** Overwrite the pre-write fields (a winning merge). *)
+
+val copy : t -> t
+val to_string : t -> string

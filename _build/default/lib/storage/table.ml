@@ -1,0 +1,299 @@
+type entry = {
+  key : Value.t array;
+  key_str : string;
+  mutable data : Value.t array;
+  header : Row_header.t;
+}
+
+let compare_keys a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+module Key_map = Map.Make (struct
+  type t = Value.t array
+
+  let compare = compare_keys
+end)
+
+type sec_index = {
+  idx_cols : int array;
+  mutable idx_map : entry list Key_map.t;
+}
+
+type t = {
+  schema : Schema.t;
+  index : (string, entry) Hashtbl.t;
+  mutable ordered : entry Key_map.t;
+  temp : (string, entry) Hashtbl.t;
+  indexes : (string, sec_index) Hashtbl.t;
+  mutable live : int;
+}
+
+let create schema =
+  {
+    schema;
+    index = Hashtbl.create 1024;
+    ordered = Key_map.empty;
+    temp = Hashtbl.create 64;
+    indexes = Hashtbl.create 4;
+    live = 0;
+  }
+
+(* --- secondary index maintenance --- *)
+
+let project cols data = Array.map (fun i -> data.(i)) cols
+
+let idx_add idx entry =
+  let k = project idx.idx_cols entry.data in
+  let existing = Option.value ~default:[] (Key_map.find_opt k idx.idx_map) in
+  idx.idx_map <- Key_map.add k (entry :: existing) idx.idx_map
+
+let idx_remove idx ~data entry =
+  let k = project idx.idx_cols data in
+  match Key_map.find_opt k idx.idx_map with
+  | None -> ()
+  | Some entries -> (
+    match List.filter (fun e -> e != entry) entries with
+    | [] -> idx.idx_map <- Key_map.remove k idx.idx_map
+    | rest -> idx.idx_map <- Key_map.add k rest idx.idx_map)
+
+let indexes_add t entry = Hashtbl.iter (fun _ idx -> idx_add idx entry) t.indexes
+
+let indexes_remove t ~data entry =
+  Hashtbl.iter (fun _ idx -> idx_remove idx ~data entry) t.indexes
+
+let schema t = t.schema
+
+let load t row =
+  (match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Table.load: " ^ m));
+  let key = Schema.primary_key t.schema row in
+  let key_str = Value.encode_key key in
+  if Hashtbl.mem t.index key_str then invalid_arg "Table.load: duplicate key";
+  let entry = { key; key_str; data = row; header = Row_header.create () } in
+  Hashtbl.replace t.index key_str entry;
+  t.ordered <- Key_map.add key entry t.ordered;
+  indexes_add t entry;
+  t.live <- t.live + 1
+
+let find t key_str = Hashtbl.find_opt t.index key_str
+
+let find_live t key_str =
+  match Hashtbl.find_opt t.index key_str with
+  | Some e when not e.header.deleted -> Some e
+  | Some _ | None -> None
+
+let mem_live t key_str = find_live t key_str <> None
+
+let write t entry data =
+  let old = entry.data in
+  entry.data <- data;
+  if Hashtbl.length t.indexes > 0 then begin
+    indexes_remove t ~data:old entry;
+    indexes_add t entry
+  end
+
+let delete t entry =
+  if not entry.header.deleted then begin
+    entry.header.deleted <- true;
+    t.ordered <- Key_map.remove entry.key t.ordered;
+    indexes_remove t ~data:entry.data entry;
+    t.live <- t.live - 1
+  end
+
+let revive t entry data =
+  if entry.header.deleted then begin
+    entry.header.deleted <- false;
+    entry.data <- data;
+    t.ordered <- Key_map.add entry.key entry t.ordered;
+    indexes_add t entry;
+    t.live <- t.live + 1
+  end
+  else write t entry data
+
+let insert_committed t ~key ~data ~header =
+  let key_str = Value.encode_key key in
+  (match Hashtbl.find_opt t.index key_str with
+  | Some e when not e.header.deleted ->
+    invalid_arg "Table.insert_committed: live row exists"
+  | Some _ | None -> ());
+  let entry = { key; key_str; data; header } in
+  Hashtbl.replace t.index key_str entry;
+  t.ordered <- Key_map.add key entry t.ordered;
+  indexes_add t entry;
+  t.live <- t.live + 1
+
+let temp_find t key_str = Hashtbl.find_opt t.temp key_str
+
+let temp_add t ~key ~key_str =
+  match Hashtbl.find_opt t.temp key_str with
+  | Some e -> e
+  | None ->
+    let entry = { key; key_str; data = [||]; header = Row_header.create () } in
+    Hashtbl.replace t.temp key_str entry;
+    entry
+
+let temp_clear t = Hashtbl.reset t.temp
+
+let scan t ~f = Key_map.iter (fun _ e -> f e) t.ordered
+
+let iter_all t ~f = Hashtbl.iter (fun _ e -> f e) t.index
+
+let scan_range t ?lo ?hi f =
+  let seq =
+    match lo with
+    | None -> Key_map.to_seq t.ordered
+    | Some l -> Key_map.to_seq_from l t.ordered
+  in
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((key, e), rest) ->
+      let le_hi =
+        match hi with None -> true | Some h -> compare_keys key h <= 0
+      in
+      if le_hi then begin
+        f e;
+        go rest
+      end
+  in
+  go seq
+
+let has_prefix ~prefix key =
+  let lp = Array.length prefix in
+  Array.length key >= lp
+  &&
+  let rec go i = i >= lp || (Value.compare prefix.(i) key.(i) = 0 && go (i + 1)) in
+  go 0
+
+let scan_prefix t ~prefix f =
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((key, e), rest) ->
+      if has_prefix ~prefix key then begin
+        f e;
+        go rest
+      end
+  in
+  go (Key_map.to_seq_from prefix t.ordered)
+
+(* --- secondary index API --- *)
+
+let create_index t ~name ~cols =
+  if Hashtbl.mem t.indexes name then
+    invalid_arg (Printf.sprintf "Table.create_index: index %s exists" name);
+  let idx_cols =
+    Array.of_list
+      (List.map
+         (fun c ->
+           match Schema.col_index t.schema c with
+           | Some i -> i
+           | None ->
+             invalid_arg (Printf.sprintf "Table.create_index: unknown column %s" c))
+         cols)
+  in
+  if Array.length idx_cols = 0 then
+    invalid_arg "Table.create_index: no columns";
+  let idx = { idx_cols; idx_map = Key_map.empty } in
+  Key_map.iter (fun _ e -> idx_add idx e) t.ordered;
+  Hashtbl.replace t.indexes name idx
+
+let index_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.indexes []
+  |> List.sort Stdlib.compare
+
+let index_cols t ~name =
+  match Hashtbl.find_opt t.indexes name with
+  | Some idx -> Some idx.idx_cols
+  | None -> None
+
+let index_lookup t ~name ~key =
+  match Hashtbl.find_opt t.indexes name with
+  | None -> invalid_arg (Printf.sprintf "Table.index_lookup: no index %s" name)
+  | Some idx ->
+    Option.value ~default:[] (Key_map.find_opt key idx.idx_map)
+    |> List.filter (fun e -> not e.header.deleted)
+
+let find_index_covering t cols =
+  (* an index whose column set is exactly [cols] as a prefix-free match *)
+  Hashtbl.fold
+    (fun name idx acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if idx.idx_cols = cols then Some name else None)
+    t.indexes None
+
+let live_count t = t.live
+let total_count t = Hashtbl.length t.index
+
+let purge_tombstones t ~before_cen =
+  let victims =
+    Hashtbl.fold
+      (fun key_str e acc ->
+        if e.header.Row_header.deleted && e.header.Row_header.cen < before_cen
+        then key_str :: acc
+        else acc)
+      t.index []
+  in
+  List.iter (Hashtbl.remove t.index) victims;
+  List.length victims
+
+let copy t =
+  let fresh =
+    {
+      schema = t.schema;
+      index = Hashtbl.create (Hashtbl.length t.index);
+      ordered = Key_map.empty;
+      temp = Hashtbl.create 64;
+      indexes = Hashtbl.create 4;
+      live = t.live;
+    }
+  in
+  Hashtbl.iter
+    (fun key_str e ->
+      let e' =
+        {
+          key = e.key;
+          key_str;
+          data = Array.copy e.data;
+          header = Row_header.copy e.header;
+        }
+      in
+      Hashtbl.replace fresh.index key_str e';
+      if not e'.header.deleted then begin
+        fresh.ordered <- Key_map.add e'.key e' fresh.ordered;
+        indexes_add fresh e'
+      end)
+    t.index;
+  (* replicate the index definitions *)
+  Hashtbl.iter
+    (fun name idx ->
+      let fresh_idx = { idx_cols = idx.idx_cols; idx_map = Key_map.empty } in
+      Key_map.iter (fun _ e -> idx_add fresh_idx e) fresh.ordered;
+      Hashtbl.replace fresh.indexes name fresh_idx)
+    t.indexes;
+  fresh
+
+let digest_into t enc =
+  let module E = Gg_util.Codec.Enc in
+  E.string enc t.schema.Schema.table_name;
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.index []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.iter (fun (k, e) ->
+         E.string enc k;
+         E.bool enc e.header.Row_header.deleted;
+         E.zigzag enc e.header.Row_header.sen;
+         E.zigzag enc e.header.Row_header.cen;
+         Csn.encode enc e.header.Row_header.csn;
+         if not e.header.Row_header.deleted then
+           Array.iter (Value.encode enc) e.data)

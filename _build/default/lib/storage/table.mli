@@ -1,0 +1,116 @@
+(** In-memory row store with primary-key hash index, an ordered index for
+    range scans, and a per-epoch temporary table for insertion conflicts
+    (paper §4.2.1).
+
+    Every row carries a {!Row_header.t}. Deletions leave a tombstone in
+    the hash index (so concurrent writers observe "row deleted" and
+    abort, Algorithm 2 line 3–4) but drop the row from the ordered index
+    so scans skip it. *)
+
+type entry = {
+  key : Value.t array;
+  key_str : string;
+  mutable data : Value.t array;
+  header : Row_header.t;
+}
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+(** {1 Loading and direct access} *)
+
+val load : t -> Value.t array -> unit
+(** Bulk-load a full row (initial database population). Raises
+    [Invalid_argument] on schema violation or duplicate key. *)
+
+val find : t -> string -> entry option
+(** FindRow by encoded key; returns tombstones too (check
+    [header.deleted]). *)
+
+val find_live : t -> string -> entry option
+(** Like {!find} but [None] for tombstones. *)
+
+val mem_live : t -> string -> bool
+
+(** {1 Mutation (called by the OCC write-back path)} *)
+
+val write : t -> entry -> Value.t array -> unit
+(** Overwrite an entry's data in place. *)
+
+val delete : t -> entry -> unit
+(** Tombstone the entry and remove it from the ordered index. *)
+
+val revive : t -> entry -> Value.t array -> unit
+(** Un-tombstone (an insert over a deleted key) with fresh data. *)
+
+val insert_committed : t -> key:Value.t array -> data:Value.t array -> header:Row_header.t -> unit
+(** Install a freshly committed insert into the main indexes. Replaces
+    any tombstone. Raises [Invalid_argument] if a live row exists. *)
+
+(** {1 Temporary insert table} *)
+
+val temp_find : t -> string -> entry option
+val temp_add : t -> key:Value.t array -> key_str:string -> entry
+(** Create (or return the existing) temp entry for an in-flight insert. *)
+
+val temp_clear : t -> unit
+(** Drop all temp entries (end of epoch). *)
+
+(** {1 Scans} *)
+
+val scan : t -> f:(entry -> unit) -> unit
+(** All live rows in primary-key order. *)
+
+val iter_all : t -> f:(entry -> unit) -> unit
+(** Every entry including tombstones, in no particular order. *)
+
+val scan_range :
+  t -> ?lo:Value.t array -> ?hi:Value.t array -> (entry -> unit) -> unit
+(** Live rows with [lo <= key <= hi] in key order (missing bound =
+    unbounded). Seeks to [lo]. *)
+
+val scan_prefix : t -> prefix:Value.t array -> (entry -> unit) -> unit
+(** Live rows whose key starts with [prefix], in key order. *)
+
+(** {1 Secondary indexes}
+
+    Non-unique in-memory indexes over arbitrary column subsets,
+    maintained through every write/delete/revive. Only live rows are
+    indexed. *)
+
+val create_index : t -> name:string -> cols:string list -> unit
+(** Build an index over existing rows. Raises [Invalid_argument] on a
+    duplicate name or unknown column. *)
+
+val index_names : t -> string list
+val index_cols : t -> name:string -> int array option
+
+val index_lookup : t -> name:string -> key:Value.t array -> entry list
+(** Live entries whose indexed columns equal [key]. Raises
+    [Invalid_argument] on an unknown index. *)
+
+val find_index_covering : t -> int array -> string option
+(** An index whose column array is exactly the given one, if any. *)
+
+(** {1 Introspection} *)
+
+val live_count : t -> int
+val total_count : t -> int
+(** Including tombstones. *)
+
+val copy : t -> t
+(** Deep copy (rows, headers, tombstones; temp entries are not copied).
+    Used for state transfer to recovering replicas. *)
+
+val purge_tombstones : t -> before_cen:int -> int
+(** Garbage-collect tombstones whose deleting epoch precedes
+    [before_cen]; returns how many were removed. Safe once every
+    replica's snapshot has passed that epoch — a write referencing the
+    key after the purge behaves like a write to a never-existing row,
+    which the paper treats the same as a deleted one. *)
+
+val digest_into : t -> Gg_util.Codec.Enc.t -> unit
+(** Canonical serialization (keys ascending; data + header + tombstones)
+    used for replica-equality checks. *)

@@ -1,0 +1,76 @@
+type t = Null | Int of int | Float of float | Str of string
+
+let rank = function Null -> 0 | Int _ | Float _ -> 1 | Str _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | (Null | Int _ | Float _ | Str _), _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "NULL"
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "'%s'" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_name = function
+  | Null -> "null"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+
+let is_truthy = function
+  | Null -> false
+  | Int 0 -> false
+  | Float 0.0 -> false
+  | Int _ | Float _ -> true
+  | Str "" -> false
+  | Str _ -> true
+
+let encode enc v =
+  let module E = Gg_util.Codec.Enc in
+  match v with
+  | Null -> E.byte enc 0
+  | Int i ->
+    E.byte enc 1;
+    E.zigzag enc i
+  | Float f ->
+    E.byte enc 2;
+    E.float enc f
+  | Str s ->
+    E.byte enc 3;
+    E.string enc s
+
+let decode dec =
+  let module D = Gg_util.Codec.Dec in
+  match D.byte dec with
+  | 0 -> Null
+  | 1 -> Int (D.zigzag dec)
+  | 2 -> Float (D.float dec)
+  | 3 -> Str (D.string dec)
+  | n -> invalid_arg (Printf.sprintf "Value.decode: bad tag %d" n)
+
+let encode_row row =
+  let enc = Gg_util.Codec.Enc.create () in
+  Gg_util.Codec.Enc.varint enc (Array.length row);
+  Array.iter (encode enc) row;
+  Gg_util.Codec.Enc.to_bytes enc
+
+let decode_row bytes =
+  let dec = Gg_util.Codec.Dec.of_bytes bytes in
+  let n = Gg_util.Codec.Dec.varint dec in
+  Array.init n (fun _ -> decode dec)
+
+let encode_key key =
+  let enc = Gg_util.Codec.Enc.create () in
+  Array.iter (encode enc) key;
+  Bytes.to_string (Gg_util.Codec.Enc.to_bytes enc)

@@ -1,0 +1,17 @@
+type t = {
+  fsync_us : int;
+  throughput_mbps : int;
+  mutable records : int;
+  mutable bytes : int;
+}
+
+let create ?(fsync_us = 3_000) ?(throughput_mbps = 200) () =
+  { fsync_us; throughput_mbps; records = 0; bytes = 0 }
+
+let append t ~bytes =
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + bytes;
+  t.fsync_us + (bytes / t.throughput_mbps)
+
+let records t = t.records
+let bytes t = t.bytes

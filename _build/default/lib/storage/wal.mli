@@ -1,0 +1,18 @@
+(** Durability-log cost model.
+
+    The paper's Table 2 reports a per-transaction "Log" phase; this
+    module models a group-committed write-ahead log: appends are counted
+    and sized, and [append_latency] returns the simulated time the log
+    phase contributes to a transaction. *)
+
+type t
+
+val create : ?fsync_us:int -> ?throughput_mbps:int -> unit -> t
+(** Defaults: 3 ms fsync, 200 MB/s device. *)
+
+val append : t -> bytes:int -> int
+(** Record an append; returns its simulated latency in µs
+    ([fsync + bytes/throughput]). *)
+
+val records : t -> int
+val bytes : t -> int

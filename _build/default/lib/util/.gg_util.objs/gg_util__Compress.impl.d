@@ -1,0 +1,1 @@
+lib/util/compress.ml: Array Buffer Bytes Char Codec

@@ -1,0 +1,89 @@
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let length = Buffer.length
+  let to_bytes t = Buffer.to_bytes t
+  let byte t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let varint t v =
+    if v < 0 then invalid_arg "Codec.Enc.varint: negative";
+    let rec go v =
+      if v < 0x80 then byte t v
+      else begin
+        byte t (0x80 lor (v land 0x7F));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let zigzag t v =
+    (* Zigzag over the full 63-bit pattern; [u] may print as negative but
+       the [lsr]-based loop treats it as unsigned. *)
+    let u = (v lsl 1) lxor (v asr (Sys.int_size - 1)) in
+    let rec go u =
+      if u land lnot 0x7F = 0 then byte t u
+      else begin
+        byte t (0x80 lor (u land 0x7F));
+        go (u lsr 7)
+      end
+    in
+    go u
+
+  let float t f =
+    let bits = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      byte t (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+    done
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let bool t b = byte t (if b then 1 else 0)
+end
+
+module Dec = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes data = { data; pos = 0 }
+  let pos t = t.pos
+  let at_end t = t.pos >= Bytes.length t.data
+
+  let byte t =
+    if t.pos >= Bytes.length t.data then raise Truncated;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 63 then raise Truncated;
+      let b = byte t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let zigzag t =
+    let v = varint t in
+    (v lsr 1) lxor (-(v land 1))
+
+  let float t =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte t)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let string t =
+    let len = varint t in
+    if t.pos + len > Bytes.length t.data then raise Truncated;
+    let s = Bytes.sub_string t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let bool t = byte t <> 0
+end

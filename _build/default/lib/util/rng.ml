@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele et al.). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits: a 63-bit value would wrap negative in OCaml's int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 1) land max_int in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits mapped into [0, 1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let exponential t mean =
+  let u = Stdlib.max 1e-12 (1.0 -. float t 1.0) in
+  -.mean *. log u

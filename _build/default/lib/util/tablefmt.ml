@@ -1,0 +1,70 @@
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev_map (pad_to ncols) t.rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  measure t.headers;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = widths.(i) in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (w - String.length cell + 1) ' ');
+        Buffer.add_char buf '|')
+      row;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  sep ();
+  line t.headers;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let fmt_f ?(dec = 2) f = Printf.sprintf "%.*f" dec f
+
+let fmt_si f =
+  let a = Float.abs f in
+  if a >= 1e9 then Printf.sprintf "%.2fG" (f /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.2fM" (f /. 1e6)
+  else if a >= 1e3 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else Printf.sprintf "%.1f" f

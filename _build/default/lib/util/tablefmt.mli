@@ -1,0 +1,19 @@
+(** ASCII table rendering for experiment reports. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val render : t -> string
+(** Aligned, boxed table with the title above. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_f : ?dec:int -> float -> string
+(** Fixed-point float formatting, default 2 decimals. *)
+
+val fmt_si : float -> string
+(** Compact magnitude formatting: 12.3k, 4.56M, ... *)

@@ -1,0 +1,1 @@
+lib/workload/op.ml: Array Gg_storage String

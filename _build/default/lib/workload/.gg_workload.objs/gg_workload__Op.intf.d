@@ -1,0 +1,1 @@
+lib/workload/op.mli: Gg_storage

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Gg_storage Gg_util Hashtbl List Op Queue String

@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Gg_storage Op

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Char Gg_storage Gg_util List Op Printf String

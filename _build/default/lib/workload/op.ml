@@ -1,0 +1,61 @@
+module Value = Gg_storage.Value
+
+type op =
+  | Read of { table : string; key : Value.t array }
+  | Write of { table : string; key : Value.t array; data : Value.t array }
+  | Add of { table : string; key : Value.t array; col : int; delta : int }
+  | Insert of { table : string; key : Value.t array; data : Value.t array }
+  | Delete of { table : string; key : Value.t array }
+
+type txn = {
+  label : string;
+  ops : op array;
+  parse_cost_us : int;
+  exec_extra_us : int;
+}
+
+let make ?(label = "txn") ?(parse_cost_us = 0) ?(exec_extra_us = 0) ops =
+  { label; ops = Array.of_list ops; parse_cost_us; exec_extra_us }
+
+let is_write = function
+  | Read _ -> false
+  | Write _ | Add _ | Insert _ | Delete _ -> true
+
+let is_read_only t = not (Array.exists is_write t.ops)
+let n_ops t = Array.length t.ops
+let n_writes t = Array.fold_left (fun n o -> if is_write o then n + 1 else n) 0 t.ops
+
+let op_table = function
+  | Read { table; _ }
+  | Write { table; _ }
+  | Add { table; _ }
+  | Insert { table; _ }
+  | Delete { table; _ } -> table
+
+let op_key = function
+  | Read { key; _ }
+  | Write { key; _ }
+  | Add { key; _ }
+  | Insert { key; _ }
+  | Delete { key; _ } -> key
+
+let op_key_str o = Value.encode_key (op_key o)
+
+let value_size = function
+  | Value.Null -> 1
+  | Value.Int _ -> 5
+  | Value.Float _ -> 9
+  | Value.Str s -> 2 + String.length s
+
+let row_size row = Array.fold_left (fun n v -> n + value_size v) 0 row
+
+let write_data_size t =
+  Array.fold_left
+    (fun n o ->
+      match o with
+      | Read _ -> n
+      | Write { key; data; _ } | Insert { key; data; _ } ->
+        n + row_size key + row_size data
+      | Add { key; _ } -> n + row_size key + 16
+      | Delete { key; _ } -> n + row_size key)
+    0 t.ops

@@ -1,0 +1,53 @@
+(** Engine-agnostic transaction representation.
+
+    Benchmarks describe transactions as arrays of key-level operations so
+    the same workload can drive GeoGauss and every baseline engine
+    (Calvin, Aria, CRDB-like, Anna, …), none of which share a SQL
+    surface. The paper's cross-system comparison does exactly this —
+    Calvin/Aria only support stored-procedure style transactions. *)
+
+type op =
+  | Read of { table : string; key : Gg_storage.Value.t array }
+  | Write of {
+      table : string;
+      key : Gg_storage.Value.t array;
+      data : Gg_storage.Value.t array;
+    }  (** blind full-row overwrite *)
+  | Add of {
+      table : string;
+      key : Gg_storage.Value.t array;
+      col : int;
+      delta : int;
+    }  (** read-modify-write increment of one integer column *)
+  | Insert of {
+      table : string;
+      key : Gg_storage.Value.t array;
+      data : Gg_storage.Value.t array;
+    }
+  | Delete of { table : string; key : Gg_storage.Value.t array }
+
+type txn = {
+  label : string;  (** e.g. "ycsb", "new_order", "payment" *)
+  ops : op array;
+  parse_cost_us : int;
+      (** modeled SQL parse/plan cost for engines with a SQL front end *)
+  exec_extra_us : int;
+      (** injected artificial execution delay (long-transaction experiments) *)
+}
+
+val make :
+  ?label:string -> ?parse_cost_us:int -> ?exec_extra_us:int -> op list -> txn
+
+val is_read_only : txn -> bool
+val n_ops : txn -> int
+val n_writes : txn -> int
+
+val op_table : op -> string
+val op_key : op -> Gg_storage.Value.t array
+
+val op_key_str : op -> string
+(** Encoded key (index key). *)
+
+val write_data_size : txn -> int
+(** Approximate encoded byte size of the transaction's write payloads,
+    used by cost/traffic models. *)

@@ -1,0 +1,57 @@
+(** TPC-C workload (paper §7): 50% New-Order + 50% Payment mix, the
+    subset every compared engine can run (Calvin/Aria have no SQL engine,
+    so the paper restricts TPC-C to these two transaction types; we do
+    the same for the cross-system benches).
+
+    The schema and scale knobs follow TPC-C but default to a scaled-down
+    population (the paper's 800 warehouses × 100k items would need tens
+    of GB per replica); EXPERIMENTS.md documents the scaling. *)
+
+type config = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  new_order_pct : float;  (** remainder is Payment *)
+  remote_warehouse_pct : float;  (** TPC-C's 1% remote stock accesses *)
+  parse_cost_us : int;  (** per-transaction SQL front-end cost (Table 2) *)
+}
+
+val default : config
+(** 64 warehouses, 10 districts, 100 customers/district, 1000 items,
+    50/50 mix. *)
+
+val small : config
+(** Tiny population for tests. *)
+
+val schemas : Gg_storage.Schema.t list
+
+val load : config -> Gg_storage.Db.t -> unit
+(** Create and populate all tables with realistic payload sizes. *)
+
+type t
+
+val create : ?full_mix:bool -> config -> seed:int -> node:int -> t
+(** [node] namespaces generated order ids so concurrent generators never
+    collide on inserts. [full_mix] switches {!next_txn} to the standard
+    five-transaction TPC-C mix (45/43/4/4/4) instead of the paper's
+    cross-system 50/50 New-Order/Payment subset. *)
+
+val config : t -> config
+
+val next_txn : t -> Op.txn
+(** Draw a transaction per the configured mix. *)
+
+val new_order : t -> Op.txn
+val payment : t -> Op.txn
+
+val order_status : t -> Op.txn
+(** Read-only: customer + her latest known order + its lines. *)
+
+val delivery : t -> Op.txn
+(** Stamp a carrier on the oldest undelivered order per district and
+    credit the customers. Falls back to {!payment} when this generator
+    has no undelivered orders yet. *)
+
+val stock_level : t -> Op.txn
+(** Read-only: district plus a stock sample. *)

@@ -1,0 +1,51 @@
+(** YCSB transactional workload generator (paper §7, "Workloads").
+
+    One table of [records] rows with [fields] payload columns. Each
+    transaction wraps [ops_per_txn] operations; keys are drawn from a
+    Zipfian distribution with skew [theta]. The three paper variants:
+
+    - YCSB-RO: 100% reads, uniform ([theta = 0]).
+    - YCSB-MC: 80% reads / 20% writes, [theta = 0.8] (~60% of accesses on
+      10% of tuples).
+    - YCSB-HC: 50% reads / 50% writes, [theta = 0.9] (~75% on 10%). *)
+
+type profile = {
+  name : string;
+  records : int;
+  fields : int;
+  field_len : int;  (** bytes per payload field carried in write sets *)
+  ops_per_txn : int;
+  read_pct : float;
+  theta : float;
+  parse_cost_us : int;
+  long_frac : float;  (** fraction of transactions made "long" *)
+  long_delay_us : int;  (** extra execution delay of long transactions *)
+}
+
+val table_name : string
+
+val read_only : profile
+val medium_contention : profile
+val high_contention : profile
+
+val with_theta : profile -> float -> profile
+val with_records : profile -> int -> profile
+val with_long_txns : profile -> frac:float -> delay_us:int -> profile
+
+val schema : Gg_storage.Schema.t
+
+val load : profile -> Gg_storage.Db.t -> unit
+(** Create and populate the YCSB table. Rows are stored with compact
+    placeholder payloads; generated write sets carry full-size field
+    data so traffic accounting stays realistic. *)
+
+type t
+(** Sampler state (deterministic from the seed). *)
+
+val create : profile -> seed:int -> t
+val profile : t -> profile
+
+val next_txn : t -> Op.txn
+(** Generate the next transaction. *)
+
+val key_of : int -> Gg_storage.Value.t array

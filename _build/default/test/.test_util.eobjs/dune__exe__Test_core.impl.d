@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Client Cluster Fun Geogauss Gg_crdt Gg_sim Gg_storage Gg_util Gg_workload List Node Op_exec Option Params Printf QCheck QCheck_alcotest Txn

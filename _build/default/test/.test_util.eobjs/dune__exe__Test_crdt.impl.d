@@ -1,0 +1,1 @@
+test/test_crdt.ml: Alcotest Array Bytes Gg_crdt Gg_storage Gg_util Gset Hashtbl Lattice List Lww Lww_map Merge Meta Printf QCheck QCheck_alcotest Writeset

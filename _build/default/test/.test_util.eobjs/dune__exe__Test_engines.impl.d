@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Anna Aria Array Calvin Crdb Engine Gg_engines Gg_sim Gg_storage Gg_util Gg_workload Hashtbl List Printf Slog String

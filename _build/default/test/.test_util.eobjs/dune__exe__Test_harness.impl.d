@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Gg_engines Gg_harness Gg_sim Gg_workload List Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Backup Client Cluster Geogauss Gg_sim Gg_storage Gg_util Gg_workload List Node Option Params Printf QCheck QCheck_alcotest String Txn

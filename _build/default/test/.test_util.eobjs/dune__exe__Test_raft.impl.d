@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Gg_raft Gg_sim Gg_util Hashtbl List Option Printf

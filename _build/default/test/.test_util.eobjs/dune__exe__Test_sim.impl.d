@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Event_queue Gg_sim Gg_util List Net Option Sim Topology

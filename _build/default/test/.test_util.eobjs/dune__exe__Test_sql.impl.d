@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Db Executor Gg_crdt Gg_sql Gg_storage Lexer List Option Parser Plan Result Schema String Table Value

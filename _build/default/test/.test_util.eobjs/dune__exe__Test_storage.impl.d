@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Checkpoint Csn Db Gg_storage Gg_util List Option Printf QCheck QCheck_alcotest Result Row_header Schema Table Value Wal

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Codec Compress Gg_util List Printf QCheck QCheck_alcotest Rng Stats String Tablefmt Zipf

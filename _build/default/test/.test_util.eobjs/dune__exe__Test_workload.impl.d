@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Gg_storage Gg_workload Hashtbl List Op Printf String Tpcc Ycsb

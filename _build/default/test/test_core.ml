@@ -1,0 +1,782 @@
+(* End-to-end tests of the GeoGauss core: epoch-based multi-master OCC
+   over the simulated geo-distributed cluster. These validate the
+   paper's Theorem 3 (replica consistency at epoch granularity), the
+   isolation levels, the execution variants, CRDT robustness to
+   duplication/reordering, and failure handling. *)
+
+open Geogauss
+module Value = Gg_storage.Value
+module Topology = Gg_sim.Topology
+module Op = Gg_workload.Op
+
+let kv_load n db =
+  let table =
+    Gg_storage.Db.create_table db ~name:"kv"
+      ~columns:
+        [
+          { Gg_storage.Schema.name = "k"; ty = Gg_storage.Schema.TInt };
+          { name = "v"; ty = TInt };
+          { name = "pad"; ty = TStr };
+        ]
+      ~key:[ "k" ]
+  in
+  for i = 0 to n - 1 do
+    Gg_storage.Table.load table [| Value.Int i; Value.Int 0; Value.Str "x" |]
+  done
+
+let make_cluster ?params ?(n_rows = 200) ?(topo = Topology.china3 ()) ?dup
+    ?reorder () =
+  Cluster.create ?params ?dup ?reorder ~topology:topo ~load:(kv_load n_rows) ()
+
+let write_txn ?(sen_pad = 0) k v =
+  ignore sen_pad;
+  Txn.Op_txn
+    (Op.make ~label:"w"
+       [ Op.Write { table = "kv"; key = [| Value.Int k |]; data = [| Value.Int k; Value.Int v; Value.Str "x" |] } ])
+
+let read_txn k =
+  Txn.Op_txn (Op.make ~label:"r" [ Op.Read { table = "kv"; key = [| Value.Int k |] } ])
+
+let add_txn k delta =
+  Txn.Op_txn
+    (Op.make ~label:"add" [ Op.Add { table = "kv"; key = [| Value.Int k |]; col = 1; delta } ])
+
+let run_ms c ms = Cluster.run_for_ms c ms
+
+let submit_wait c ~node req =
+  let result = ref None in
+  Cluster.submit c ~node req (fun o -> result := Some o);
+  result
+
+let check_converged ?(msg = "replicas converged") c =
+  Cluster.quiesce c;
+  match Cluster.digests c with
+  | [] -> Alcotest.fail "no nodes"
+  | d :: rest -> List.iter (fun d' -> Alcotest.(check string) msg d d') rest
+
+(* --- op-level executor unit tests --- *)
+
+let fresh_db () =
+  let db = Gg_storage.Db.create () in
+  kv_load 10 db;
+  db
+
+let test_op_exec_read_records_version () =
+  let db = fresh_db () in
+  let t = Op.make [ Op.Read { table = "kv"; key = [| Value.Int 3 |] } ] in
+  match Op_exec.exec db t with
+  | Ok { Op_exec.reads; writes } ->
+    Alcotest.(check int) "one read" 1 (List.length reads);
+    Alcotest.(check int) "no writes" 0 (List.length writes)
+  | Error m -> Alcotest.failf "unexpected: %s" m
+
+let test_op_exec_add_reads_then_writes () =
+  let db = fresh_db () in
+  let t = Op.make [ Op.Add { table = "kv"; key = [| Value.Int 3 |]; col = 1; delta = 5 } ] in
+  match Op_exec.exec db t with
+  | Ok { Op_exec.reads; writes } ->
+    Alcotest.(check int) "read recorded" 1 (List.length reads);
+    (match writes with
+    | [ { Gg_crdt.Writeset.op = Gg_crdt.Writeset.Update; data; _ } ] ->
+      Alcotest.(check bool) "incremented" true (Value.equal data.(1) (Value.Int 5))
+    | _ -> Alcotest.fail "expected one update")
+  | Error m -> Alcotest.failf "unexpected: %s" m
+
+let test_op_exec_rmw_chains_within_txn () =
+  (* Two Adds to the same row see each other (read-your-writes) and
+     coalesce to one record. *)
+  let db = fresh_db () in
+  let t =
+    Op.make
+      [
+        Op.Add { table = "kv"; key = [| Value.Int 4 |]; col = 1; delta = 3 };
+        Op.Add { table = "kv"; key = [| Value.Int 4 |]; col = 1; delta = 4 };
+      ]
+  in
+  match Op_exec.exec db t with
+  | Ok { Op_exec.writes = [ { Gg_crdt.Writeset.data; _ } ]; _ } ->
+    Alcotest.(check bool) "chained to 7" true (Value.equal data.(1) (Value.Int 7))
+  | Ok _ -> Alcotest.fail "expected one coalesced record"
+  | Error m -> Alcotest.failf "unexpected: %s" m
+
+let test_op_exec_insert_then_delete_cancels () =
+  let db = fresh_db () in
+  let t =
+    Op.make
+      [
+        Op.Insert { table = "kv"; key = [| Value.Int 99 |]; data = [| Value.Int 99; Value.Int 1; Value.Str "n" |] };
+        Op.Delete { table = "kv"; key = [| Value.Int 99 |] };
+      ]
+  in
+  match Op_exec.exec db t with
+  | Ok { Op_exec.writes; _ } -> Alcotest.(check int) "no net writes" 0 (List.length writes)
+  | Error m -> Alcotest.failf "unexpected: %s" m
+
+let test_op_exec_errors () =
+  let db = fresh_db () in
+  let check_err label t =
+    match Op_exec.exec db t with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should fail" label
+  in
+  check_err "add missing row"
+    (Op.make [ Op.Add { table = "kv"; key = [| Value.Int 999 |]; col = 1; delta = 1 } ]);
+  check_err "delete missing row"
+    (Op.make [ Op.Delete { table = "kv"; key = [| Value.Int 999 |] } ]);
+  check_err "duplicate insert"
+    (Op.make [ Op.Insert { table = "kv"; key = [| Value.Int 1 |]; data = [| Value.Int 1; Value.Int 0; Value.Str "d" |] } ]);
+  check_err "unknown table"
+    (Op.make [ Op.Read { table = "zz"; key = [| Value.Int 1 |] } ]);
+  check_err "add non-integer column"
+    (Op.make [ Op.Add { table = "kv"; key = [| Value.Int 1 |]; col = 2; delta = 1 } ])
+
+let test_op_exec_read_missing_is_noop () =
+  let db = fresh_db () in
+  let t = Op.make [ Op.Read { table = "kv"; key = [| Value.Int 999 |] } ] in
+  match Op_exec.exec db t with
+  | Ok { Op_exec.reads; writes } ->
+    Alcotest.(check int) "no read recorded" 0 (List.length reads);
+    Alcotest.(check int) "no writes" 0 (List.length writes)
+  | Error m -> Alcotest.failf "unexpected: %s" m
+
+let prop_op_exec_unique_keys =
+  (* Whatever the op sequence, the produced write set holds at most one
+     record per (table, key) — the invariant the merge relies on. *)
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (int_range 1 12)
+        (map2
+           (fun kind k ->
+             let key = [| Value.Int (k mod 12) |] in
+             let data = [| Value.Int (k mod 12); Value.Int k; Value.Str "q" |] in
+             match kind mod 5 with
+             | 0 -> Op.Read { table = "kv"; key }
+             | 1 -> Op.Write { table = "kv"; key; data }
+             | 2 -> Op.Add { table = "kv"; key; col = 1; delta = 1 }
+             | 3 -> Op.Insert { table = "kv"; key = [| Value.Int (100 + (k mod 7)) |]; data = [| Value.Int (100 + (k mod 7)); Value.Int 0; Value.Str "i" |] }
+             | _ -> Op.Delete { table = "kv"; key })
+           (int_range 0 99) (int_range 0 999)))
+  in
+  QCheck.Test.make ~name:"op_exec write sets have unique keys" ~count:300
+    (QCheck.make gen_ops) (fun ops ->
+      let db = Gg_storage.Db.create () in
+      kv_load 12 db;
+      match Op_exec.exec db (Op.make ops) with
+      | Error _ -> true (* rejected op sequences are fine *)
+      | Ok { Op_exec.writes; _ } ->
+        let keys = List.map (fun r -> (r.Gg_crdt.Writeset.table, Gg_crdt.Writeset.key_str r)) writes in
+        List.length keys = List.length (List.sort_uniq compare keys))
+
+(* --- basic commit flow --- *)
+
+let test_single_write_commits () =
+  let c = make_cluster () in
+  let r = submit_wait c ~node:0 (write_txn 1 42) in
+  run_ms c 500;
+  (match !r with
+  | Some (Txn.Committed _) -> ()
+  | Some (Txn.Aborted { reason; _ }) ->
+    Alcotest.failf "aborted: %s" (Txn.abort_reason_to_string reason)
+  | None -> Alcotest.fail "no response");
+  check_converged c;
+  (* The write is visible on every replica. *)
+  List.init 3 Fun.id
+  |> List.iter (fun i ->
+         let db = Node.db (Cluster.node c i) in
+         let t = Gg_storage.Db.get_table_exn db "kv" in
+         match Gg_storage.Table.find_live t (Value.encode_key [| Value.Int 1 |]) with
+         | Some e -> Alcotest.(check bool) "value" true (Value.equal e.Gg_storage.Table.data.(1) (Value.Int 42))
+         | None -> Alcotest.fail "row missing")
+
+let test_write_latency_spans_wan () =
+  (* A write cannot be confirmed before the remote epoch updates arrive:
+     latency >= one-way WAN delay (~30 ms with 10 ms epochs). *)
+  let c = make_cluster () in
+  let r = submit_wait c ~node:0 (write_txn 1 1) in
+  run_ms c 1_000;
+  match !r with
+  | Some (Txn.Committed { latency_us; _ }) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "latency %d us >= 30 ms" latency_us)
+      true (latency_us >= 30_000)
+  | _ -> Alcotest.fail "expected commit"
+
+let test_read_only_fast_path () =
+  (* Read-only transactions return from the local snapshot without epoch
+     coordination: latency well under the WAN delay. *)
+  let c = make_cluster () in
+  run_ms c 100;
+  let r = submit_wait c ~node:0 (read_txn 5) in
+  run_ms c 100;
+  match !r with
+  | Some (Txn.Committed { latency_us; _ }) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "latency %d us < 10 ms" latency_us)
+      true (latency_us < 10_000)
+  | _ -> Alcotest.fail "expected commit"
+
+let test_empty_epochs_progress () =
+  (* With no transactions at all, empty EOF messages keep snapshots
+     advancing (§4.2.3 case 1). *)
+  let c = make_cluster () in
+  run_ms c 500;
+  List.iter
+    (fun l -> Alcotest.(check bool) (Printf.sprintf "lsn %d advanced" l) true (l > 10))
+    (Cluster.lsns c)
+
+(* --- write-write conflicts (the heart of multi-master OCC) --- *)
+
+let test_cross_node_conflict_single_winner () =
+  let c = make_cluster () in
+  run_ms c 50;
+  (* Two nodes write the same key in the same epoch. *)
+  let r0 = submit_wait c ~node:0 (write_txn 7 100) in
+  let r1 = submit_wait c ~node:1 (write_txn 7 200) in
+  run_ms c 1_000;
+  let committed, aborted =
+    List.fold_left
+      (fun (c, a) r ->
+        match !r with
+        | Some (Txn.Committed _) -> (c + 1, a)
+        | Some (Txn.Aborted { reason = Txn.Write_conflict; _ }) -> (c, a + 1)
+        | Some (Txn.Aborted { reason; _ }) ->
+          Alcotest.failf "unexpected reason %s" (Txn.abort_reason_to_string reason)
+        | None -> Alcotest.fail "no response")
+      (0, 0) [ r0; r1 ]
+  in
+  Alcotest.(check int) "one winner" 1 committed;
+  Alcotest.(check int) "one loser" 1 aborted;
+  check_converged c
+
+let test_conflict_deterministic_value () =
+  (* All replicas must agree on the winning value. *)
+  let c = make_cluster () in
+  run_ms c 50;
+  ignore (submit_wait c ~node:0 (write_txn 9 111));
+  ignore (submit_wait c ~node:1 (write_txn 9 222));
+  ignore (submit_wait c ~node:2 (write_txn 9 333));
+  run_ms c 1_000;
+  check_converged c;
+  let values =
+    List.init 3 (fun i ->
+        let db = Node.db (Cluster.node c i) in
+        let t = Gg_storage.Db.get_table_exn db "kv" in
+        let e = Option.get (Gg_storage.Table.find_live t (Value.encode_key [| Value.Int 9 |])) in
+        e.Gg_storage.Table.data.(1))
+  in
+  match values with
+  | [ a; b; c' ] ->
+    Alcotest.(check bool) "same winner everywhere" true
+      (Value.equal a b && Value.equal b c');
+    Alcotest.(check bool) "winner is one of the writes" true
+      (List.exists (Value.equal a) [ Value.Int 111; Value.Int 222; Value.Int 333 ])
+  | _ -> Alcotest.fail "bad"
+
+let test_disjoint_writes_all_commit () =
+  let c = make_cluster () in
+  run_ms c 50;
+  let rs =
+    List.init 3 (fun i -> submit_wait c ~node:i (write_txn (50 + i) i))
+  in
+  run_ms c 1_000;
+  List.iter
+    (fun r ->
+      match !r with
+      | Some (Txn.Committed _) -> ()
+      | _ -> Alcotest.fail "disjoint writes must all commit")
+    rs;
+  check_converged c
+
+(* --- sustained mixed workload: Theorem 3 at scale --- *)
+
+let mixed_workload_clients ?(connections = 8) ?(n_rows = 200) c seed =
+  List.init (Cluster.n_nodes c) (fun i ->
+      let rng = Gg_util.Rng.create (seed + i) in
+      let gen () =
+        let k = Gg_util.Rng.int rng n_rows in
+        match Gg_util.Rng.int rng 4 with
+        | 0 -> read_txn k
+        | 1 -> write_txn k (Gg_util.Rng.int rng 1000)
+        | 2 -> add_txn k 1
+        | _ ->
+          Txn.Op_txn
+            (Op.make ~label:"multi"
+               [
+                 Op.Read { table = "kv"; key = [| Value.Int k |] };
+                 Op.Add { table = "kv"; key = [| Value.Int ((k + 1) mod n_rows) |]; col = 1; delta = 2 };
+                 Op.Write
+                   {
+                     table = "kv";
+                     key = [| Value.Int ((k + 2) mod n_rows) |];
+                     data = [| Value.Int ((k + 2) mod n_rows); Value.Int k; Value.Str "m" |];
+                   };
+               ])
+      in
+      let cl = Client.create c ~home:i ~connections ~gen in
+      Client.start cl;
+      cl)
+
+let test_sustained_workload_converges () =
+  let c = make_cluster () in
+  let clients = mixed_workload_clients c 1000 in
+  run_ms c 3_000;
+  List.iter Client.stop clients;
+  check_converged c;
+  let committed = List.fold_left (fun a cl -> a + Client.committed cl) 0 clients in
+  Alcotest.(check bool)
+    (Printf.sprintf "committed %d > 100" committed)
+    true (committed > 100)
+
+let test_convergence_under_duplication_and_reorder () =
+  (* The CRDT merge must absorb duplicated and reordered batches. *)
+  let c = make_cluster ~dup:0.2 ~reorder:0.2 () in
+  let clients = mixed_workload_clients c 2000 in
+  run_ms c 3_000;
+  List.iter Client.stop clients;
+  check_converged ~msg:"converged despite dup+reorder" c
+
+let test_sequential_consistency_of_snapshots () =
+  (* lsns advance together and digests agree after quiesce at several
+     points in time. *)
+  let c = make_cluster () in
+  let clients = mixed_workload_clients c 3000 in
+  run_ms c 1_000;
+  List.iter Client.stop clients;
+  check_converged c;
+  List.iter Client.start clients;
+  run_ms c 1_000;
+  List.iter Client.stop clients;
+  check_converged c
+
+(* --- inserts and deletes --- *)
+
+let test_concurrent_insert_conflict () =
+  let c = make_cluster () in
+  run_ms c 50;
+  let ins node v =
+    Txn.Op_txn
+      (Op.make ~label:"ins"
+         [
+           Op.Insert
+             {
+               table = "kv";
+               key = [| Value.Int 9999 |];
+               data = [| Value.Int 9999; Value.Int v; Value.Str "i" |];
+             };
+         ])
+    |> fun req -> submit_wait c ~node req
+  in
+  let r0 = ins 0 100 and r1 = ins 1 200 in
+  run_ms c 1_000;
+  let committed =
+    List.length
+      (List.filter (fun r -> match !r with Some (Txn.Committed _) -> true | _ -> false) [ r0; r1 ])
+  in
+  Alcotest.(check int) "exactly one insert wins" 1 committed;
+  check_converged c
+
+let test_delete_then_update_aborts () =
+  let c = make_cluster () in
+  run_ms c 50;
+  let del =
+    submit_wait c ~node:0
+      (Txn.Op_txn (Op.make ~label:"del" [ Op.Delete { table = "kv"; key = [| Value.Int 3 |] } ]))
+  in
+  run_ms c 1_000;
+  (match !del with
+  | Some (Txn.Committed _) -> ()
+  | _ -> Alcotest.fail "delete should commit");
+  (* Later update of the deleted row aborts with Row_deleted (merge rule
+     line 3-4) or fails execution. *)
+  let up = submit_wait c ~node:1 (add_txn 3 1) in
+  run_ms c 1_000;
+  (match !up with
+  | Some (Txn.Aborted _) -> ()
+  | Some (Txn.Committed _) -> Alcotest.fail "update of deleted row must abort"
+  | None -> Alcotest.fail "no response");
+  check_converged c
+
+let test_insert_then_visible_everywhere () =
+  let c = make_cluster () in
+  run_ms c 50;
+  let r =
+    submit_wait c ~node:2
+      (Txn.Op_txn
+         (Op.make ~label:"ins"
+            [
+              Op.Insert
+                {
+                  table = "kv";
+                  key = [| Value.Int 5000 |];
+                  data = [| Value.Int 5000; Value.Int 77; Value.Str "n" |];
+                };
+            ]))
+  in
+  run_ms c 1_000;
+  (match !r with Some (Txn.Committed _) -> () | _ -> Alcotest.fail "insert commit");
+  check_converged c;
+  List.init 3 Fun.id
+  |> List.iter (fun i ->
+         let db = Node.db (Cluster.node c i) in
+         let t = Gg_storage.Db.get_table_exn db "kv" in
+         Alcotest.(check bool) "visible" true
+           (Gg_storage.Table.mem_live t (Value.encode_key [| Value.Int 5000 |])))
+
+(* --- isolation levels --- *)
+
+let long_add k delta delay_us =
+  Txn.Op_txn
+    (Op.make ~label:"long" ~exec_extra_us:delay_us
+       [ Op.Add { table = "kv"; key = [| Value.Int k |]; col = 1; delta } ])
+
+let test_rr_aborts_on_changed_read () =
+  let params = Params.with_isolation Params.default Params.RR in
+  let c = make_cluster ~params () in
+  run_ms c 50;
+  (* A long transaction reads key 11 then sleeps 80 ms; meanwhile another
+     node updates key 11 — RR read validation must abort the long one. *)
+  let lr = submit_wait c ~node:0 (long_add 11 1 80_000) in
+  run_ms c 5;
+  ignore (submit_wait c ~node:1 (write_txn 11 500));
+  run_ms c 2_000;
+  (match !lr with
+  | Some (Txn.Aborted { reason = Txn.Read_validation; _ }) -> ()
+  | Some (Txn.Aborted { reason; _ }) ->
+    Alcotest.failf "wrong reason %s" (Txn.abort_reason_to_string reason)
+  | Some (Txn.Committed _) -> Alcotest.fail "RR must abort stale read"
+  | None -> Alcotest.fail "no response");
+  check_converged c
+
+let test_rc_allows_changed_read () =
+  let c = make_cluster () (* RC default *) in
+  run_ms c 50;
+  let lr = submit_wait c ~node:0 (long_add 11 1 80_000) in
+  run_ms c 5;
+  ignore (submit_wait c ~node:1 (write_txn 11 500));
+  run_ms c 2_000;
+  (match !lr with
+  | Some (Txn.Committed _) | Some (Txn.Aborted { reason = Txn.Write_conflict; _ }) -> ()
+  | Some (Txn.Aborted { reason; _ }) ->
+    Alcotest.failf "RC should not read-abort (%s)" (Txn.abort_reason_to_string reason)
+  | None -> Alcotest.fail "no response");
+  check_converged c
+
+let test_si_aborts_on_new_snapshot_of_read_row () =
+  let params = Params.with_isolation Params.default Params.SI in
+  let c = make_cluster ~params () in
+  run_ms c 50;
+  let lr = submit_wait c ~node:0 (long_add 13 1 100_000) in
+  run_ms c 5;
+  ignore (submit_wait c ~node:1 (write_txn 13 7));
+  run_ms c 2_000;
+  (match !lr with
+  | Some (Txn.Aborted { reason = Txn.Read_validation; _ }) -> ()
+  | Some (Txn.Committed _) -> Alcotest.fail "SI must abort on refreshed snapshot"
+  | Some (Txn.Aborted { reason; _ }) ->
+    Alcotest.failf "wrong reason %s" (Txn.abort_reason_to_string reason)
+  | None -> Alcotest.fail "no response");
+  check_converged c
+
+let test_ssi_aborts_pivot () =
+  (* SSI extension: T reads x and writes y; U reads y and writes x, in
+     the same epoch from different nodes. Both have an incoming and an
+     outgoing rw-antidependency — at least one must abort with
+     Ssi_conflict (plain SI would commit both). *)
+  let params = Params.with_isolation Params.default Params.SSI in
+  let c = make_cluster ~params () in
+  run_ms c 50;
+  let t_req =
+    Txn.Op_txn
+      (Op.make ~label:"T"
+         [
+           Op.Read { table = "kv"; key = [| Value.Int 1 |] };
+           Op.Write { table = "kv"; key = [| Value.Int 2 |]; data = [| Value.Int 2; Value.Int 10; Value.Str "T" |] };
+         ])
+  in
+  let u_req =
+    Txn.Op_txn
+      (Op.make ~label:"U"
+         [
+           Op.Read { table = "kv"; key = [| Value.Int 2 |] };
+           Op.Write { table = "kv"; key = [| Value.Int 1 |]; data = [| Value.Int 1; Value.Int 20; Value.Str "U" |] };
+         ])
+  in
+  let rt = submit_wait c ~node:0 t_req in
+  let ru = submit_wait c ~node:1 u_req in
+  run_ms c 1_000;
+  let ssi_aborts =
+    List.length
+      (List.filter
+         (fun r ->
+           match !r with
+           | Some (Txn.Aborted { reason = Txn.Ssi_conflict; _ }) -> true
+           | _ -> false)
+         [ rt; ru ])
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d pivot abort(s)" ssi_aborts)
+    true (ssi_aborts >= 1);
+  check_converged c
+
+let test_ssi_disjoint_txns_commit () =
+  let params = Params.with_isolation Params.default Params.SSI in
+  let c = make_cluster ~params () in
+  run_ms c 50;
+  let r0 = submit_wait c ~node:0 (write_txn 30 1) in
+  let r1 = submit_wait c ~node:1 (write_txn 31 2) in
+  run_ms c 1_000;
+  List.iter
+    (fun r ->
+      match !r with
+      | Some (Txn.Committed _) -> ()
+      | _ -> Alcotest.fail "disjoint txns commit under SSI")
+    [ r0; r1 ];
+  check_converged c
+
+let test_ssi_ships_read_keys () =
+  (* Read keys inflate the WAN traffic — the cost §4.3 cites. *)
+  let run iso =
+    let params = Params.with_isolation Params.default iso in
+    let c = make_cluster ~params () in
+    let clients = mixed_workload_clients ~connections:6 c 12_000 in
+    run_ms c 2_000;
+    List.iter Client.stop clients;
+    Gg_sim.Net.wan_bytes (Cluster.net c)
+  in
+  let si = run Params.SI and ssi = run Params.SSI in
+  Alcotest.(check bool)
+    (Printf.sprintf "SSI wan %d > SI wan %d" ssi si)
+    true (ssi > si)
+
+let test_isolation_abort_rates_ordered () =
+  (* Higher isolation => more aborts on a contended workload (Fig 9). *)
+  let run iso =
+    let params = Params.with_isolation Params.default iso in
+    let c = make_cluster ~params ~n_rows:20 () in
+    let clients =
+      List.init 3 (fun i ->
+          let rng = Gg_util.Rng.create (7_000 + i) in
+          let gen () =
+            let k = Gg_util.Rng.int rng 20 in
+            long_add k 1 (5_000 + Gg_util.Rng.int rng 10_000)
+          in
+          let cl = Client.create c ~home:i ~connections:8 ~gen in
+          Client.start cl;
+          cl)
+    in
+    run_ms c 3_000;
+    List.iter Client.stop clients;
+    Cluster.quiesce c;
+    let committed = List.fold_left (fun a cl -> a + Client.committed cl) 0 clients in
+    let aborted = List.fold_left (fun a cl -> a + Client.aborted cl) 0 clients in
+    float_of_int aborted /. float_of_int (max 1 (committed + aborted))
+  in
+  let rc = run Params.RC and rr = run Params.RR in
+  Alcotest.(check bool)
+    (Printf.sprintf "abort rate RC %.3f <= RR %.3f" rc rr)
+    true (rc <= rr +. 0.01)
+
+(* --- variants --- *)
+
+let test_geog_s_commits_and_converges () =
+  let params = Params.with_variant Params.default Params.Sync_exec in
+  let c = make_cluster ~params () in
+  let clients = mixed_workload_clients ~connections:4 c 4000 in
+  run_ms c 3_000;
+  List.iter Client.stop clients;
+  check_converged c;
+  let committed = List.fold_left (fun a cl -> a + Client.committed cl) 0 clients in
+  Alcotest.(check bool) (Printf.sprintf "GeoG-S committed %d > 0" committed) true (committed > 0)
+
+let test_geog_s_slower_than_geogauss () =
+  let run variant =
+    let params = Params.with_variant Params.default variant in
+    let c = make_cluster ~params () in
+    let clients = mixed_workload_clients ~connections:8 c 5000 in
+    run_ms c 3_000;
+    List.iter Client.stop clients;
+    List.fold_left (fun a cl -> a + Client.committed cl) 0 clients
+  in
+  let opt = run Params.Optimistic and sync = run Params.Sync_exec in
+  Alcotest.(check bool)
+    (Printf.sprintf "GeoGauss %d > GeoG-S %d" opt sync)
+    true
+    (opt > sync)
+
+let test_geog_a_low_latency_and_convergence () =
+  let params = Params.with_variant Params.default Params.Async_merge in
+  let c = make_cluster ~params () in
+  run_ms c 50;
+  let r = submit_wait c ~node:0 (write_txn 2 5) in
+  run_ms c 500;
+  (match !r with
+  | Some (Txn.Committed { latency_us; _ }) ->
+    (* No epoch wait: well under the WAN one-way delay. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "GeoG-A latency %d < 20 ms" latency_us)
+      true (latency_us < 20_000)
+  | _ -> Alcotest.fail "GeoG-A commit");
+  (* Eventual convergence without epochs. *)
+  let clients = mixed_workload_clients ~connections:4 c 6000 in
+  run_ms c 2_000;
+  List.iter Client.stop clients;
+  Cluster.run_for_ms c 1_000;
+  match Cluster.digests c with
+  | d :: rest -> List.iter (fun d' -> Alcotest.(check string) "eventual convergence" d d') rest
+  | [] -> Alcotest.fail "no nodes"
+
+let test_geog_a_never_aborts () =
+  let params = Params.with_variant Params.default Params.Async_merge in
+  let c = make_cluster ~params ~n_rows:10 () in
+  let clients = mixed_workload_clients ~connections:8 ~n_rows:10 c 6500 in
+  run_ms c 2_000;
+  List.iter Client.stop clients;
+  let aborted = List.fold_left (fun a cl -> a + Client.aborted cl) 0 clients in
+  Alcotest.(check int) "no aborts under eventual consistency" 0 aborted
+
+(* --- fault tolerance modes --- *)
+
+let test_ft_raft_converges () =
+  let params = Params.with_ft Params.default Params.Ft_raft in
+  let c = make_cluster ~params () in
+  let clients = mixed_workload_clients ~connections:4 c 7000 in
+  run_ms c 3_000;
+  List.iter Client.stop clients;
+  check_converged c;
+  let committed = List.fold_left (fun a cl -> a + Client.committed cl) 0 clients in
+  Alcotest.(check bool) "raft-ft commits" true (committed > 0)
+
+let test_ft_latency_ordering () =
+  (* LB < RB <= Raft in mean commit latency (Fig 12). *)
+  let run ft =
+    let params = Params.with_ft Params.default ft in
+    let c = make_cluster ~params () in
+    let clients = mixed_workload_clients ~connections:4 c 8000 in
+    run_ms c 3_000;
+    List.iter Client.stop clients;
+    let h =
+      List.fold_left
+        (fun acc cl -> Gg_util.Stats.Hist.merge acc (Client.latency cl))
+        (Gg_util.Stats.Hist.create ()) clients
+    in
+    Gg_util.Stats.Hist.mean h
+  in
+  let lb = run Params.Ft_local_backup in
+  let rb = run Params.Ft_remote_backup in
+  let raft = run Params.Ft_raft in
+  Alcotest.(check bool)
+    (Printf.sprintf "LB %.0f <= RB %.0f" lb rb)
+    true (lb <= rb +. 1_000.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "RB %.0f <= Raft %.0f" rb raft)
+    true (rb <= raft +. 2_000.0)
+
+(* --- failures --- *)
+
+let test_node_crash_blocks_then_view_change_unblocks () =
+  let c = make_cluster () in
+  let clients = mixed_workload_clients ~connections:4 c 9000 in
+  run_ms c 1_000;
+  Cluster.crash c 2;
+  (* Within ~500 ms + raft commit the survivors drop node 2 and resume. *)
+  run_ms c 3_000;
+  let lsn0 = Node.lsn (Cluster.node c 0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "survivors advanced past crash (lsn %d > 150)" lsn0)
+    true (lsn0 > 150);
+  Alcotest.(check (list int)) "view excludes crashed node" [ 0; 1 ] (Cluster.members c);
+  List.iter Client.stop clients;
+  Cluster.quiesce c;
+  let d0 = Gg_storage.Db.digest (Node.db (Cluster.node c 0)) in
+  let d1 = Gg_storage.Db.digest (Node.db (Cluster.node c 1)) in
+  Alcotest.(check string) "survivors consistent" d0 d1
+
+let test_client_rerouted_after_crash () =
+  let c = make_cluster () in
+  run_ms c 200;
+  Cluster.crash c 1;
+  run_ms c 1_500;
+  let target = Cluster.route c ~preferred:1 in
+  Alcotest.(check bool) "routed away from crashed node" true (target <> 1)
+
+let test_node_recovery_rejoins () =
+  let c = make_cluster () in
+  let clients = mixed_workload_clients ~connections:4 c 9500 in
+  run_ms c 1_000;
+  Cluster.crash c 2;
+  run_ms c 2_000;
+  Alcotest.(check (list int)) "removed" [ 0; 1 ] (Cluster.members c);
+  Cluster.recover c 2;
+  run_ms c 3_000;
+  Alcotest.(check (list int)) "re-added" [ 0; 1; 2 ] (Cluster.members c);
+  run_ms c 2_000;
+  List.iter Client.stop clients;
+  check_converged ~msg:"recovered node caught up" c
+
+let () =
+  Alcotest.run "geogauss_core"
+    [
+      ( "op_exec",
+        [
+          Alcotest.test_case "read records version" `Quick test_op_exec_read_records_version;
+          Alcotest.test_case "add reads then writes" `Quick test_op_exec_add_reads_then_writes;
+          Alcotest.test_case "rmw chains in txn" `Quick test_op_exec_rmw_chains_within_txn;
+          Alcotest.test_case "insert+delete cancels" `Quick test_op_exec_insert_then_delete_cancels;
+          Alcotest.test_case "errors" `Quick test_op_exec_errors;
+          Alcotest.test_case "read missing is noop" `Quick test_op_exec_read_missing_is_noop;
+          QCheck_alcotest.to_alcotest prop_op_exec_unique_keys;
+        ] );
+      ( "basic",
+        [
+          Alcotest.test_case "single write commits everywhere" `Quick test_single_write_commits;
+          Alcotest.test_case "write latency spans WAN" `Quick test_write_latency_spans_wan;
+          Alcotest.test_case "read-only fast path" `Quick test_read_only_fast_path;
+          Alcotest.test_case "empty epochs progress" `Quick test_empty_epochs_progress;
+        ] );
+      ( "conflicts",
+        [
+          Alcotest.test_case "cross-node conflict: single winner" `Quick test_cross_node_conflict_single_winner;
+          Alcotest.test_case "deterministic winner" `Quick test_conflict_deterministic_value;
+          Alcotest.test_case "disjoint writes all commit" `Quick test_disjoint_writes_all_commit;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "sustained workload converges" `Slow test_sustained_workload_converges;
+          Alcotest.test_case "dup+reorder robustness" `Slow test_convergence_under_duplication_and_reorder;
+          Alcotest.test_case "snapshots sequentially consistent" `Slow test_sequential_consistency_of_snapshots;
+        ] );
+      ( "insert/delete",
+        [
+          Alcotest.test_case "concurrent insert conflict" `Quick test_concurrent_insert_conflict;
+          Alcotest.test_case "update after delete aborts" `Quick test_delete_then_update_aborts;
+          Alcotest.test_case "insert visible everywhere" `Quick test_insert_then_visible_everywhere;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "RR aborts changed read" `Quick test_rr_aborts_on_changed_read;
+          Alcotest.test_case "RC tolerates changed read" `Quick test_rc_allows_changed_read;
+          Alcotest.test_case "SI aborts refreshed snapshot" `Quick test_si_aborts_on_new_snapshot_of_read_row;
+          Alcotest.test_case "abort rates ordered by isolation" `Slow test_isolation_abort_rates_ordered;
+          Alcotest.test_case "SSI aborts pivot" `Quick test_ssi_aborts_pivot;
+          Alcotest.test_case "SSI disjoint commits" `Quick test_ssi_disjoint_txns_commit;
+          Alcotest.test_case "SSI ships read keys" `Slow test_ssi_ships_read_keys;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "GeoG-S commits and converges" `Slow test_geog_s_commits_and_converges;
+          Alcotest.test_case "GeoG-S slower than GeoGauss" `Slow test_geog_s_slower_than_geogauss;
+          Alcotest.test_case "GeoG-A low latency + convergence" `Slow test_geog_a_low_latency_and_convergence;
+          Alcotest.test_case "GeoG-A never aborts" `Slow test_geog_a_never_aborts;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "raft-ft converges" `Slow test_ft_raft_converges;
+          Alcotest.test_case "ft latency ordering" `Slow test_ft_latency_ordering;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "crash then view change" `Slow test_node_crash_blocks_then_view_change_unblocks;
+          Alcotest.test_case "client rerouted" `Quick test_client_rerouted_after_crash;
+          Alcotest.test_case "recovery rejoins" `Slow test_node_recovery_rejoins;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+(* Tests for the CRDT layer: the Algorithm 2 merge rule and its ACI
+   properties (the heart of the paper's correctness argument, Lemma 2),
+   write-set serialization, and the Anna lattices. *)
+
+open Gg_crdt
+module Csn = Gg_storage.Csn
+module Row_header = Gg_storage.Row_header
+module Value = Gg_storage.Value
+
+let meta ~sen ~cen ~ts ~node = Meta.make ~sen ~cen ~csn:(Csn.make ~ts ~node)
+
+(* --- Meta ordering (Lemma 2) --- *)
+
+let test_meta_shorter_wins () =
+  let a = meta ~sen:3 ~cen:5 ~ts:10 ~node:0 in
+  let b = meta ~sen:2 ~cen:5 ~ts:1 ~node:1 in
+  (* a has larger sen: it started later, so it is shorter and wins. *)
+  Alcotest.(check bool) "larger sen wins" true (Meta.wins_over a b);
+  Alcotest.(check bool) "antisymmetric" false (Meta.wins_over b a)
+
+let test_meta_first_write_wins () =
+  let a = meta ~sen:4 ~cen:5 ~ts:10 ~node:0 in
+  let b = meta ~sen:4 ~cen:5 ~ts:11 ~node:1 in
+  Alcotest.(check bool) "smaller csn wins" true (Meta.wins_over a b);
+  Alcotest.(check bool) "antisymmetric" false (Meta.wins_over b a)
+
+let test_meta_node_tiebreak () =
+  let a = meta ~sen:4 ~cen:5 ~ts:10 ~node:0 in
+  let b = meta ~sen:4 ~cen:5 ~ts:10 ~node:1 in
+  Alcotest.(check bool) "node id breaks ties" true (Meta.wins_over a b)
+
+let test_meta_cross_epoch_rejected () =
+  let a = meta ~sen:1 ~cen:5 ~ts:1 ~node:0 in
+  let b = meta ~sen:1 ~cen:6 ~ts:2 ~node:1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Meta.wins_over a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_meta_strict_total_order () =
+  (* Any two distinct metas of an epoch are strictly ordered. *)
+  let metas =
+    List.concat_map
+      (fun sen ->
+        List.concat_map
+          (fun ts -> List.map (fun node -> meta ~sen ~cen:9 ~ts ~node) [ 0; 1; 2 ])
+          [ 1; 2 ])
+      [ 7; 8; 9 ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Meta.equal a b) then
+            Alcotest.(check bool)
+              (Printf.sprintf "total: %s vs %s" (Meta.to_string a) (Meta.to_string b))
+              true
+              (Meta.wins_over a b <> Meta.wins_over b a))
+        metas)
+    metas
+
+(* --- Merge rule (Algorithm 2) --- *)
+
+let fresh_header () = Row_header.create ()
+
+let test_merge_empty_epoch_wins () =
+  let h = fresh_header () in
+  let m = meta ~sen:3 ~cen:4 ~ts:10 ~node:1 in
+  (match Merge.merge_header h ~meta:m with
+  | Merge.Win -> ()
+  | _ -> Alcotest.fail "first pre-write must win");
+  Alcotest.(check int) "sen stamped" 3 h.Row_header.sen;
+  Alcotest.(check int) "cen stamped" 4 h.Row_header.cen;
+  Alcotest.(check bool) "csn stamped" true (Csn.equal h.Row_header.csn (Csn.make ~ts:10 ~node:1))
+
+let test_merge_shorter_txn_wins () =
+  let h = fresh_header () in
+  let long_txn = meta ~sen:1 ~cen:5 ~ts:3 ~node:0 in
+  let short_txn = meta ~sen:5 ~cen:5 ~ts:9 ~node:1 in
+  ignore (Merge.merge_header h ~meta:long_txn);
+  (match Merge.merge_header h ~meta:short_txn with
+  | Merge.Win -> ()
+  | _ -> Alcotest.fail "shorter transaction must win");
+  (* And the loser, replayed, stays a loser. *)
+  match Merge.merge_header h ~meta:long_txn with
+  | Merge.Lose -> ()
+  | _ -> Alcotest.fail "longer transaction must lose"
+
+let test_merge_first_write_wins_same_sen () =
+  let h = fresh_header () in
+  let first = meta ~sen:5 ~cen:5 ~ts:5 ~node:0 in
+  let second = meta ~sen:5 ~cen:5 ~ts:8 ~node:1 in
+  ignore (Merge.merge_header h ~meta:second);
+  (match Merge.merge_header h ~meta:first with
+  | Merge.Win -> ()
+  | _ -> Alcotest.fail "earlier csn must win");
+  match Merge.merge_header h ~meta:second with
+  | Merge.Lose -> ()
+  | _ -> Alcotest.fail "later csn must lose"
+
+let test_merge_idempotent_same_txn () =
+  let h = fresh_header () in
+  let m = meta ~sen:5 ~cen:5 ~ts:5 ~node:0 in
+  ignore (Merge.merge_header h ~meta:m);
+  match Merge.merge_header h ~meta:m with
+  | Merge.Already -> ()
+  | Merge.Win -> Alcotest.fail "should be Already, not Win"
+  | Merge.Lose -> Alcotest.fail "retransmission must not abort its own txn"
+
+let test_merge_cross_epoch_precondition () =
+  let h = fresh_header () in
+  ignore (Merge.merge_header h ~meta:(meta ~sen:5 ~cen:5 ~ts:5 ~node:0));
+  Alcotest.(check bool) "row.cen > T.cen rejected" true
+    (try
+       ignore (Merge.merge_header h ~meta:(meta ~sen:4 ~cen:4 ~ts:4 ~node:1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_merge_next_epoch_overwrites () =
+  let h = fresh_header () in
+  ignore (Merge.merge_header h ~meta:(meta ~sen:5 ~cen:5 ~ts:5 ~node:0));
+  match Merge.merge_header h ~meta:(meta ~sen:2 ~cen:6 ~ts:6 ~node:1) with
+  | Merge.Win -> Alcotest.(check int) "cen advanced" 6 h.Row_header.cen
+  | _ -> Alcotest.fail "new epoch always overwrites"
+
+(* Property: the final header state after merging any permutation (with
+   duplicates) of an epoch's updates equals the Lemma 2 winner. *)
+
+let gen_metas =
+  QCheck.Gen.(
+    let cen = 10 in
+    list_size (int_range 1 8)
+      (map3
+         (fun sen ts node -> meta ~sen:(1 + sen) ~cen ~ts:(1 + ts) ~node)
+         (int_range 0 9) (int_range 0 99) (int_range 0 4)))
+
+(* csns must be globally unique: dedup by csn. *)
+let dedup_by_csn metas =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (m : Meta.t) ->
+      let k = (m.csn.Csn.ts, m.csn.Csn.node) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    metas
+
+let lemma2_winner metas =
+  List.fold_left
+    (fun best m ->
+      match best with
+      | None -> Some m
+      | Some b -> if Meta.wins_over m b then Some m else Some b)
+    None metas
+
+let apply_all metas =
+  let h = fresh_header () in
+  List.iter (fun m -> ignore (Merge.merge_header h ~meta:m)) metas;
+  h
+
+let prop_merge_order_independent =
+  QCheck.Test.make ~name:"merge is order independent (commutative)" ~count:500
+    (QCheck.make gen_metas) (fun metas ->
+      let metas = dedup_by_csn metas in
+      QCheck.assume (metas <> []);
+      let shuffled =
+        let a = Array.of_list metas in
+        let rng = Gg_util.Rng.create (List.length metas) in
+        Gg_util.Rng.shuffle rng a;
+        Array.to_list a
+      in
+      let h1 = apply_all metas and h2 = apply_all shuffled in
+      Csn.equal h1.Row_header.csn h2.Row_header.csn
+      && h1.Row_header.sen = h2.Row_header.sen)
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"merge is idempotent (duplicates harmless)" ~count:500
+    (QCheck.make gen_metas) (fun metas ->
+      let metas = dedup_by_csn metas in
+      QCheck.assume (metas <> []);
+      let h1 = apply_all metas in
+      let h2 = apply_all (metas @ metas @ List.rev metas) in
+      Csn.equal h1.Row_header.csn h2.Row_header.csn)
+
+let prop_merge_matches_lemma2 =
+  QCheck.Test.make ~name:"merge winner matches Lemma 2 total order" ~count:500
+    (QCheck.make gen_metas) (fun metas ->
+      let metas = dedup_by_csn metas in
+      QCheck.assume (metas <> []);
+      let h = apply_all metas in
+      match lemma2_winner metas with
+      | None -> false
+      | Some w -> Csn.equal h.Row_header.csn w.Meta.csn)
+
+let prop_merge_associative_partial =
+  (* Associativity: merging updates in two chunks equals merging all at
+     once (partial merges allowed). *)
+  QCheck.Test.make ~name:"merge is associative (partial batches)" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_metas gen_metas))
+    (fun (ma, mb) ->
+      let all = dedup_by_csn (ma @ mb) in
+      QCheck.assume (all <> []);
+      let h1 = apply_all all in
+      let h2 = fresh_header () in
+      let n = List.length all / 2 in
+      let chunk1 = List.filteri (fun i _ -> i < n) all in
+      let chunk2 = List.filteri (fun i _ -> i >= n) all in
+      List.iter (fun m -> ignore (Merge.merge_header h2 ~meta:m)) chunk1;
+      List.iter (fun m -> ignore (Merge.merge_header h2 ~meta:m)) chunk2;
+      Csn.equal h1.Row_header.csn h2.Row_header.csn)
+
+(* --- Writeset serialization --- *)
+
+let sample_ws () =
+  let records =
+    [
+      {
+        Writeset.table = "accounts";
+        key = [| Value.Int 7 |];
+        op = Writeset.Update;
+        data = [| Value.Int 7; Value.Str "bob"; Value.Int 250 |];
+      };
+      {
+        Writeset.table = "orders";
+        key = [| Value.Int 1; Value.Int 2 |];
+        op = Writeset.Insert;
+        data = [| Value.Int 1; Value.Int 2; Value.Str "widget" |];
+      };
+      {
+        Writeset.table = "orders";
+        key = [| Value.Int 9; Value.Int 9 |];
+        op = Writeset.Delete;
+        data = [||];
+      };
+    ]
+  in
+  Writeset.make ~meta:(meta ~sen:3 ~cen:4 ~ts:100 ~node:2) ~records ()
+
+let test_writeset_roundtrip () =
+  let ws = sample_ws () in
+  let enc = Gg_util.Codec.Enc.create () in
+  Writeset.encode enc ws;
+  let dec = Gg_util.Codec.Dec.of_bytes (Gg_util.Codec.Enc.to_bytes enc) in
+  let ws' = Writeset.decode dec in
+  Alcotest.(check bool) "meta" true (Meta.equal ws.Writeset.meta ws'.Writeset.meta);
+  Alcotest.(check int) "records" 3 (List.length ws'.Writeset.records);
+  List.iter2
+    (fun (a : Writeset.record) (b : Writeset.record) ->
+      Alcotest.(check string) "table" a.table b.table;
+      Alcotest.(check bool) "op" true (a.op = b.op);
+      Alcotest.(check string) "key" (Writeset.key_str a) (Writeset.key_str b);
+      Alcotest.(check int) "data arity" (Array.length a.data) (Array.length b.data))
+    ws.Writeset.records ws'.Writeset.records
+
+let test_batch_wire_roundtrip () =
+  let batch =
+    Writeset.Batch.make ~node:1 ~cen:4 ~txns:[ sample_ws (); sample_ws () ]
+      ~eof:true ()
+  in
+  let wire = Writeset.Batch.to_wire batch in
+  let batch' = Writeset.Batch.of_wire wire in
+  Alcotest.(check int) "node" 1 batch'.Writeset.Batch.node;
+  Alcotest.(check int) "cen" 4 batch'.Writeset.Batch.cen;
+  Alcotest.(check bool) "eof" true batch'.Writeset.Batch.eof;
+  Alcotest.(check int) "txns" 2 (List.length batch'.Writeset.Batch.txns)
+
+let test_batch_empty_message () =
+  (* The empty-epoch EOF message of §4.2.3. *)
+  let batch = Writeset.Batch.make ~node:2 ~cen:9 ~txns:[] ~eof:true () in
+  let batch' = Writeset.Batch.of_wire (Writeset.Batch.to_wire batch) in
+  Alcotest.(check int) "no txns" 0 (List.length batch'.Writeset.Batch.txns);
+  Alcotest.(check bool) "small on wire" true (Writeset.Batch.wire_size batch < 64)
+
+let test_batch_compression_effective () =
+  (* Many similar rows should compress well below the raw encoding. *)
+  let records =
+    List.init 200 (fun i ->
+        {
+          Writeset.table = "ycsb_main";
+          key = [| Value.Int i |];
+          op = Writeset.Update;
+          data = Array.init 10 (fun c -> Value.Str (Printf.sprintf "field%d" c));
+        })
+  in
+  let ws = Writeset.make ~meta:(meta ~sen:1 ~cen:1 ~ts:1 ~node:0) ~records () in
+  let raw = Writeset.encoded_size ws in
+  let batch = Writeset.Batch.make ~node:0 ~cen:1 ~txns:[ ws ] ~eof:true () in
+  let wire = Writeset.Batch.wire_size batch in
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed %d < raw %d / 3" wire raw)
+    true
+    (wire < raw / 3)
+
+let test_batch_corrupt_rejected () =
+  Alcotest.(check bool) "corrupt" true
+    (try
+       ignore (Writeset.Batch.of_wire (Bytes.of_string "nonsense"));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Lattices --- *)
+
+let test_lww_merge () =
+  let open Lattice in
+  let a = Lww.make ~ts:5 ~node:0 ~value:"a" in
+  let b = Lww.make ~ts:7 ~node:1 ~value:"b" in
+  Alcotest.(check bool) "later wins" true (Lww.equal (Lww.merge a b) b);
+  Alcotest.(check bool) "commutative" true (Lww.equal (Lww.merge a b) (Lww.merge b a));
+  let c = Lww.make ~ts:5 ~node:1 ~value:"c" in
+  Alcotest.(check bool) "node tiebreak" true (Lww.equal (Lww.merge a c) c)
+
+let test_lww_map_merge () =
+  let open Lattice in
+  let m1 = Lww_map.set Lww_map.empty ~key:"x" (Lww.make ~ts:1 ~node:0 ~value:"1") in
+  let m1 = Lww_map.set m1 ~key:"y" (Lww.make ~ts:2 ~node:0 ~value:"2") in
+  let m2 = Lww_map.set Lww_map.empty ~key:"x" (Lww.make ~ts:3 ~node:1 ~value:"3") in
+  let m = Lww_map.merge m1 m2 in
+  Alcotest.(check int) "two keys" 2 (Lww_map.cardinal m);
+  (match Lww_map.get m ~key:"x" with
+  | Some v -> Alcotest.(check string) "newest x" "3" v.Lattice.Lww.value
+  | None -> Alcotest.fail "x missing");
+  Alcotest.(check bool) "commutative" true
+    (Lww_map.equal m (Lww_map.merge m2 m1))
+
+let test_lww_map_delta () =
+  let open Lattice in
+  let m = Lww_map.set Lww_map.empty ~key:"old" (Lww.make ~ts:1 ~node:0 ~value:"o") in
+  let m = Lww_map.set m ~key:"new" (Lww.make ~ts:10 ~node:0 ~value:"n") in
+  let d = Lww_map.delta m ~since:5 in
+  Alcotest.(check int) "delta has only new" 1 (Lww_map.cardinal d)
+
+let test_gset () =
+  let open Lattice in
+  let a = Gset.add "x" (Gset.singleton "y") in
+  let b = Gset.singleton "z" in
+  let m = Gset.merge a b in
+  Alcotest.(check int) "union" 3 (Gset.cardinal m);
+  Alcotest.(check bool) "mem" true (Gset.mem "x" m)
+
+let prop_lww_aci =
+  (* (ts, node) must uniquely identify a write for LWW to be a lattice,
+     so derive the value from the stamp. *)
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun ts node ->
+          Lattice.Lww.make ~ts ~node ~value:(Printf.sprintf "%d-%d" ts node))
+        (int_range 0 100) (int_range 0 5))
+  in
+  QCheck.Test.make ~name:"lww merge is ACI" ~count:500
+    (QCheck.make QCheck.Gen.(triple gen gen gen))
+    (fun (a, b, c) ->
+      let open Lattice.Lww in
+      equal (merge a b) (merge b a)
+      && equal (merge (merge a b) c) (merge a (merge b c))
+      && equal (merge a a) a)
+
+let () =
+  Alcotest.run "gg_crdt"
+    [
+      ( "meta",
+        [
+          Alcotest.test_case "shorter wins" `Quick test_meta_shorter_wins;
+          Alcotest.test_case "first write wins" `Quick test_meta_first_write_wins;
+          Alcotest.test_case "node tiebreak" `Quick test_meta_node_tiebreak;
+          Alcotest.test_case "cross-epoch rejected" `Quick test_meta_cross_epoch_rejected;
+          Alcotest.test_case "strict total order" `Quick test_meta_strict_total_order;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "fresh row wins" `Quick test_merge_empty_epoch_wins;
+          Alcotest.test_case "shorter txn wins" `Quick test_merge_shorter_txn_wins;
+          Alcotest.test_case "first write wins" `Quick test_merge_first_write_wins_same_sen;
+          Alcotest.test_case "idempotent retransmit" `Quick test_merge_idempotent_same_txn;
+          Alcotest.test_case "epoch precondition" `Quick test_merge_cross_epoch_precondition;
+          Alcotest.test_case "next epoch overwrites" `Quick test_merge_next_epoch_overwrites;
+          QCheck_alcotest.to_alcotest prop_merge_order_independent;
+          QCheck_alcotest.to_alcotest prop_merge_idempotent;
+          QCheck_alcotest.to_alcotest prop_merge_matches_lemma2;
+          QCheck_alcotest.to_alcotest prop_merge_associative_partial;
+        ] );
+      ( "writeset",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_writeset_roundtrip;
+          Alcotest.test_case "batch wire roundtrip" `Quick test_batch_wire_roundtrip;
+          Alcotest.test_case "empty epoch message" `Quick test_batch_empty_message;
+          Alcotest.test_case "compression effective" `Quick test_batch_compression_effective;
+          Alcotest.test_case "corrupt rejected" `Quick test_batch_corrupt_rejected;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "lww merge" `Quick test_lww_merge;
+          Alcotest.test_case "lww map merge" `Quick test_lww_map_merge;
+          Alcotest.test_case "lww map delta" `Quick test_lww_map_delta;
+          Alcotest.test_case "gset" `Quick test_gset;
+          QCheck_alcotest.to_alcotest prop_lww_aci;
+        ] );
+    ]

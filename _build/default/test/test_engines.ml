@@ -1,0 +1,314 @@
+(* Tests for the baseline engine models: protocol-level behaviours that
+   drive the paper's comparative results. *)
+
+module Sim = Gg_sim.Sim
+module Net = Gg_sim.Net
+module Topology = Gg_sim.Topology
+module Op = Gg_workload.Op
+module Value = Gg_storage.Value
+open Gg_engines
+
+let make_net ?(topo = Topology.china3 ()) () =
+  let sim = Sim.create () in
+  let net = Net.create sim ~rng:(Gg_util.Rng.create 5) ~topology:topo ~jitter_frac:0.0 () in
+  (sim, net)
+
+let read_txn k = Op.make ~label:"r" [ Op.Read { table = "t"; key = [| Value.Int k |] } ]
+
+let write_txn k =
+  Op.make ~label:"w"
+    [ Op.Write { table = "t"; key = [| Value.Int k |]; data = [| Value.Int k |] } ]
+
+let long_write_txn k delay =
+  Op.make ~label:"lw" ~exec_extra_us:delay
+    [ Op.Write { table = "t"; key = [| Value.Int k |]; data = [| Value.Int k |] } ]
+
+let cfg = Engine.default_config
+
+let submit_collect (type a) (module E : Engine.S with type t = a) (e : a) ~node txn =
+  let r = ref None in
+  E.submit e ~node txn (fun o -> r := Some o);
+  r
+
+(* --- input encoding --- *)
+
+let test_input_bytes_scale () =
+  let small = Engine.input_wire_bytes [ read_txn 1 ] in
+  let big = Engine.input_wire_bytes (List.init 50 (fun i -> write_txn i)) in
+  Alcotest.(check bool) "more txns, more bytes" true (big > small);
+  Alcotest.(check bool) "read input is tiny" true (small < 100)
+
+let test_input_bytes_add_smaller_than_write () =
+  (* TPC-C style Adds ship deltas, not row images. *)
+  let add =
+    Op.make [ Op.Add { table = "t"; key = [| Value.Int 1 |]; col = 2; delta = 5 } ]
+  in
+  let write =
+    Op.make
+      [
+        Op.Write
+          {
+            table = "t";
+            key = [| Value.Int 1 |];
+            data = Array.init 10 (fun _ -> Value.Str (String.make 50 'q'));
+          };
+      ]
+  in
+  Alcotest.(check bool) "add input smaller" true
+    (Engine.input_wire_bytes [ add ] < Engine.input_wire_bytes [ write ])
+
+(* --- Calvin --- *)
+
+let test_calvin_commits_after_round () =
+  let sim, net = make_net () in
+  let e = Calvin.create net cfg in
+  let r = submit_collect (module Calvin) e ~node:0 (write_txn 1) in
+  Sim.run_until sim (Sim.sec 2);
+  match !r with
+  | Some { Engine.committed = true; latency_us } ->
+    (* batch close + one-way WAN + execution *)
+    Alcotest.(check bool)
+      (Printf.sprintf "latency %d >= one-way 30ms" latency_us)
+      true (latency_us >= 30_000)
+  | _ -> Alcotest.fail "calvin must commit"
+
+let test_calvin_never_aborts () =
+  let sim, net = make_net () in
+  let e = Calvin.create net cfg in
+  let results = List.init 50 (fun i -> submit_collect (module Calvin) e ~node:(i mod 3) (write_txn (i mod 5))) in
+  Sim.run_until sim (Sim.sec 3);
+  List.iter
+    (fun r ->
+      match !r with
+      | Some { Engine.committed = true; _ } -> ()
+      | _ -> Alcotest.fail "ordered locks never abort")
+    results
+
+let test_calvin_long_txn_stalls_batch () =
+  (* A long transaction inflates the round and delays everyone in it. *)
+  let run with_long =
+    let sim, net = make_net () in
+    let e = Calvin.create net cfg in
+    if with_long then ignore (submit_collect (module Calvin) e ~node:0 (long_write_txn 99 100_000));
+    let r = submit_collect (module Calvin) e ~node:1 (write_txn 1) in
+    Sim.run_until sim (Sim.sec 2);
+    match !r with
+    | Some { Engine.latency_us; _ } -> latency_us
+    | None -> Alcotest.fail "no result"
+  in
+  let base = run false and stalled = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch barrier: %d vs %d" base stalled)
+    true
+    (stalled > base + 80_000)
+
+(* --- Aria --- *)
+
+let test_aria_aborts_waw_conflicts () =
+  let sim, net = make_net () in
+  let e = Aria.create net cfg in
+  (* Same key written from two nodes in the same batch: one aborts. *)
+  let r0 = submit_collect (module Aria) e ~node:0 (write_txn 7) in
+  let r1 = submit_collect (module Aria) e ~node:1 (write_txn 7) in
+  Sim.run_until sim (Sim.sec 2);
+  let outcomes = List.filter_map (fun r -> !r) [ r0; r1 ] in
+  Alcotest.(check int) "both answered" 2 (List.length outcomes);
+  let committed = List.length (List.filter (fun o -> o.Engine.committed) outcomes) in
+  Alcotest.(check int) "one commits, one aborts" 1 committed
+
+let test_aria_disjoint_commit () =
+  let sim, net = make_net () in
+  let e = Aria.create net cfg in
+  let r0 = submit_collect (module Aria) e ~node:0 (write_txn 1) in
+  let r1 = submit_collect (module Aria) e ~node:1 (write_txn 2) in
+  Sim.run_until sim (Sim.sec 2);
+  List.iter
+    (fun r ->
+      match !r with
+      | Some { Engine.committed = true; _ } -> ()
+      | _ -> Alcotest.fail "disjoint writes commit")
+    [ r0; r1 ]
+
+(* --- CRDB --- *)
+
+let test_crdb_reads_local () =
+  let sim, net = make_net () in
+  let e = Crdb.create net cfg in
+  let r = submit_collect (module Crdb) e ~node:0 (read_txn 5) in
+  Sim.run_until sim (Sim.sec 1);
+  match !r with
+  | Some { Engine.committed = true; latency_us } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "stale reads are local: %d < 10ms" latency_us)
+      true (latency_us < 10_000)
+  | _ -> Alcotest.fail "read must commit"
+
+let test_crdb_writes_pay_quorum () =
+  let sim, net = make_net () in
+  let e = Crdb.create net cfg in
+  let r = submit_collect (module Crdb) e ~node:0 (write_txn 5) in
+  Sim.run_until sim (Sim.sec 1);
+  match !r with
+  | Some { Engine.committed = true; latency_us } ->
+    (* at least one cross-region quorum RTT (>= 50 ms) *)
+    Alcotest.(check bool)
+      (Printf.sprintf "quorum write: %d >= 50ms" latency_us)
+      true (latency_us >= 50_000)
+  | _ -> Alcotest.fail "write must commit"
+
+let test_crdb_contention_queues () =
+  let sim, net = make_net () in
+  let e = Crdb.create net cfg in
+  let rs = List.init 5 (fun i -> submit_collect (module Crdb) e ~node:(i mod 3) (write_txn 1)) in
+  Sim.run_until sim (Sim.sec 5);
+  let lats =
+    List.map
+      (fun r -> match !r with Some o -> o.Engine.latency_us | None -> Alcotest.fail "missing")
+      rs
+  in
+  let mx = List.fold_left max 0 lats and mn = List.fold_left min max_int lats in
+  Alcotest.(check bool)
+    (Printf.sprintf "serialized on hot key: max %d > 2x min %d" mx mn)
+    true
+    (mx > 2 * mn)
+
+(* --- SLOG --- *)
+
+let test_slog_remote_home_penalty () =
+  let sim, net = make_net () in
+  let e = Slog.create net cfg in
+  (* Find keys homed at region 0 and region 1. *)
+  let homed r =
+    let rec go k =
+      if k > 10_000 then Alcotest.fail "no key found"
+      else
+        let key_str = Value.encode_key [| Value.Int k |] in
+        if Hashtbl.hash key_str mod 3 = r then k else go (k + 1)
+    in
+    go 0
+  in
+  let local_key = homed 0 and remote_key = homed 1 in
+  let r_local = submit_collect (module Slog) e ~node:0 (write_txn local_key) in
+  let r_remote = submit_collect (module Slog) e ~node:0 (write_txn remote_key) in
+  Sim.run_until sim (Sim.sec 2);
+  match (!r_local, !r_remote) with
+  | Some a, Some b ->
+    Alcotest.(check bool)
+      (Printf.sprintf "remote-home costs more: %d > %d + 30ms" b.Engine.latency_us
+         a.Engine.latency_us)
+      true
+      (b.Engine.latency_us > a.Engine.latency_us + 30_000)
+  | _ -> Alcotest.fail "missing results"
+
+(* --- Anna --- *)
+
+let test_anna_immediate_response () =
+  let sim, net = make_net () in
+  let e = Anna.create net cfg in
+  let r = submit_collect (module Anna) e ~node:0 (write_txn 1) in
+  Sim.run_until sim (Sim.sec 1);
+  match !r with
+  | Some { Engine.committed = true; latency_us } ->
+    Alcotest.(check bool) "no coordination" true (latency_us < 5_000)
+  | _ -> Alcotest.fail "anna must answer"
+
+let test_anna_eventual_convergence () =
+  let sim, net = make_net () in
+  let e = Anna.create net cfg in
+  for i = 0 to 20 do
+    ignore (submit_collect (module Anna) e ~node:(i mod 3) (write_txn (i mod 7)))
+  done;
+  Sim.run_until sim (Sim.sec 1);
+  Anna.flush_gossip e;
+  Sim.run_until sim (Sim.sec 2);
+  let d0 = Anna.state_digest e ~node:0 in
+  let d1 = Anna.state_digest e ~node:1 in
+  let d2 = Anna.state_digest e ~node:2 in
+  Alcotest.(check string) "0=1" d0 d1;
+  Alcotest.(check string) "1=2" d1 d2
+
+(* --- cross-engine shape checks (the Fig 5 story in miniature) --- *)
+
+let closed_loop (type a) (module E : Engine.S with type t = a) (e : a) sim ~conns ~horizon_ms gen =
+  let committed = ref 0 in
+  for node = 0 to 2 do
+    for _ = 1 to conns do
+      let rec loop () =
+        E.submit e ~node (gen ()) (fun o ->
+            if o.Engine.committed then incr committed;
+            loop ())
+      in
+      loop ()
+    done
+  done;
+  Sim.run_until sim (Sim.ms horizon_ms);
+  !committed
+
+let test_anna_faster_than_calvin () =
+  let rng = Gg_util.Rng.create 1 in
+  let gen () = write_txn (Gg_util.Rng.int rng 1000) in
+  let sim1, net1 = make_net () in
+  let anna = closed_loop (module Anna) (Anna.create net1 cfg) sim1 ~conns:8 ~horizon_ms:2_000 gen in
+  let rng = Gg_util.Rng.create 1 in
+  let gen () = write_txn (Gg_util.Rng.int rng 1000) in
+  let sim2, net2 = make_net () in
+  let calvin = closed_loop (module Calvin) (Calvin.create net2 cfg) sim2 ~conns:8 ~horizon_ms:2_000 gen in
+  Alcotest.(check bool)
+    (Printf.sprintf "anna %d >> calvin %d" anna calvin)
+    true
+    (anna > 5 * calvin)
+
+let test_calvin_beats_crdb_under_writes () =
+  let mk_gen () =
+    let rng = Gg_util.Rng.create 2 in
+    fun () -> write_txn (Gg_util.Rng.int rng 50)
+  in
+  let sim1, net1 = make_net () in
+  let calvin =
+    closed_loop (module Calvin) (Calvin.create net1 cfg) sim1 ~conns:8 ~horizon_ms:2_000 (mk_gen ())
+  in
+  let sim2, net2 = make_net () in
+  let crdb =
+    closed_loop (module Crdb) (Crdb.create net2 cfg) sim2 ~conns:8 ~horizon_ms:2_000 (mk_gen ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "calvin %d > crdb %d (contended writes)" calvin crdb)
+    true (calvin > crdb)
+
+let () =
+  Alcotest.run "gg_engines"
+    [
+      ( "input encoding",
+        [
+          Alcotest.test_case "bytes scale" `Quick test_input_bytes_scale;
+          Alcotest.test_case "add < write" `Quick test_input_bytes_add_smaller_than_write;
+        ] );
+      ( "calvin",
+        [
+          Alcotest.test_case "commits after round" `Quick test_calvin_commits_after_round;
+          Alcotest.test_case "never aborts" `Quick test_calvin_never_aborts;
+          Alcotest.test_case "long txn stalls batch" `Quick test_calvin_long_txn_stalls_batch;
+        ] );
+      ( "aria",
+        [
+          Alcotest.test_case "aborts WAW conflicts" `Quick test_aria_aborts_waw_conflicts;
+          Alcotest.test_case "disjoint commit" `Quick test_aria_disjoint_commit;
+        ] );
+      ( "crdb",
+        [
+          Alcotest.test_case "reads local" `Quick test_crdb_reads_local;
+          Alcotest.test_case "writes pay quorum" `Quick test_crdb_writes_pay_quorum;
+          Alcotest.test_case "contention queues" `Quick test_crdb_contention_queues;
+        ] );
+      ("slog", [ Alcotest.test_case "remote home penalty" `Quick test_slog_remote_home_penalty ]);
+      ( "anna",
+        [
+          Alcotest.test_case "immediate response" `Quick test_anna_immediate_response;
+          Alcotest.test_case "eventual convergence" `Quick test_anna_eventual_convergence;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "anna >> calvin" `Slow test_anna_faster_than_calvin;
+          Alcotest.test_case "calvin > crdb (writes)" `Slow test_calvin_beats_crdb_under_writes;
+        ] );
+    ]

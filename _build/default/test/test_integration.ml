@@ -1,0 +1,363 @@
+(* Cross-library integration tests: SQL traffic over multi-region
+   clusters, randomized convergence properties (Theorem 3 under many
+   seeds), insert/delete churn, worldwide topologies, and backup-store
+   bookkeeping. *)
+
+open Geogauss
+module Value = Gg_storage.Value
+module Topology = Gg_sim.Topology
+module Op = Gg_workload.Op
+
+let converged c =
+  Cluster.quiesce c;
+  match Cluster.digests c with
+  | [] -> false
+  | d :: rest -> List.for_all (String.equal d) rest
+
+(* --- SQL transactions across regions --- *)
+
+let bank_load n db =
+  let t =
+    Gg_storage.Db.create_table db ~name:"bank"
+      ~columns:
+        [
+          { Gg_storage.Schema.name = "id"; ty = Gg_storage.Schema.TInt };
+          { name = "balance"; ty = TInt };
+        ]
+      ~key:[ "id" ]
+  in
+  for i = 0 to n - 1 do
+    Gg_storage.Table.load t [| Value.Int i; Value.Int 1_000 |]
+  done
+
+let test_sql_transfers_conserve_money () =
+  let n = 50 in
+  let c =
+    Cluster.create ~topology:(Topology.china3 ()) ~load:(bank_load n) ()
+  in
+  let clients =
+    List.init 3 (fun region ->
+        let rng = Gg_util.Rng.create (3_000 + region) in
+        let gen () =
+          let a = Gg_util.Rng.int rng n in
+          let b = (a + 1 + Gg_util.Rng.int rng (n - 1)) mod n in
+          let amount = 1 + Gg_util.Rng.int rng 50 in
+          Txn.Sql_txn
+            {
+              label = "transfer";
+              stmts =
+                [
+                  ( "UPDATE bank SET balance = balance - ? WHERE id = ?",
+                    [| Value.Int amount; Value.Int a |] );
+                  ( "UPDATE bank SET balance = balance + ? WHERE id = ?",
+                    [| Value.Int amount; Value.Int b |] );
+                ];
+            }
+        in
+        let cl = Client.create c ~home:region ~connections:6 ~gen in
+        Client.start cl;
+        cl)
+  in
+  Cluster.run_for_ms c 2_000;
+  List.iter Client.stop clients;
+  Alcotest.(check bool) "replicas converged" true (converged c);
+  (* GeoGauss provides replica consistency, not serializability: under
+     its weak isolation levels, read-modify-writes racing across epochs
+     can lose updates, so the global total may drift — but every replica
+     must hold the *same* total (the deterministic merge). *)
+  let total_of node =
+    let db = Node.db (Cluster.node c node) in
+    let t = Gg_storage.Db.get_table_exn db "bank" in
+    let total = ref 0 in
+    Gg_storage.Table.scan t ~f:(fun e ->
+        match e.Gg_storage.Table.data.(1) with
+        | Value.Int b -> total := !total + b
+        | _ -> ());
+    !total
+  in
+  let t0 = total_of 0 in
+  Alcotest.(check int) "node1 total equals node0" t0 (total_of 1);
+  Alcotest.(check int) "node2 total equals node0" t0 (total_of 2);
+  (* Each transfer is atomic (all-or-nothing validation), so totals can
+     only move by whole transfer amounts; sanity-check the drift is a
+     small fraction of the balance sheet. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "drift %d stays bounded" (abs (t0 - (n * 1_000))))
+    true
+    (abs (t0 - (n * 1_000)) < n * 1_000 / 10)
+
+let test_lost_update_anomaly_documented () =
+  (* The weak-isolation anomaly the paper accepts by design: two
+     read-modify-writes of the same row that land in *different* epochs
+     both commit, and the later one overwrites — a lost update. The
+     write-write merge only arbitrates within an epoch; RR/SI read
+     validation runs before the remote epoch merges, so it cannot see
+     the conflict either. This test pins that semantics down. *)
+  let c = Cluster.create ~topology:(Topology.china3 ()) ~load:(bank_load 4) () in
+  Cluster.run_for_ms c 50;
+  let r1 = ref None and r2 = ref None in
+  Cluster.submit c ~node:0
+    (Txn.Op_txn
+       (Op.make [ Op.Add { table = "bank"; key = [| Value.Int 1 |]; col = 1; delta = 100 } ]))
+    (fun o -> r1 := Some o);
+  (* Far enough apart to land in different epochs, close enough that the
+     second reads the pre-merge balance. *)
+  Cluster.run_for_ms c 12;
+  Cluster.submit c ~node:1
+    (Txn.Op_txn
+       (Op.make [ Op.Add { table = "bank"; key = [| Value.Int 1 |]; col = 1; delta = 100 } ]))
+    (fun o -> r2 := Some o);
+  Cluster.run_for_ms c 1_000;
+  (match (!r1, !r2) with
+  | Some (Txn.Committed _), Some (Txn.Committed _) -> ()
+  | _ -> Alcotest.fail "both cross-epoch writers commit under RC");
+  Alcotest.(check bool) "converged" true (converged c);
+  let db = Node.db (Cluster.node c 0) in
+  let t = Gg_storage.Db.get_table_exn db "bank" in
+  let e = Option.get (Gg_storage.Table.find_live t (Value.encode_key [| Value.Int 1 |])) in
+  match e.Gg_storage.Table.data.(1) with
+  | Value.Int b ->
+    Alcotest.(check int) "second increment based on stale read wins" 1_100 b
+  | _ -> Alcotest.fail "bad balance"
+
+let test_sql_rmw_interleaved_with_ops () =
+  (* SQL and op-level transactions share the same OCC path. *)
+  let c = Cluster.create ~topology:(Topology.china3 ()) ~load:(bank_load 20) () in
+  let done_sql = ref None and done_op = ref None in
+  Cluster.run_for_ms c 50;
+  Cluster.submit c ~node:0
+    (Txn.Sql_txn
+       {
+         label = "sql";
+         stmts = [ ("UPDATE bank SET balance = balance + 5 WHERE id = 3", [||]) ];
+       })
+    (fun o -> done_sql := Some o);
+  Cluster.submit c ~node:1
+    (Txn.Op_txn
+       (Op.make [ Op.Add { table = "bank"; key = [| Value.Int 3 |]; col = 1; delta = 7 } ]))
+    (fun o -> done_op := Some o);
+  Cluster.run_for_ms c 1_000;
+  let committed =
+    List.length
+      (List.filter
+         (fun r -> match !r with Some (Txn.Committed _) -> true | _ -> false)
+         [ done_sql; done_op ])
+  in
+  Alcotest.(check bool) "at least one committed" true (committed >= 1);
+  Alcotest.(check bool) "replicas agree" true (converged c)
+
+(* --- randomized convergence (Theorem 3 as a property) --- *)
+
+let random_churn_workload ~rng ~n_rows () =
+  let k () = [| Value.Int (Gg_util.Rng.int rng n_rows) |] in
+  let fresh_key =
+    (* churn keys live above the preloaded range *)
+    [| Value.Int (n_rows + Gg_util.Rng.int rng (4 * n_rows)) |]
+  in
+  match Gg_util.Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 ->
+    Txn.Op_txn (Op.make [ Op.Read { table = "kv"; key = k () } ])
+  | 4 | 5 ->
+    Txn.Op_txn
+      (Op.make
+         [ Op.Write { table = "kv"; key = k (); data = [| Value.Int 0; Value.Int (Gg_util.Rng.int rng 100) |] } ])
+  | 6 ->
+    Txn.Op_txn
+      (Op.make [ Op.Add { table = "kv"; key = k (); col = 1; delta = 1 } ])
+  | 7 ->
+    Txn.Op_txn
+      (Op.make
+         [ Op.Insert { table = "kv"; key = fresh_key; data = [| fresh_key.(0); Value.Int 1 |] } ])
+  | 8 ->
+    Txn.Op_txn (Op.make [ Op.Delete { table = "kv"; key = k () } ])
+  | _ ->
+    Txn.Op_txn
+      (Op.make
+         [
+           Op.Read { table = "kv"; key = k () };
+           Op.Add { table = "kv"; key = k (); col = 1; delta = 2 };
+           Op.Write { table = "kv"; key = k (); data = [| Value.Int 0; Value.Int 9 |] };
+         ])
+
+(* Write ops need data matching the key column; patch key into data. *)
+let fix_write_data req =
+  match req with
+  | Txn.Op_txn t ->
+    let ops =
+      Array.map
+        (fun op ->
+          match op with
+          | Op.Write { table; key; data } ->
+            let data = Array.copy data in
+            data.(0) <- key.(0);
+            Op.Write { table; key; data }
+          | Op.Insert { table; key; data } ->
+            let data = Array.copy data in
+            data.(0) <- key.(0);
+            Op.Insert { table; key; data }
+          | o -> o)
+        t.Op.ops
+    in
+    Txn.Op_txn { t with Op.ops }
+  | r -> r
+
+let kv2_load n db =
+  let t =
+    Gg_storage.Db.create_table db ~name:"kv"
+      ~columns:
+        [
+          { Gg_storage.Schema.name = "k"; ty = Gg_storage.Schema.TInt };
+          { name = "v"; ty = TInt };
+        ]
+      ~key:[ "k" ]
+  in
+  for i = 0 to n - 1 do
+    Gg_storage.Table.load t [| Value.Int i; Value.Int 0 |]
+  done
+
+let churn_run ~seed ~iso ~dup ~reorder =
+  let params =
+    { Params.default with Params.seed; isolation = iso }
+  in
+  let c =
+    Cluster.create ~params ~dup ~reorder ~topology:(Topology.china3 ())
+      ~load:(kv2_load 60) ()
+  in
+  let clients =
+    List.init 3 (fun region ->
+        let rng = Gg_util.Rng.create (seed + (31 * region)) in
+        let gen () = fix_write_data (random_churn_workload ~rng ~n_rows:60 ()) in
+        let cl = Client.create c ~home:region ~connections:5 ~gen in
+        Client.start cl;
+        cl)
+  in
+  Cluster.run_for_ms c 1_500;
+  List.iter Client.stop clients;
+  converged c
+
+let prop_churn_converges =
+  QCheck.Test.make ~name:"random churn converges (RC)" ~count:6
+    QCheck.(int_range 1 10_000)
+    (fun seed -> churn_run ~seed ~iso:Params.RC ~dup:0.0 ~reorder:0.0)
+
+let prop_churn_converges_rr_faulty_net =
+  QCheck.Test.make ~name:"random churn converges (RR, dup+reorder)" ~count:4
+    QCheck.(int_range 1 10_000)
+    (fun seed -> churn_run ~seed ~iso:Params.RR ~dup:0.15 ~reorder:0.15)
+
+let test_long_churn_with_gc_converges () =
+  (* Run past the tombstone-GC horizon (epoch 200+) with deletes in the
+     mix: the GC is part of the deterministic snapshot pipeline, so
+     replicas must still agree byte-for-byte. *)
+  let params = { Params.default with Params.seed = 4242 } in
+  let c =
+    Cluster.create ~params ~topology:(Topology.china3 ()) ~load:(kv2_load 40) ()
+  in
+  let clients =
+    List.init 3 (fun region ->
+        let rng = Gg_util.Rng.create (800 + region) in
+        let gen () = fix_write_data (random_churn_workload ~rng ~n_rows:40 ()) in
+        let cl = Client.create c ~home:region ~connections:4 ~gen in
+        Client.start cl;
+        cl)
+  in
+  Cluster.run_for_ms c 3_500;
+  List.iter Client.stop clients;
+  Alcotest.(check bool) "converged across GC" true (converged c)
+
+(* --- worldwide cluster --- *)
+
+let test_worldwide_5dc_converges () =
+  let params = { Params.default with Params.seed = 77 } in
+  let c =
+    Cluster.create ~params ~topology:(Topology.worldwide 5)
+      ~load:(kv2_load 100) ()
+  in
+  let clients =
+    List.init 5 (fun region ->
+        let rng = Gg_util.Rng.create (500 + region) in
+        let gen () =
+          let k = [| Value.Int (Gg_util.Rng.int rng 100) |] in
+          Txn.Op_txn (Op.make [ Op.Add { table = "kv"; key = k; col = 1; delta = 1 } ])
+        in
+        let cl = Client.create c ~home:region ~connections:4 ~gen in
+        Client.start cl;
+        cl)
+  in
+  Cluster.run_for_ms c 2_000;
+  List.iter Client.stop clients;
+  Alcotest.(check bool) "5-DC worldwide cluster converges" true (converged c);
+  (* Write latency must span the worldwide RTTs (~110 ms one-way max). *)
+  let lat =
+    List.fold_left
+      (fun acc cl -> Gg_util.Stats.Hist.merge acc (Client.latency cl))
+      (Gg_util.Stats.Hist.create ()) clients
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.0f us >= 100 ms" (Gg_util.Stats.Hist.mean lat))
+    true
+    (Gg_util.Stats.Hist.mean lat >= 100_000.0)
+
+(* --- backup store --- *)
+
+let test_backup_records_every_epoch () =
+  let c = Cluster.create ~topology:(Topology.china3 ()) ~load:(kv2_load 10) () in
+  Cluster.run_for_ms c 500;
+  let b = Cluster.backup c in
+  List.iter
+    (fun node ->
+      let last = Backup.last_sealed b ~node in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d sealed through epoch %d" node last)
+        true (last >= 40);
+      (* contiguous coverage *)
+      for e = 0 to last do
+        Alcotest.(check bool) "batch present" true (Backup.get b ~node ~cen:e <> None)
+      done)
+    [ 0; 1; 2 ]
+
+(* --- epoch-boundary edge --- *)
+
+let test_commit_exactly_at_boundary () =
+  (* A transaction whose commit point lands exactly on an epoch boundary
+     must still commit exactly once. *)
+  let c = Cluster.create ~topology:(Topology.china3 ()) ~load:(kv2_load 10) () in
+  let results = ref [] in
+  (* parse 0 + exec 150us * 1 op: submit at 9_850us; commit at 10_000. *)
+  Cluster.run_until c 9_850;
+  Cluster.submit c ~node:0
+    (Txn.Op_txn
+       (Op.make [ Op.Add { table = "kv"; key = [| Value.Int 1 |]; col = 1; delta = 1 } ]))
+    (fun o -> results := o :: !results);
+  Cluster.run_for_ms c 1_000;
+  (match !results with
+  | [ Txn.Committed _ ] -> ()
+  | [ Txn.Aborted { reason; _ } ] ->
+    Alcotest.failf "aborted: %s" (Txn.abort_reason_to_string reason)
+  | [] -> Alcotest.fail "no callback"
+  | _ -> Alcotest.fail "callback fired more than once");
+  Alcotest.(check bool) "converged" true (converged c)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "sql",
+        [
+          Alcotest.test_case "transfers: replicas agree" `Slow test_sql_transfers_conserve_money;
+          Alcotest.test_case "lost-update anomaly (by design)" `Quick test_lost_update_anomaly_documented;
+          Alcotest.test_case "sql + op interleaving" `Quick test_sql_rmw_interleaved_with_ops;
+        ] );
+      ( "convergence",
+        [
+          QCheck_alcotest.to_alcotest prop_churn_converges;
+          QCheck_alcotest.to_alcotest prop_churn_converges_rr_faulty_net;
+        ] );
+      ( "gc",
+        [ Alcotest.test_case "long churn + tombstone GC" `Slow test_long_churn_with_gc_converges ] );
+      ( "worldwide",
+        [ Alcotest.test_case "5-DC convergence" `Slow test_worldwide_5dc_converges ] );
+      ( "backup",
+        [ Alcotest.test_case "records every epoch" `Quick test_backup_records_every_epoch ] );
+      ( "edges",
+        [ Alcotest.test_case "commit at epoch boundary" `Quick test_commit_exactly_at_boundary ] );
+    ]

@@ -1,0 +1,484 @@
+(* Tests for the storage engine: values, schemas, tables, tombstones,
+   temp insert table, scans, digests, WAL model. *)
+
+open Gg_storage
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let schema_kv () =
+  Schema.create ~name:"kv"
+    ~columns:[ { Schema.name = "k"; ty = Schema.TInt }; { name = "v"; ty = TStr } ]
+    ~key:[ "k" ]
+
+(* --- Value --- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "null smallest" true (Value.compare Value.Null (v_int 0) < 0);
+  Alcotest.(check bool) "int float cross" true (Value.compare (v_int 1) (Value.Float 1.5) < 0);
+  Alcotest.(check bool) "int float equal" true (Value.compare (v_int 2) (Value.Float 2.0) = 0);
+  Alcotest.(check bool) "str after num" true (Value.compare (v_int 999) (v_str "a") < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (v_str "a") (v_str "b") < 0)
+
+let test_value_roundtrip () =
+  let vals = [ Value.Null; v_int (-42); Value.Float 3.5; v_str "hello" ] in
+  let enc = Gg_util.Codec.Enc.create () in
+  List.iter (Value.encode enc) vals;
+  let dec = Gg_util.Codec.Dec.of_bytes (Gg_util.Codec.Enc.to_bytes enc) in
+  List.iter
+    (fun v -> Alcotest.(check bool) "value roundtrip" true (Value.equal v (Value.decode dec)))
+    vals
+
+let test_value_row_roundtrip () =
+  let row = [| v_int 1; v_str "x"; Value.Null; Value.Float 2.5 |] in
+  let row' = Value.decode_row (Value.encode_row row) in
+  Alcotest.(check int) "arity" 4 (Array.length row');
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) "cell" true (Value.equal v row'.(i)))
+    row
+
+let test_value_key_unique () =
+  let k1 = Value.encode_key [| v_int 1; v_str "a" |] in
+  let k2 = Value.encode_key [| v_int 1; v_str "b" |] in
+  let k3 = Value.encode_key [| v_int 1; v_str "a" |] in
+  Alcotest.(check bool) "differ" true (k1 <> k2);
+  Alcotest.(check string) "stable" k1 k3
+
+let prop_value_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun i -> Value.Int i) int;
+          map (fun f -> Value.Float f) (float_bound_exclusive 1e9);
+          map (fun s -> Value.Str s) string_small;
+        ])
+  in
+  QCheck.Test.make ~name:"value codec roundtrip" ~count:500 (QCheck.make gen)
+    (fun v ->
+      let enc = Gg_util.Codec.Enc.create () in
+      Value.encode enc v;
+      let dec = Gg_util.Codec.Dec.of_bytes (Gg_util.Codec.Enc.to_bytes enc) in
+      Value.equal v (Value.decode dec))
+
+(* --- Csn --- *)
+
+let test_csn_order () =
+  let a = Csn.make ~ts:1 ~node:5 and b = Csn.make ~ts:2 ~node:0 in
+  Alcotest.(check bool) "ts dominates" true (Csn.compare a b < 0);
+  let c = Csn.make ~ts:1 ~node:6 in
+  Alcotest.(check bool) "node breaks ties" true (Csn.compare a c < 0);
+  Alcotest.(check bool) "equal" true (Csn.equal a (Csn.make ~ts:1 ~node:5))
+
+(* --- Schema --- *)
+
+let test_schema_create () =
+  let s = schema_kv () in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check bool) "col_index k" true (Schema.col_index s "k" = Some 0);
+  Alcotest.(check bool) "col_index missing" true (Schema.col_index s "zz" = None);
+  Alcotest.(check bool) "key col" true (Schema.is_key_col s 0);
+  Alcotest.(check bool) "non-key col" false (Schema.is_key_col s 1)
+
+let test_schema_invalid () =
+  Alcotest.(check bool) "dup column" true
+    (try
+       ignore
+         (Schema.create ~name:"t"
+            ~columns:[ { Schema.name = "a"; ty = TInt }; { name = "a"; ty = TInt } ]
+            ~key:[ "a" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown key" true
+    (try
+       ignore
+         (Schema.create ~name:"t"
+            ~columns:[ { Schema.name = "a"; ty = TInt } ]
+            ~key:[ "b" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_validate_row () =
+  let s = schema_kv () in
+  Alcotest.(check bool) "ok" true (Schema.validate_row s [| v_int 1; v_str "a" |] = Ok ());
+  Alcotest.(check bool) "null non-key ok" true
+    (Schema.validate_row s [| v_int 1; Value.Null |] = Ok ());
+  Alcotest.(check bool) "null key rejected" true
+    (Result.is_error (Schema.validate_row s [| Value.Null; v_str "a" |]));
+  Alcotest.(check bool) "wrong type" true
+    (Result.is_error (Schema.validate_row s [| v_str "x"; v_str "a" |]));
+  Alcotest.(check bool) "wrong arity" true
+    (Result.is_error (Schema.validate_row s [| v_int 1 |]))
+
+(* --- Table --- *)
+
+let make_table n =
+  let t = Table.create (schema_kv ()) in
+  for i = 0 to n - 1 do
+    Table.load t [| v_int i; v_str (Printf.sprintf "v%d" i) |]
+  done;
+  t
+
+let key i = Value.encode_key [| v_int i |]
+
+let test_table_load_find () =
+  let t = make_table 10 in
+  Alcotest.(check int) "live" 10 (Table.live_count t);
+  (match Table.find_live t (key 5) with
+  | Some e -> Alcotest.(check bool) "data" true (Value.equal e.Table.data.(1) (v_str "v5"))
+  | None -> Alcotest.fail "missing row");
+  Alcotest.(check bool) "absent" true (Table.find t (key 99) = None)
+
+let test_table_duplicate_load () =
+  let t = make_table 3 in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Table.load: duplicate key")
+    (fun () -> Table.load t [| v_int 1; v_str "dup" |])
+
+let test_table_delete_tombstone () =
+  let t = make_table 5 in
+  let e = Option.get (Table.find t (key 2)) in
+  Table.delete t e;
+  Alcotest.(check int) "live shrank" 4 (Table.live_count t);
+  Alcotest.(check int) "total keeps tombstone" 5 (Table.total_count t);
+  Alcotest.(check bool) "find sees tombstone" true (Table.find t (key 2) <> None);
+  Alcotest.(check bool) "find_live misses" true (Table.find_live t (key 2) = None);
+  (* Scan skips tombstones. *)
+  let seen = ref 0 in
+  Table.scan t ~f:(fun _ -> incr seen);
+  Alcotest.(check int) "scan skips" 4 !seen
+
+let test_table_revive () =
+  let t = make_table 3 in
+  let e = Option.get (Table.find t (key 1)) in
+  Table.delete t e;
+  Table.revive t e [| v_int 1; v_str "back" |];
+  Alcotest.(check int) "live restored" 3 (Table.live_count t);
+  match Table.find_live t (key 1) with
+  | Some e -> Alcotest.(check bool) "new data" true (Value.equal e.Table.data.(1) (v_str "back"))
+  | None -> Alcotest.fail "revive failed"
+
+let test_table_insert_committed () =
+  let t = make_table 2 in
+  let hdr = Row_header.create () in
+  Row_header.stamp hdr ~sen:1 ~csn:(Csn.make ~ts:9 ~node:1) ~cen:1;
+  Table.insert_committed t ~key:[| v_int 50 |]
+    ~data:[| v_int 50; v_str "new" |]
+    ~header:hdr;
+  Alcotest.(check int) "live" 3 (Table.live_count t);
+  Alcotest.(check bool) "dup insert rejected" true
+    (try
+       Table.insert_committed t ~key:[| v_int 50 |]
+         ~data:[| v_int 50; v_str "x" |]
+         ~header:(Row_header.create ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_temp () =
+  let t = make_table 2 in
+  let e1 = Table.temp_add t ~key:[| v_int 100 |] ~key_str:(key 100) in
+  let e2 = Table.temp_add t ~key:[| v_int 100 |] ~key_str:(key 100) in
+  Alcotest.(check bool) "same temp entry" true (e1 == e2);
+  Alcotest.(check bool) "temp_find hits" true (Table.temp_find t (key 100) <> None);
+  Alcotest.(check bool) "temp invisible to find" true (Table.find t (key 100) = None);
+  Table.temp_clear t;
+  Alcotest.(check bool) "cleared" true (Table.temp_find t (key 100) = None)
+
+let test_table_scan_order () =
+  let t = Table.create (schema_kv ()) in
+  List.iter
+    (fun i -> Table.load t [| v_int i; v_str "x" |])
+    [ 5; 1; 9; 3; 7 ];
+  let keys = ref [] in
+  Table.scan t ~f:(fun e ->
+      match e.Table.key.(0) with
+      | Value.Int i -> keys := i :: !keys
+      | _ -> ());
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5; 7; 9 ] (List.rev !keys)
+
+let test_table_scan_range () =
+  let t = make_table 10 in
+  let got = ref [] in
+  Table.scan_range t ~lo:[| v_int 3 |] ~hi:[| v_int 6 |] (fun e ->
+      match e.Table.key.(0) with Value.Int i -> got := i :: !got | _ -> ());
+  Alcotest.(check (list int)) "range" [ 3; 4; 5; 6 ] (List.rev !got)
+
+let test_table_scan_prefix () =
+  let s =
+    Schema.create ~name:"two"
+      ~columns:
+        [
+          { Schema.name = "a"; ty = TInt };
+          { name = "b"; ty = TInt };
+          { name = "v"; ty = TStr };
+        ]
+      ~key:[ "a"; "b" ]
+  in
+  let t = Table.create s in
+  for a = 0 to 2 do
+    for b = 0 to 3 do
+      Table.load t [| v_int a; v_int b; v_str "x" |]
+    done
+  done;
+  let got = ref 0 in
+  Table.scan_prefix t ~prefix:[| v_int 1 |] (fun _ -> incr got);
+  Alcotest.(check int) "prefix matches" 4 !got
+
+let test_table_digest_sensitivity () =
+  let t1 = make_table 5 and t2 = make_table 5 in
+  let d t =
+    let enc = Gg_util.Codec.Enc.create () in
+    Table.digest_into t enc;
+    Bytes.to_string (Gg_util.Codec.Enc.to_bytes enc)
+  in
+  Alcotest.(check string) "identical tables" (d t1) (d t2);
+  let e = Option.get (Table.find t2 (key 0)) in
+  Table.write t2 e [| v_int 0; v_str "changed" |];
+  Alcotest.(check bool) "data change detected" true (d t1 <> d t2)
+
+(* --- Db --- *)
+
+let test_db_catalog () =
+  let db = Db.create () in
+  let _ =
+    Db.create_table db ~name:"a"
+      ~columns:[ { Schema.name = "k"; ty = TInt } ]
+      ~key:[ "k" ]
+  in
+  let _ =
+    Db.create_table db ~name:"b"
+      ~columns:[ { Schema.name = "k"; ty = TInt } ]
+      ~key:[ "k" ]
+  in
+  Alcotest.(check (list string)) "names sorted" [ "a"; "b" ] (Db.table_names db);
+  Alcotest.(check bool) "get" true (Db.get_table db "a" <> None);
+  Alcotest.(check bool) "missing" true (Db.get_table db "zz" = None);
+  Alcotest.(check bool) "dup rejected" true
+    (try
+       ignore
+         (Db.create_table db ~name:"a"
+            ~columns:[ { Schema.name = "k"; ty = TInt } ]
+            ~key:[ "k" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_db_digest_replicas () =
+  let build () =
+    let db = Db.create () in
+    let t =
+      Db.create_table db ~name:"kv"
+        ~columns:[ { Schema.name = "k"; ty = TInt }; { name = "v"; ty = TStr } ]
+        ~key:[ "k" ]
+    in
+    for i = 0 to 20 do
+      Table.load t [| v_int i; v_str (string_of_int (i * i)) |]
+    done;
+    db
+  in
+  let a = build () and b = build () in
+  Alcotest.(check string) "replica digests equal" (Db.digest a) (Db.digest b);
+  let t = Db.get_table_exn b "kv" in
+  let e = Option.get (Table.find t (Value.encode_key [| v_int 3 |])) in
+  e.Table.header.Row_header.cen <- 7;
+  Alcotest.(check bool) "header divergence detected" true (Db.digest a <> Db.digest b)
+
+(* --- Secondary indexes --- *)
+
+let people_table () =
+  let s =
+    Schema.create ~name:"people"
+      ~columns:
+        [ { Schema.name = "id"; ty = TInt }; { name = "city"; ty = TStr };
+          { name = "age"; ty = TInt } ]
+      ~key:[ "id" ]
+  in
+  let t = Table.create s in
+  List.iteri
+    (fun i (city, age) -> Table.load t [| v_int i; v_str city; v_int age |])
+    [ ("oslo", 30); ("oslo", 40); ("kyoto", 30); ("kyoto", 50); ("lima", 30) ];
+  t
+
+let test_index_lookup () =
+  let t = people_table () in
+  Table.create_index t ~name:"by_city" ~cols:[ "city" ];
+  Alcotest.(check int) "oslo" 2
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "oslo" |]));
+  Alcotest.(check int) "lima" 1
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "lima" |]));
+  Alcotest.(check int) "missing" 0
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "mars" |]))
+
+let test_index_composite () =
+  let t = people_table () in
+  Table.create_index t ~name:"by_city_age" ~cols:[ "city"; "age" ];
+  Alcotest.(check int) "kyoto/30" 1
+    (List.length (Table.index_lookup t ~name:"by_city_age" ~key:[| v_str "kyoto"; v_int 30 |]))
+
+let test_index_tracks_writes () =
+  let t = people_table () in
+  Table.create_index t ~name:"by_city" ~cols:[ "city" ];
+  let e = Option.get (Table.find t (Value.encode_key [| v_int 0 |])) in
+  Table.write t e [| v_int 0; v_str "kyoto"; v_int 30 |];
+  Alcotest.(check int) "moved out of oslo" 1
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "oslo" |]));
+  Alcotest.(check int) "into kyoto" 3
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "kyoto" |]));
+  Table.delete t e;
+  Alcotest.(check int) "delete unindexes" 2
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "kyoto" |]));
+  Table.revive t e [| v_int 0; v_str "lima"; v_int 31 |];
+  Alcotest.(check int) "revive reindexes" 2
+    (List.length (Table.index_lookup t ~name:"by_city" ~key:[| v_str "lima" |]))
+
+let test_index_copy_preserved () =
+  let t = people_table () in
+  Table.create_index t ~name:"by_city" ~cols:[ "city" ];
+  let t2 = Table.copy t in
+  Alcotest.(check int) "copied index works" 2
+    (List.length (Table.index_lookup t2 ~name:"by_city" ~key:[| v_str "oslo" |]))
+
+let test_index_invalid () =
+  let t = people_table () in
+  Alcotest.(check bool) "unknown column" true
+    (try Table.create_index t ~name:"x" ~cols:[ "nope" ]; false
+     with Invalid_argument _ -> true);
+  Table.create_index t ~name:"dup" ~cols:[ "city" ];
+  Alcotest.(check bool) "duplicate name" true
+    (try Table.create_index t ~name:"dup" ~cols:[ "age" ]; false
+     with Invalid_argument _ -> true)
+
+let test_purge_tombstones () =
+  let t = make_table 10 in
+  List.iter
+    (fun i ->
+      let e = Option.get (Table.find t (key i)) in
+      Row_header.stamp e.Table.header ~sen:0 ~csn:(Csn.make ~ts:i ~node:0) ~cen:i;
+      Table.delete t e)
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "3 tombstones" 10 (Table.total_count t);
+  let purged = Table.purge_tombstones t ~before_cen:3 in
+  Alcotest.(check int) "purged two (cen 1,2)" 2 purged;
+  Alcotest.(check int) "one tombstone left" 8 (Table.total_count t);
+  Alcotest.(check bool) "cen-3 tombstone kept" true (Table.find t (key 3) <> None);
+  Alcotest.(check bool) "purged key gone entirely" true (Table.find t (key 1) = None)
+
+(* --- Checkpoint --- *)
+
+let churned_db () =
+  let db = Db.create () in
+  let t =
+    Db.create_table db ~name:"kv"
+      ~columns:[ { Schema.name = "k"; ty = TInt }; { name = "v"; ty = TStr } ]
+      ~key:[ "k" ]
+  in
+  for i = 0 to 30 do
+    Table.load t [| v_int i; v_str (string_of_int (i * 7)) |]
+  done;
+  (* stamp some headers and tombstone a few rows *)
+  for i = 0 to 30 do
+    let e = Option.get (Table.find t (Value.encode_key [| v_int i |])) in
+    Row_header.stamp e.Table.header ~sen:i ~csn:(Csn.make ~ts:(100 + i) ~node:(i mod 3)) ~cen:(i / 3);
+    if i mod 5 = 0 then Table.delete t e
+  done;
+  db
+
+let test_checkpoint_roundtrip () =
+  let db = churned_db () in
+  let restored = Checkpoint.decode (Checkpoint.encode db) in
+  Alcotest.(check string) "digest preserved" (Db.digest db) (Db.digest restored);
+  let t = Db.get_table_exn restored "kv" in
+  Alcotest.(check int) "live rows" 24 (Table.live_count t);
+  Alcotest.(check int) "tombstones kept" 31 (Table.total_count t)
+
+let test_checkpoint_deterministic () =
+  let a = Checkpoint.encode (churned_db ()) in
+  let b = Checkpoint.encode (churned_db ()) in
+  Alcotest.(check bytes) "equal states serialize identically" a b
+
+let test_checkpoint_preserves_indexes () =
+  let db = Db.create () in
+  let t =
+    Db.create_table db ~name:"p"
+      ~columns:[ { Schema.name = "id"; ty = TInt }; { name = "grp"; ty = TInt } ]
+      ~key:[ "id" ]
+  in
+  for i = 0 to 9 do
+    Table.load t [| v_int i; v_int (i mod 3) |]
+  done;
+  Table.create_index t ~name:"by_grp" ~cols:[ "grp" ];
+  let restored = Checkpoint.decode (Checkpoint.encode db) in
+  let t' = Db.get_table_exn restored "p" in
+  Alcotest.(check (list string)) "index survives" [ "by_grp" ] (Table.index_names t');
+  Alcotest.(check int) "lookup works" 4
+    (List.length (Table.index_lookup t' ~name:"by_grp" ~key:[| v_int 0 |]))
+
+let test_checkpoint_rejects_garbage () =
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Checkpoint.decode (Bytes.of_string "\x07NOTCKPT123456"));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Wal --- *)
+
+let test_wal_latency_model () =
+  let wal = Wal.create ~fsync_us:1000 ~throughput_mbps:100 () in
+  let lat = Wal.append wal ~bytes:100_000 in
+  Alcotest.(check int) "fsync + transfer" 2000 lat;
+  Alcotest.(check int) "records" 1 (Wal.records wal);
+  Alcotest.(check int) "bytes" 100_000 (Wal.bytes wal)
+
+let () =
+  Alcotest.run "gg_storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "codec roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "row roundtrip" `Quick test_value_row_roundtrip;
+          Alcotest.test_case "key encoding" `Quick test_value_key_unique;
+          QCheck_alcotest.to_alcotest prop_value_roundtrip;
+        ] );
+      ("csn", [ Alcotest.test_case "ordering" `Quick test_csn_order ]);
+      ( "schema",
+        [
+          Alcotest.test_case "create" `Quick test_schema_create;
+          Alcotest.test_case "invalid" `Quick test_schema_invalid;
+          Alcotest.test_case "validate_row" `Quick test_schema_validate_row;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "load/find" `Quick test_table_load_find;
+          Alcotest.test_case "duplicate load" `Quick test_table_duplicate_load;
+          Alcotest.test_case "delete tombstone" `Quick test_table_delete_tombstone;
+          Alcotest.test_case "revive" `Quick test_table_revive;
+          Alcotest.test_case "insert_committed" `Quick test_table_insert_committed;
+          Alcotest.test_case "temp table" `Quick test_table_temp;
+          Alcotest.test_case "scan order" `Quick test_table_scan_order;
+          Alcotest.test_case "scan range" `Quick test_table_scan_range;
+          Alcotest.test_case "scan prefix" `Quick test_table_scan_prefix;
+          Alcotest.test_case "digest sensitivity" `Quick test_table_digest_sensitivity;
+          Alcotest.test_case "purge tombstones" `Quick test_purge_tombstones;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "catalog" `Quick test_db_catalog;
+          Alcotest.test_case "replica digest" `Quick test_db_digest_replicas;
+        ] );
+      ( "secondary index",
+        [
+          Alcotest.test_case "lookup" `Quick test_index_lookup;
+          Alcotest.test_case "composite" `Quick test_index_composite;
+          Alcotest.test_case "tracks writes" `Quick test_index_tracks_writes;
+          Alcotest.test_case "copy preserved" `Quick test_index_copy_preserved;
+          Alcotest.test_case "invalid" `Quick test_index_invalid;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_checkpoint_deterministic;
+          Alcotest.test_case "preserves indexes" `Quick test_checkpoint_preserves_indexes;
+          Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
+        ] );
+      ("wal", [ Alcotest.test_case "latency model" `Quick test_wal_latency_model ]);
+    ]

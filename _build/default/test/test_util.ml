@@ -1,0 +1,405 @@
+(* Unit and property tests for the gg_util library. *)
+
+open Gg_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr equal
+  done;
+  Alcotest.(check bool) "streams differ" true (!equal < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let base = Rng.create 11 in
+  let a = Rng.split base and b = Rng.split base in
+  Alcotest.(check bool) "split streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 5 in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance rng 1.0)
+
+let test_rng_chance_frequency () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.chance rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "about 30%" true (freq > 0.27 && freq < 0.33)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 21 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 17 in
+  let acc = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng 10.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean about 10" true (mean > 9.0 && mean < 11.0)
+
+(* --- Zipf --- *)
+
+let test_zipf_uniform_theta0 () =
+  let z = Zipf.create ~theta:0.0 ~n:10 in
+  let rng = Rng.create 1 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let k = Zipf.next z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 4_000 && c < 6_000))
+    counts
+
+let test_zipf_skew () =
+  let z = Zipf.create ~theta:0.9 ~n:1000 in
+  let rng = Rng.create 2 in
+  let counts = Array.make 1000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Zipf.next z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Item 0 must dominate: with theta=0.9 it takes >5% of the mass. *)
+  Alcotest.(check bool) "head is hot" true (counts.(0) > n / 20);
+  Alcotest.(check bool) "head hotter than tail" true (counts.(0) > 100 * (counts.(900) + 1))
+
+let test_zipf_mc_hotspot () =
+  (* Paper YCSB-MC: theta=0.8 gives ~60% of accesses on 10% of tuples. *)
+  let n = 1000 in
+  let z = Zipf.create ~theta:0.8 ~n in
+  let rng = Rng.create 3 in
+  let hot = ref 0 in
+  let total = 100_000 in
+  for _ = 1 to total do
+    if Zipf.next z rng < n / 10 then incr hot
+  done;
+  let frac = float_of_int !hot /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "hotspot fraction %.2f in [0.5, 0.75]" frac)
+    true
+    (frac > 0.5 && frac < 0.75)
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "bad theta"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Zipf.create ~theta:1.0 ~n:10))
+
+let test_zipf_scrambled_range () =
+  let z = Zipf.create ~theta:0.9 ~n:777 in
+  let rng = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.scrambled z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 777)
+  done
+
+(* --- Stats --- *)
+
+let test_acc_basic () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Acc.count acc);
+  check_float "mean" 2.5 (Stats.Acc.mean acc);
+  check_float "min" 1.0 (Stats.Acc.min acc);
+  check_float "max" 4.0 (Stats.Acc.max acc);
+  check_float "total" 10.0 (Stats.Acc.total acc);
+  check_float "variance" (5.0 /. 3.0) (Stats.Acc.variance acc)
+
+let test_acc_empty () =
+  let acc = Stats.Acc.create () in
+  check_float "mean of empty" 0.0 (Stats.Acc.mean acc);
+  Alcotest.(check int) "count" 0 (Stats.Acc.count acc)
+
+let test_acc_merge () =
+  let a = Stats.Acc.create () and b = Stats.Acc.create () in
+  List.iter (Stats.Acc.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.Acc.add b) [ 3.0; 4.0; 5.0 ];
+  let m = Stats.Acc.merge a b in
+  Alcotest.(check int) "count" 5 (Stats.Acc.count m);
+  check_float "mean" 3.0 (Stats.Acc.mean m);
+  check_float "min" 1.0 (Stats.Acc.min m);
+  check_float "max" 5.0 (Stats.Acc.max m)
+
+let test_hist_percentiles () =
+  let h = Stats.Hist.create () in
+  for i = 1 to 1000 do
+    Stats.Hist.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Stats.Hist.count h);
+  let p50 = Stats.Hist.p50 h in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50=%.1f near 500" p50)
+    true
+    (p50 > 450.0 && p50 < 550.0);
+  let p99 = Stats.Hist.p99 h in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99=%.1f near 990" p99)
+    true
+    (p99 > 930.0 && p99 <= 1000.0);
+  check_float "max" 1000.0 (Stats.Hist.max h)
+
+let test_hist_mean () =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) [ 10.0; 20.0; 30.0 ];
+  check_float "mean exact" 20.0 (Stats.Hist.mean h)
+
+let test_hist_merge () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  Stats.Hist.add a 5.0;
+  Stats.Hist.add b 500.0;
+  let m = Stats.Hist.merge a b in
+  Alcotest.(check int) "count" 2 (Stats.Hist.count m);
+  check_float "max" 500.0 (Stats.Hist.max m)
+
+let test_series () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~x:1.0 ~y:10.0;
+  Stats.Series.add s ~x:2.0 ~y:20.0;
+  Alcotest.(check int) "length" 2 (Stats.Series.length s);
+  let pts = Stats.Series.points s in
+  Alcotest.(check bool) "order preserved" true (pts.(0) = (1.0, 10.0) && pts.(1) = (2.0, 20.0))
+
+(* --- Codec --- *)
+
+let test_codec_varint_roundtrip () =
+  let enc = Codec.Enc.create () in
+  let values = [ 0; 1; 127; 128; 300; 65535; 1_000_000; max_int ] in
+  List.iter (Codec.Enc.varint enc) values;
+  let dec = Codec.Dec.of_bytes (Codec.Enc.to_bytes enc) in
+  List.iter
+    (fun v -> Alcotest.(check int) "varint" v (Codec.Dec.varint dec))
+    values;
+  Alcotest.(check bool) "consumed all" true (Codec.Dec.at_end dec)
+
+let test_codec_zigzag_roundtrip () =
+  let enc = Codec.Enc.create () in
+  let values = [ 0; -1; 1; -64; 64; -1_000_000; 1_000_000 ] in
+  List.iter (Codec.Enc.zigzag enc) values;
+  let dec = Codec.Dec.of_bytes (Codec.Enc.to_bytes enc) in
+  List.iter (fun v -> Alcotest.(check int) "zigzag" v (Codec.Dec.zigzag dec)) values
+
+let test_codec_mixed_roundtrip () =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.string enc "hello";
+  Codec.Enc.float enc 3.14159;
+  Codec.Enc.bool enc true;
+  Codec.Enc.string enc "";
+  let dec = Codec.Dec.of_bytes (Codec.Enc.to_bytes enc) in
+  Alcotest.(check string) "string" "hello" (Codec.Dec.string dec);
+  check_float "float" 3.14159 (Codec.Dec.float dec);
+  Alcotest.(check bool) "bool" true (Codec.Dec.bool dec);
+  Alcotest.(check string) "empty string" "" (Codec.Dec.string dec)
+
+let test_codec_truncated () =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.string enc "abcdef";
+  let b = Codec.Enc.to_bytes enc in
+  let dec = Codec.Dec.of_bytes (Bytes.sub b 0 3) in
+  Alcotest.check_raises "truncated" Codec.Dec.Truncated (fun () ->
+      ignore (Codec.Dec.string dec))
+
+let test_codec_negative_varint () =
+  let enc = Codec.Enc.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Codec.Enc.varint: negative")
+    (fun () -> Codec.Enc.varint enc (-1))
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:1000
+    QCheck.(map abs int)
+    (fun v ->
+      let enc = Codec.Enc.create () in
+      Codec.Enc.varint enc v;
+      let dec = Codec.Dec.of_bytes (Codec.Enc.to_bytes enc) in
+      Codec.Dec.varint dec = v)
+
+let prop_zigzag_roundtrip =
+  QCheck.Test.make ~name:"zigzag roundtrip" ~count:1000
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun v ->
+      let enc = Codec.Enc.create () in
+      Codec.Enc.zigzag enc v;
+      let dec = Codec.Dec.of_bytes (Codec.Enc.to_bytes enc) in
+      Codec.Dec.zigzag dec = v)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:500 QCheck.string (fun s ->
+      let enc = Codec.Enc.create () in
+      Codec.Enc.string enc s;
+      let dec = Codec.Dec.of_bytes (Codec.Enc.to_bytes enc) in
+      Codec.Dec.string dec = s)
+
+(* --- Compress --- *)
+
+let test_compress_roundtrip_simple () =
+  let data = Bytes.of_string "hello hello hello hello world world world" in
+  let c = Compress.compress data in
+  Alcotest.(check bytes) "roundtrip" data (Compress.decompress c)
+
+let test_compress_empty () =
+  let data = Bytes.empty in
+  Alcotest.(check bytes) "empty roundtrip" data
+    (Compress.decompress (Compress.compress data))
+
+let test_compress_shrinks_repetitive () =
+  let data = Bytes.of_string (String.concat "" (List.init 100 (fun _ -> "abcdefgh"))) in
+  let r = Compress.ratio data in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f < 0.2" r)
+    true (r < 0.2)
+
+let test_compress_long_runs () =
+  let data = Bytes.make 10_000 'x' in
+  let c = Compress.compress data in
+  Alcotest.(check bool) "run compresses hard" true (Bytes.length c < 200);
+  Alcotest.(check bytes) "roundtrip" data (Compress.decompress c)
+
+let test_compress_rejects_garbage () =
+  Alcotest.(check bool) "garbage raises" true
+    (try
+       ignore (Compress.decompress (Bytes.of_string "\x05\x07\x07\x07"));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_compress_roundtrip =
+  QCheck.Test.make ~name:"compress roundtrip" ~count:300 QCheck.string (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Compress.decompress (Compress.compress b)))
+
+let prop_compress_roundtrip_repetitive =
+  QCheck.Test.make ~name:"compress roundtrip (repetitive)" ~count:200
+    QCheck.(pair small_string (int_range 1 50))
+    (fun (s, k) ->
+      let b = Bytes.of_string (String.concat "" (List.init k (fun _ -> s))) in
+      Bytes.equal b (Compress.decompress (Compress.compress b)))
+
+(* --- Tablefmt --- *)
+
+let test_tablefmt_renders () =
+  let t = Tablefmt.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Tablefmt.add_row t [ "1"; "2" ];
+  Tablefmt.add_row t [ "333" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* Every rendered line must share the same width (box alignment). *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "" && l <> "T") in
+  let widths = List.map String.length lines in
+  match widths with
+  | [] -> Alcotest.fail "no lines"
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+
+let test_fmt_si () =
+  Alcotest.(check string) "k" "12.3k" (Tablefmt.fmt_si 12_345.0);
+  Alcotest.(check string) "M" "4.57M" (Tablefmt.fmt_si 4_567_000.0);
+  Alcotest.(check string) "plain" "42.0" (Tablefmt.fmt_si 42.0)
+
+let () =
+  Alcotest.run "gg_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "chance frequency" `Quick test_rng_chance_frequency;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "theta0 uniform" `Quick test_zipf_uniform_theta0;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "paper MC hotspot" `Quick test_zipf_mc_hotspot;
+          Alcotest.test_case "invalid theta" `Quick test_zipf_invalid;
+          Alcotest.test_case "scrambled range" `Quick test_zipf_scrambled_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "acc basic" `Quick test_acc_basic;
+          Alcotest.test_case "acc empty" `Quick test_acc_empty;
+          Alcotest.test_case "acc merge" `Quick test_acc_merge;
+          Alcotest.test_case "hist percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "hist mean" `Quick test_hist_mean;
+          Alcotest.test_case "hist merge" `Quick test_hist_merge;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "varint roundtrip" `Quick test_codec_varint_roundtrip;
+          Alcotest.test_case "zigzag roundtrip" `Quick test_codec_zigzag_roundtrip;
+          Alcotest.test_case "mixed roundtrip" `Quick test_codec_mixed_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "negative varint" `Quick test_codec_negative_varint;
+          QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+          QCheck_alcotest.to_alcotest prop_zigzag_roundtrip;
+          QCheck_alcotest.to_alcotest prop_string_roundtrip;
+        ] );
+      ( "compress",
+        [
+          Alcotest.test_case "roundtrip simple" `Quick test_compress_roundtrip_simple;
+          Alcotest.test_case "empty" `Quick test_compress_empty;
+          Alcotest.test_case "shrinks repetitive" `Quick test_compress_shrinks_repetitive;
+          Alcotest.test_case "long runs" `Quick test_compress_long_runs;
+          Alcotest.test_case "rejects garbage" `Quick test_compress_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_compress_roundtrip;
+          QCheck_alcotest.to_alcotest prop_compress_roundtrip_repetitive;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "renders aligned" `Quick test_tablefmt_renders;
+          Alcotest.test_case "fmt_si" `Quick test_fmt_si;
+        ] );
+    ]
