@@ -4,96 +4,82 @@
      main.exe                 run every paper experiment + microbenchmarks
      main.exe fig5 table3 ... run specific experiments
      main.exe micro           run only the Bechamel kernel benchmarks
+     main.exe wallclock       end-to-end wall-clock throughput suite
+                              (writes BENCH_wallclock.json)
      main.exe --fast [...]    shrunk populations/windows (smoke mode)
 
    Experiments regenerate the rows/series of every table and figure in
    the paper's evaluation (§7); see DESIGN.md for the index and
    EXPERIMENTS.md for recorded paper-vs-measured comparisons. *)
 
-let ms_of_span s = Bechamel.Time.span_to_uint64_ns s |> Int64.to_float |> fun ns -> ns /. 1e6
-
-let () = ignore ms_of_span
-
 (* --- Bechamel microbenchmarks of the core kernels --- *)
 
+let bench name f = Bechamel.Test.make ~name (Bechamel.Staged.stage f)
+
 let bench_merge_rule =
-  let open Bechamel in
-  Test.make ~name:"delta-crdt merge (Algorithm 2)"
-    (Staged.stage (fun () ->
-         let header = Gg_storage.Row_header.create () in
-         for i = 1 to 100 do
-           let meta =
-             Gg_crdt.Meta.make ~sen:(i mod 7) ~cen:1
-               ~csn:(Gg_storage.Csn.make ~ts:i ~node:(i mod 3))
-           in
-           ignore (Gg_crdt.Merge.merge_header header ~meta)
-         done))
+  bench "delta-crdt merge (Algorithm 2)" (fun () ->
+      let header = Gg_storage.Row_header.create () in
+      for i = 1 to 100 do
+        let meta =
+          Gg_crdt.Meta.make ~sen:(i mod 7) ~cen:1
+            ~csn:(Gg_storage.Csn.make ~ts:i ~node:(i mod 3))
+        in
+        ignore (Gg_crdt.Merge.merge_header header ~meta)
+      done)
 
 let bench_writeset_codec =
-  let open Bechamel in
   let ws =
     Gg_crdt.Writeset.make
       ~meta:(Gg_crdt.Meta.make ~sen:1 ~cen:2 ~csn:(Gg_storage.Csn.make ~ts:3 ~node:1))
       ~records:
         (List.init 10 (fun i ->
-             {
-               Gg_crdt.Writeset.table = "usertable";
-               key = [| Gg_storage.Value.Int i |];
-               op = Gg_crdt.Writeset.Update;
-               data =
-                 Array.init 11 (fun c ->
-                     if c = 0 then Gg_storage.Value.Int i
-                     else Gg_storage.Value.Str "abcdefghijklmnop");
-             }))
+             Gg_crdt.Writeset.make_record ~table:"usertable"
+               ~key:[| Gg_storage.Value.Int i |] ~op:Gg_crdt.Writeset.Update
+               ~data:
+                 (Array.init 11 (fun c ->
+                      if c = 0 then Gg_storage.Value.Int i
+                      else Gg_storage.Value.Str "abcdefghijklmnop"))
+               ()))
       ()
   in
   let batch = Gg_crdt.Writeset.Batch.make ~node:0 ~cen:2 ~txns:[ ws ] ~eof:true () in
-  Test.make ~name:"write-set batch encode+gzip+decode"
-    (Staged.stage (fun () ->
-         let wire = Gg_crdt.Writeset.Batch.to_wire batch in
-         ignore (Gg_crdt.Writeset.Batch.of_wire wire)))
+  bench "write-set batch encode+gzip+decode" (fun () ->
+      let wire = Gg_crdt.Writeset.Batch.to_wire batch in
+      ignore (Gg_crdt.Writeset.Batch.of_wire wire))
 
 let bench_zipf =
-  let open Bechamel in
   let z = Gg_util.Zipf.create ~theta:0.8 ~n:1_000_000 in
   let rng = Gg_util.Rng.create 7 in
-  Test.make ~name:"zipfian sampling (theta=0.8, 1M keys)"
-    (Staged.stage (fun () ->
-         for _ = 1 to 100 do
-           ignore (Gg_util.Zipf.scrambled z rng)
-         done))
+  bench "zipfian sampling (theta=0.8, 1M keys)" (fun () ->
+      for _ = 1 to 100 do
+        ignore (Gg_util.Zipf.scrambled z rng)
+      done)
 
 let bench_event_queue =
-  let open Bechamel in
-  Test.make ~name:"event queue push/pop (1k events)"
-    (Staged.stage (fun () ->
-         let q = Gg_sim.Event_queue.create () in
-         let rng = Gg_util.Rng.create 3 in
-         for _ = 1 to 1_000 do
-           Gg_sim.Event_queue.push q ~time:(Gg_util.Rng.int rng 100_000) ()
-         done;
-         while not (Gg_sim.Event_queue.is_empty q) do
-           ignore (Gg_sim.Event_queue.pop q)
-         done))
+  bench "event queue push/pop (1k events)" (fun () ->
+      let q = Gg_sim.Event_queue.create () in
+      let rng = Gg_util.Rng.create 3 in
+      for _ = 1 to 1_000 do
+        Gg_sim.Event_queue.push q ~time:(Gg_util.Rng.int rng 100_000) ()
+      done;
+      while not (Gg_sim.Event_queue.is_empty q) do
+        ignore (Gg_sim.Event_queue.pop q)
+      done)
 
 let bench_sql_parse =
-  let open Bechamel in
-  Test.make ~name:"sql parse (point select)"
-    (Staged.stage (fun () ->
-         ignore
-           (Gg_sql.Parser.parse
-              "SELECT c_name, c_balance FROM customer WHERE c_w_id = 3 AND \
-               c_d_id = 5 AND c_id = 42")))
+  bench "sql parse (point select)" (fun () ->
+      ignore
+        (Gg_sql.Parser.parse
+           "SELECT c_name, c_balance FROM customer WHERE c_w_id = 3 AND \
+            c_d_id = 5 AND c_id = 42"))
 
 let bench_op_exec =
-  let open Bechamel in
   let db = Gg_storage.Db.create () in
   let p = Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 10_000 in
   Gg_workload.Ycsb.load p db;
   let g = Gg_workload.Ycsb.create p ~seed:5 in
-  Test.make ~name:"op-level txn execution (YCSB, 10 ops)"
-    (Staged.stage (fun () ->
-         ignore (Geogauss.Op_exec.exec db (Gg_workload.Ycsb.next_txn g))))
+  bench "op-level txn execution (YCSB, 10 ops)" (fun () ->
+      ignore (Geogauss.Op_exec.exec db (Gg_workload.Ycsb.next_txn g)))
 
 let run_micro () =
   let open Bechamel in
@@ -123,13 +109,123 @@ let run_micro () =
         results)
     benchmarks
 
+(* --- Wall-clock throughput suite ---
+
+   Unlike the Bechamel kernels above, these drive a whole simulated
+   cluster end-to-end and measure how fast the simulator itself chews
+   through a fixed scenario: sim-events/s, merge throughput
+   (records/s through DeltaCRDTMerge phase A) and actual
+   encode+compress passes per second. The scenario is fully seeded, so
+   before/after comparisons see identical work. *)
+
+type wallclock_row = {
+  wc_label : string;
+  wc_sim_ms : int;
+  wc_wall_s : float;
+  wc_events : int;
+  wc_merged : int;
+  wc_encodes : int;
+  wc_committed : int;
+  wc_aborted : int;
+}
+
+let wallclock_scenario ~label ~topology ~load ~gen ~connections ~sim_ms =
+  let cluster = Geogauss.Cluster.create ~topology ~load () in
+  let n = Gg_sim.Topology.n_nodes topology in
+  let clients =
+    List.init n (fun i ->
+        let next = gen i in
+        let cl =
+          Geogauss.Client.create cluster ~home:i ~connections ~gen:(fun () ->
+              Geogauss.Txn.Op_txn (next ()))
+        in
+        Geogauss.Client.start cl;
+        cl)
+  in
+  let sim = Geogauss.Cluster.sim cluster in
+  Gg_crdt.Writeset.Batch.reset_encode_count ();
+  let ev0 = Gg_sim.Sim.events sim in
+  let t0 = Unix.gettimeofday () in
+  Geogauss.Cluster.run_for_ms cluster sim_ms;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  List.iter Geogauss.Client.stop clients;
+  let merged = ref 0 in
+  for i = 0 to n - 1 do
+    merged :=
+      !merged + Geogauss.Metrics.merged_records (Geogauss.Cluster.metrics cluster i)
+  done;
+  {
+    wc_label = label;
+    wc_sim_ms = sim_ms;
+    wc_wall_s = wall_s;
+    wc_events = Gg_sim.Sim.events sim - ev0;
+    wc_merged = !merged;
+    wc_encodes = Gg_crdt.Writeset.Batch.encode_count ();
+    wc_committed = Geogauss.Cluster.total_committed cluster;
+    wc_aborted = Geogauss.Cluster.total_aborted cluster;
+  }
+
+let per_sec count wall_s = float_of_int count /. max 1e-9 wall_s
+
+let run_wallclock ~fast () =
+  let sim_ms = if fast then 500 else 2_000 in
+  let records = if fast then 5_000 else 20_000 in
+  let ycsb =
+    let profile = Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention records in
+    wallclock_scenario ~label:"ycsb-medium/china3"
+      ~topology:(Gg_sim.Topology.china3 ())
+      ~load:(Gg_workload.Ycsb.load profile)
+      ~gen:(Gg_harness.Driver.ycsb_gens profile ~seed:42)
+      ~connections:64 ~sim_ms
+  in
+  let tpcc =
+    let cfg = Gg_workload.Tpcc.small in
+    wallclock_scenario ~label:"tpcc-small/china3"
+      ~topology:(Gg_sim.Topology.china3 ())
+      ~load:(Gg_workload.Tpcc.load cfg)
+      ~gen:(Gg_harness.Driver.tpcc_gens cfg ~seed:42)
+      ~connections:32 ~sim_ms
+  in
+  let rows = [ ycsb; tpcc ] in
+  print_endline "Wall-clock throughput (fixed seeded scenarios)";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-22s %6.2f s wall for %d sim-ms | %10.0f events/s | %9.0f \
+         merged-rec/s | %8.0f batches-enc/s | %d committed, %d aborted\n%!"
+        r.wc_label r.wc_wall_s r.wc_sim_ms
+        (per_sec r.wc_events r.wc_wall_s)
+        (per_sec r.wc_merged r.wc_wall_s)
+        (per_sec r.wc_encodes r.wc_wall_s)
+        r.wc_committed r.wc_aborted)
+    rows;
+  let oc = open_out "BENCH_wallclock.json" in
+  let row_json r =
+    Printf.sprintf
+      "    {\"label\": \"%s\", \"sim_ms\": %d, \"wall_s\": %.4f, \"events\": \
+       %d, \"events_per_s\": %.1f, \"merged_records\": %d, \
+       \"merged_records_per_s\": %.1f, \"batches_encoded\": %d, \
+       \"batches_encoded_per_s\": %.1f, \"committed\": %d, \"aborted\": %d}"
+      r.wc_label r.wc_sim_ms r.wc_wall_s r.wc_events
+      (per_sec r.wc_events r.wc_wall_s)
+      r.wc_merged
+      (per_sec r.wc_merged r.wc_wall_s)
+      r.wc_encodes
+      (per_sec r.wc_encodes r.wc_wall_s)
+      r.wc_committed r.wc_aborted
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"wallclock\",\n  \"scenarios\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  print_endline "  wrote BENCH_wallclock.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let fast = List.mem "--fast" args in
   let args = List.filter (fun a -> a <> "--fast") args in
   let run_experiment name =
     if not (Gg_harness.Experiments.run ~fast name) then begin
-      Printf.eprintf "unknown experiment %s; available: %s micro\n" name
+      Printf.eprintf "unknown experiment %s; available: %s micro wallclock\n" name
         (String.concat " " (List.map fst Gg_harness.Experiments.all));
       exit 1
     end
@@ -141,9 +237,14 @@ let () =
         Printf.printf "=== %s ===\n%!" name;
         run_experiment name)
       Gg_harness.Experiments.all;
-    run_micro ()
+    run_micro ();
+    run_wallclock ~fast ()
   | [ "micro" ] -> run_micro ()
   | names ->
     List.iter
-      (fun name -> if name = "micro" then run_micro () else run_experiment name)
+      (fun name ->
+        match name with
+        | "micro" -> run_micro ()
+        | "wallclock" -> run_wallclock ~fast ()
+        | _ -> run_experiment name)
       names

@@ -20,6 +20,7 @@ type t = {
   mutable merge : Stats.Acc.t;
   mutable log : Stats.Acc.t;
   mutable per_epoch : (int, epoch_cell) Hashtbl.t;
+  mutable merged_records : int;
 }
 
 let create () =
@@ -41,9 +42,12 @@ let create () =
     merge = Stats.Acc.create ();
     log = Stats.Acc.create ();
     per_epoch = Hashtbl.create 256;
+    merged_records = 0;
   }
 
 let record_start t = t.started <- t.started + 1
+let record_merged_records t n = t.merged_records <- t.merged_records + n
+let merged_records t = t.merged_records
 
 let record_outcome t outcome =
   let lat = float_of_int (Txn.outcome_latency outcome) in
@@ -124,4 +128,5 @@ let reset t =
   t.wait <- Stats.Acc.create ();
   t.merge <- Stats.Acc.create ();
   t.log <- Stats.Acc.create ();
-  t.per_epoch <- Hashtbl.create 256
+  t.per_epoch <- Hashtbl.create 256;
+  t.merged_records <- 0

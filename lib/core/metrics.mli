@@ -16,6 +16,12 @@ val record_phases : t -> Txn.phases -> unit
 
 val record_epoch_commit : t -> cen:int -> latency_us:int -> unit
 
+val record_merged_records : t -> int -> unit
+(** Add [n] to the count of write-set records pushed through the merge
+    loop (DeltaCRDTMerge phase A), duplicates included. *)
+
+val merged_records : t -> int
+
 val started : t -> int
 val committed : t -> int
 val aborted : t -> int

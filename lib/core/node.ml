@@ -11,6 +11,35 @@ module Merge = Gg_crdt.Merge
 module Meta = Gg_crdt.Meta
 module Executor = Gg_sql.Executor
 
+(* Monomorphic hash tables for the per-epoch bookkeeping. The stock
+   [Hashtbl] hashes tuple keys through the generic polymorphic runtime
+   path and allocates a tuple per probe; packing (cen, peer) and
+   (ts, node) into single ints keeps the merge loop allocation-free. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+  let hash = Hashtbl.hash
+end)
+
+module Stbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+(* Peer / csn-node ids fit in 10 bits (<= 1024 replicas); csn timestamps
+   are sim microseconds, far below the remaining 53 bits. *)
+let node_bits = 10
+let pack_cp ~cen ~peer = (cen lsl node_bits) lor peer
+let cen_of_cp k = k lsr node_bits
+let pack_csn (c : Csn.t) = (c.Csn.ts lsl node_bits) lor c.Csn.node
+
+(* (table, encoded-key) pair flattened to one string key; table names
+   never contain NUL so the encoding is unambiguous. *)
+let pack_row ~table ~key_str = String.concat "\x00" [ table; key_str ]
+
 type msg =
   | Batch_msg of Writeset.Batch.t
   | Ft_ack of { cen : int; from : int }
@@ -29,7 +58,7 @@ type env = {
 
 type batch_state = {
   mutable txns : Writeset.t list;  (* newest first, deduplicated by csn *)
-  txn_keys : (int * int, unit) Hashtbl.t;
+  txn_keys : unit Itbl.t;  (* packed csn *)
   mutable eof : bool;
   mutable expected : int;  (* txn count announced by the EOF; -1 until then *)
   mutable committed : bool;  (* Ft_raft gate; true otherwise *)
@@ -46,11 +75,11 @@ type t = {
   mutable lsn : int;
   mutable sealed_epoch : int;
   mutable current_send : (int * Writeset.t) list;  (* (cen, ws), newest first *)
-  remote : (int * int, batch_state) Hashtbl.t;  (* (cen, peer) *)
-  local_sealed : (int, Writeset.t list) Hashtbl.t;
-  waiting : (int, Txn.t list) Hashtbl.t;  (* cen -> local txns *)
-  notify_gate : (int, int) Hashtbl.t;  (* cen -> earliest client-notify time *)
-  ft_acks : (int, int list ref) Hashtbl.t;
+  remote : batch_state Itbl.t;  (* packed (cen, peer) *)
+  local_sealed : Writeset.t list Itbl.t;  (* cen *)
+  waiting : Txn.t list Itbl.t;  (* cen -> local txns *)
+  notify_gate : int Itbl.t;  (* cen -> earliest client-notify time *)
+  ft_acks : int list ref Itbl.t;  (* cen *)
   sync_queue : Txn.t Queue.t;  (* GeoG-S: held until a fresh snapshot *)
   last_eof : int array;
   mutable merging : bool;
@@ -71,11 +100,11 @@ let create env ~id ~db =
     lsn = -1;
     sealed_epoch = -1;
     current_send = [];
-    remote = Hashtbl.create 64;
-    local_sealed = Hashtbl.create 64;
-    waiting = Hashtbl.create 64;
-    notify_gate = Hashtbl.create 64;
-    ft_acks = Hashtbl.create 16;
+    remote = Itbl.create 64;
+    local_sealed = Itbl.create 64;
+    waiting = Itbl.create 64;
+    notify_gate = Itbl.create 64;
+    ft_acks = Itbl.create 16;
     sync_queue = Queue.create ();
     last_eof = Array.make n 0;
     merging = false;
@@ -91,7 +120,7 @@ let metrics t = t.metrics
 let active t = t.active
 
 let pending_waiting t =
-  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.waiting 0
+  Itbl.fold (fun _ l acc -> acc + List.length l) t.waiting 0
 
 let now t = Sim.now t.env.sim
 let epoch_us t = t.env.params.Params.epoch_us
@@ -196,7 +225,7 @@ let seal_epoch t e =
   let mine, rest = List.partition (fun (cen, _) -> cen = e) t.current_send in
   t.current_send <- rest;
   let txns = List.rev_map snd mine in
-  Hashtbl.replace t.local_sealed e txns;
+  Itbl.replace t.local_sealed e txns;
   let batch = Writeset.Batch.make ~node:t.id ~cen:e ~txns ~eof:true () in
   Backup.put t.env.backup batch;
   (* With pipelining the write sets already went out in mini-batches;
@@ -209,7 +238,7 @@ let seal_epoch t e =
   in
   let bytes = Writeset.Batch.wire_size wire_batch in
   broadcast t ~bytes (Batch_msg wire_batch);
-  Hashtbl.replace t.notify_gate e (now t + ft_gate_delay t);
+  Itbl.replace t.notify_gate e (now t + ft_gate_delay t);
   t.sealed_epoch <- e
 
 let rec schedule_boundary t e =
@@ -226,22 +255,25 @@ let rec schedule_boundary t e =
 and collect_epoch_txns t e =
   (* Local + all remote updates of epoch e, deduplicated by csn (the
      network may duplicate; merge must stay idempotent). *)
-  let seen = Hashtbl.create 64 in
+  let seen = Itbl.create 64 in
   let add acc (ws : Writeset.t) =
-    let k = ws.Writeset.meta.Meta.csn in
-    if Hashtbl.mem seen (k.Csn.ts, k.Csn.node) then acc
+    let k = pack_csn ws.Writeset.meta.Meta.csn in
+    if Itbl.mem seen k then acc
     else begin
-      Hashtbl.replace seen (k.Csn.ts, k.Csn.node) ();
+      Itbl.replace seen k ();
       ws :: acc
     end
   in
-  let acc = List.fold_left add [] (Option.value ~default:[] (Hashtbl.find_opt t.local_sealed e)) in
+  let acc =
+    List.fold_left add []
+      (Option.value ~default:[] (Itbl.find_opt t.local_sealed e))
+  in
   let acc =
     List.fold_left
       (fun acc peer ->
         if peer = t.id then acc
         else
-          match Hashtbl.find_opt t.remote (e, peer) with
+          match Itbl.find_opt t.remote (pack_cp ~cen:e ~peer) with
           | None -> acc
           | Some bs -> List.fold_left add acc (List.rev bs.txns))
       acc
@@ -255,10 +287,10 @@ and merge_ready t e =
        (fun peer ->
          peer = t.id
          ||
-         match Hashtbl.find_opt t.remote (e, peer) with
+         match Itbl.find_opt t.remote (pack_cp ~cen:e ~peer) with
          | Some bs ->
            bs.eof
-           && Hashtbl.length bs.txn_keys >= bs.expected
+           && Itbl.length bs.txn_keys >= bs.expected
            && (bs.committed || t.env.params.Params.ft <> Params.Ft_raft)
          | None -> false)
        (t.env.members_at e)
@@ -294,20 +326,19 @@ and do_merge t e txns ~merge_started ~duration =
      We deliberately keep pre-writing a transaction's remaining records
      after one of them loses: each row's final header must be the
      per-row Lemma 2 winner independent of processing order. *)
-  let dead : (int * int, Txn.abort_reason) Hashtbl.t = Hashtbl.create 64 in
-  let csn_key (ws : Writeset.t) =
-    let c = ws.Writeset.meta.Meta.csn in
-    (c.Csn.ts, c.Csn.node)
-  in
+  let dead : Txn.abort_reason Itbl.t = Itbl.create 64 in
+  let csn_key (ws : Writeset.t) = pack_csn ws.Writeset.meta.Meta.csn in
   let mark ws reason =
     let k = csn_key ws in
-    if not (Hashtbl.mem dead k) then Hashtbl.replace dead k reason
+    if not (Itbl.mem dead k) then Itbl.replace dead k reason
   in
+  let n_records = ref 0 in
   List.iter
     (fun (ws : Writeset.t) ->
       let meta = ws.Writeset.meta in
       List.iter
         (fun (r : Writeset.record) ->
+          incr n_records;
           match Db.get_table t.db r.Writeset.table with
           | None -> mark ws (Txn.Constraint_violation "unknown table")
           | Some table -> (
@@ -333,13 +364,14 @@ and do_merge t e txns ~merge_started ~duration =
                 | Merge.Lose -> mark ws Txn.Write_conflict))))
         ws.Writeset.records)
     txns;
+  Metrics.record_merged_records t.metrics !n_records;
   (* Phase B: validation — a transaction commits iff it still holds the
      header of every row it wrote. *)
-  let committed_set : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let committed_set : unit Itbl.t = Itbl.create 64 in
   List.iter
     (fun (ws : Writeset.t) ->
       let k = csn_key ws in
-      if not (Hashtbl.mem dead k) then begin
+      if not (Itbl.mem dead k) then begin
         let meta = ws.Writeset.meta in
         let holds_all =
           List.for_all
@@ -362,7 +394,7 @@ and do_merge t e txns ~merge_started ~duration =
                 | None -> false))
             ws.Writeset.records
         in
-        if holds_all then Hashtbl.replace committed_set k ()
+        if holds_all then Itbl.replace committed_set k ()
         else mark ws Txn.Write_conflict
       end)
     txns;
@@ -373,45 +405,50 @@ and do_merge t e txns ~merge_started ~duration =
      pre-filter survivor set, so they are order-independent and identical
      on every replica. *)
   if t.env.params.Params.isolation = Params.SSI then begin
-    let writes_of : (string * string, (int * int) list) Hashtbl.t =
-      Hashtbl.create 64
-    in
-    let reads_of : (string * string, (int * int) list) Hashtbl.t =
-      Hashtbl.create 64
-    in
+    let writes_of : int list Stbl.t = Stbl.create 64 in
+    let reads_of : int list Stbl.t = Stbl.create 64 in
     let add tbl key v =
-      Hashtbl.replace tbl key (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+      Stbl.replace tbl key (v :: Option.value ~default:[] (Stbl.find_opt tbl key))
     in
     List.iter
       (fun (ws : Writeset.t) ->
         let k = csn_key ws in
-        if Hashtbl.mem committed_set k then begin
+        if Itbl.mem committed_set k then begin
           List.iter
             (fun (r : Writeset.record) ->
-              add writes_of (r.Writeset.table, Writeset.key_str r) k)
+              add writes_of
+                (pack_row ~table:r.Writeset.table ~key_str:(Writeset.key_str r))
+                k)
             ws.Writeset.records;
-          List.iter (fun rk -> add reads_of rk k) ws.Writeset.read_keys
+          List.iter
+            (fun (table, key_str) -> add reads_of (pack_row ~table ~key_str) k)
+            ws.Writeset.read_keys
         end)
       txns;
     let others tbl key k =
-      List.exists (fun k' -> k' <> k) (Option.value ~default:[] (Hashtbl.find_opt tbl key))
+      List.exists (fun k' -> k' <> k) (Option.value ~default:[] (Stbl.find_opt tbl key))
     in
     List.iter
       (fun (ws : Writeset.t) ->
         let k = csn_key ws in
-        if Hashtbl.mem committed_set k then begin
+        if Itbl.mem committed_set k then begin
           let outgoing =
-            List.exists (fun rk -> others writes_of rk k) ws.Writeset.read_keys
+            List.exists
+              (fun (table, key_str) -> others writes_of (pack_row ~table ~key_str) k)
+              ws.Writeset.read_keys
           in
           let incoming =
             List.exists
               (fun (r : Writeset.record) ->
-                others reads_of (r.Writeset.table, Writeset.key_str r) k)
+                others reads_of
+                  (pack_row ~table:r.Writeset.table
+                     ~key_str:(Writeset.key_str r))
+                  k)
               ws.Writeset.records
           in
           if outgoing && incoming then begin
-            Hashtbl.remove committed_set k;
-            Hashtbl.replace dead k Txn.Ssi_conflict
+            Itbl.remove committed_set k;
+            Itbl.replace dead k Txn.Ssi_conflict
           end
         end)
       txns
@@ -419,7 +456,7 @@ and do_merge t e txns ~merge_started ~duration =
   (* Phase C: write-back for the winners. *)
   List.iter
     (fun (ws : Writeset.t) ->
-      if Hashtbl.mem committed_set (csn_key ws) then begin
+      if Itbl.mem committed_set (csn_key ws) then begin
         let meta = ws.Writeset.meta in
         List.iter
           (fun (r : Writeset.record) ->
@@ -452,14 +489,14 @@ and do_merge t e txns ~merge_started ~duration =
      epochs"; keep a generous window and reclaim the rest. *)
   if e mod 100 = 0 then ignore (Db.purge_tombstones t.db ~before_cen:(e - 100));
   (* Notify the local transactions of this epoch. *)
-  let locals = Option.value ~default:[] (Hashtbl.find_opt t.waiting e) in
-  let gate = Option.value ~default:0 (Hashtbl.find_opt t.notify_gate e) in
+  let locals = Option.value ~default:[] (Itbl.find_opt t.waiting e) in
+  let gate = Option.value ~default:0 (Itbl.find_opt t.notify_gate e) in
   List.iter
     (fun (txn : Txn.t) ->
       let k =
         match txn.Txn.writeset with
         | Some ws -> csn_key ws
-        | None -> (0, 0)
+        | None -> 0
       in
       txn.Txn.phases.wait_us <-
         txn.Txn.phases.wait_us + (merge_started - txn.Txn.commit_point);
@@ -473,23 +510,25 @@ and do_merge t e txns ~merge_started ~duration =
       txn.Txn.phases.log_us <- log_us;
       let extra_gate = max 0 (gate - now t) in
       Sim.schedule t.env.sim ~after:(extra_gate + log_us) (fun () ->
-          if Hashtbl.mem committed_set k then begin
+          if Itbl.mem committed_set k then begin
             Metrics.record_epoch_commit t.metrics ~cen:e
               ~latency_us:(now t - txn.Txn.submit_time);
             finish_committed t txn
           end
           else
             let reason =
-              Option.value ~default:Txn.Write_conflict (Hashtbl.find_opt dead k)
+              Option.value ~default:Txn.Write_conflict (Itbl.find_opt dead k)
             in
             finish_aborted t txn reason))
     locals;
   (* Bounded memory: drop per-epoch bookkeeping. *)
-  Hashtbl.remove t.waiting e;
-  Hashtbl.remove t.local_sealed e;
-  Hashtbl.remove t.notify_gate e;
-  Hashtbl.remove t.ft_acks e;
-  List.iter (fun peer -> Hashtbl.remove t.remote (e, peer)) (t.env.members_at e);
+  Itbl.remove t.waiting e;
+  Itbl.remove t.local_sealed e;
+  Itbl.remove t.notify_gate e;
+  Itbl.remove t.ft_acks e;
+  List.iter
+    (fun peer -> Itbl.remove t.remote (pack_cp ~cen:e ~peer))
+    (t.env.members_at e);
   t.env.on_snapshot ~node:t.id ~lsn:e;
   (* GeoG-S: a fresh snapshot releases held transactions. *)
   release_sync_queue t
@@ -641,7 +680,7 @@ and commit_point t (txn : Txn.t) =
               txn.Txn.read_set
           else []
         in
-        let ws = { ws with Writeset.meta; read_keys } in
+        let ws = Writeset.with_commit ws ~meta ~read_keys in
         txn.Txn.writeset <- Some ws;
         txn.Txn.cen <- cen;
         txn.Txn.csn <- csn;
@@ -668,25 +707,26 @@ and commit_point t (txn : Txn.t) =
             in
             broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini)
           end;
-          let q = Option.value ~default:[] (Hashtbl.find_opt t.waiting cen) in
-          Hashtbl.replace t.waiting cen (txn :: q)))
+          let q = Option.value ~default:[] (Itbl.find_opt t.waiting cen) in
+          Itbl.replace t.waiting cen (txn :: q)))
 
 (* --- Algorithm 3: receive side --- *)
 
 and batch_state t ~cen ~peer =
-  match Hashtbl.find_opt t.remote (cen, peer) with
+  let key = pack_cp ~cen ~peer in
+  match Itbl.find_opt t.remote key with
   | Some bs -> bs
   | None ->
     let bs =
       {
         txns = [];
-        txn_keys = Hashtbl.create 8;
+        txn_keys = Itbl.create 8;
         eof = false;
         expected = -1;
         committed = t.env.params.Params.ft <> Params.Ft_raft;
       }
     in
-    Hashtbl.replace t.remote (cen, peer) bs;
+    Itbl.replace t.remote key bs;
     bs
 
 and receive t msg =
@@ -701,10 +741,9 @@ and receive t msg =
         let bs = batch_state t ~cen:b.Writeset.Batch.cen ~peer:b.Writeset.Batch.node in
         List.iter
           (fun (ws : Writeset.t) ->
-            let c = ws.Writeset.meta.Meta.csn in
-            let k = (c.Csn.ts, c.Csn.node) in
-            if not (Hashtbl.mem bs.txn_keys k) then begin
-              Hashtbl.replace bs.txn_keys k ();
+            let k = pack_csn ws.Writeset.meta.Meta.csn in
+            if not (Itbl.mem bs.txn_keys k) then begin
+              Itbl.replace bs.txn_keys k ();
               bs.txns <- ws :: bs.txns
             end)
           b.Writeset.Batch.txns;
@@ -720,11 +759,11 @@ and receive t msg =
       end
     | Ft_ack { cen; from } ->
       let acks =
-        match Hashtbl.find_opt t.ft_acks cen with
+        match Itbl.find_opt t.ft_acks cen with
         | Some l -> l
         | None ->
           let l = ref [] in
-          Hashtbl.replace t.ft_acks cen l;
+          Itbl.replace t.ft_acks cen l;
           l
       in
       if not (List.mem from !acks) then begin
@@ -750,11 +789,11 @@ let set_active t v =
     (* Crash: drop all volatile per-epoch state; in-flight local txns are
        lost (their clients time out and retry elsewhere). *)
     t.active <- false;
-    Hashtbl.reset t.remote;
-    Hashtbl.reset t.local_sealed;
-    Hashtbl.reset t.waiting;
-    Hashtbl.reset t.notify_gate;
-    Hashtbl.reset t.ft_acks;
+    Itbl.reset t.remote;
+    Itbl.reset t.local_sealed;
+    Itbl.reset t.waiting;
+    Itbl.reset t.notify_gate;
+    Itbl.reset t.ft_acks;
     Queue.clear t.sync_queue;
     t.current_send <- [];
     t.merging <- false
@@ -765,7 +804,7 @@ let missing_sealed_epochs t ~peer ~upto =
   let missing = ref [] in
   for e = upto downto t.lsn + 1 do
     let have =
-      match Hashtbl.find_opt t.remote (e, peer) with
+      match Itbl.find_opt t.remote (pack_cp ~cen:e ~peer) with
       | Some bs -> bs.eof
       | None -> false
     in
@@ -780,13 +819,13 @@ let install_state t ~lsn ~db =
   (* Keep batches buffered for epochs after the installed snapshot — the
      peers broadcast them while the transfer was in flight. *)
   let stale =
-    Hashtbl.fold
-      (fun (cen, peer) _ acc -> if cen <= lsn then (cen, peer) :: acc else acc)
+    Itbl.fold
+      (fun key _ acc -> if cen_of_cp key <= lsn then key :: acc else acc)
       t.remote []
   in
-  List.iter (Hashtbl.remove t.remote) stale;
-  Hashtbl.reset t.local_sealed;
-  Hashtbl.reset t.waiting;
+  List.iter (Itbl.remove t.remote) stale;
+  Itbl.reset t.local_sealed;
+  Itbl.reset t.waiting;
   Db.replace_contents t.db ~from:db;
   t.lsn <- lsn;
   t.sealed_epoch <- max t.sealed_epoch lsn;

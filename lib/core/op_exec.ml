@@ -4,13 +4,22 @@ module Table = Gg_storage.Table
 module Db = Gg_storage.Db
 module Writeset = Gg_crdt.Writeset
 
+module Stbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
 type result = {
   reads : Gg_sql.Executor.read_record list;
   writes : Gg_crdt.Writeset.record list;
 }
 
 type pending = {
+  p_table : string;
   p_key : Value.t array;
+  p_key_str : string;
   p_existed : bool;
   mutable p_op : Writeset.op;
   mutable p_data : Value.t array;
@@ -19,19 +28,24 @@ type pending = {
 
 exception Exec_error of string
 
+(* (table, encoded key) flattened to one string so the buffers use a
+   monomorphic string-keyed table instead of polymorphic tuple hashing;
+   table names never contain NUL. *)
+let rowkey ~table ~key_str = String.concat "\x00" [ table; key_str ]
+
 let exec db (txn : Op.txn) =
   let reads_rev = ref [] in
-  let read_seen = Hashtbl.create 8 in
-  let writes : (string * string, pending) Hashtbl.t = Hashtbl.create 8 in
-  let order_rev = ref [] in
+  let read_seen = Stbl.create 8 in
+  let writes : pending Stbl.t = Stbl.create 8 in
+  let order_rev : pending list ref = ref [] in
   let table_of name =
     match Db.get_table db name with
     | Some t -> t
     | None -> raise (Exec_error (Printf.sprintf "unknown table %s" name))
   in
-  let record_read ~table ~key_str (header : Gg_storage.Row_header.t) =
-    if not (Hashtbl.mem read_seen (table, key_str)) then begin
-      Hashtbl.replace read_seen (table, key_str) ();
+  let record_read ~table ~key_str ~rk (header : Gg_storage.Row_header.t) =
+    if not (Stbl.mem read_seen rk) then begin
+      Stbl.replace read_seen rk ();
       reads_rev :=
         {
           Gg_sql.Executor.r_table = table;
@@ -43,17 +57,17 @@ let exec db (txn : Op.txn) =
     end
   in
   (* Visible data under the read-your-writes overlay: [None] = absent. *)
-  let lookup ~table ~key_str =
-    match Hashtbl.find_opt writes (table, key_str) with
+  let lookup ~table ~key_str ~rk =
+    match Stbl.find_opt writes rk with
     | Some p when not p.p_dead ->
-      if p.p_op = Writeset.Delete then None else Some (`Own p.p_data)
+      if p.p_op = Writeset.Delete then None else Some (`Own p)
     | Some _ | None -> (
       match Table.find_live (table_of table) key_str with
       | Some e -> Some (`Base e)
       | None -> None)
   in
-  let buffer ~table ~key ~key_str ~existed ~op ~data =
-    match Hashtbl.find_opt writes (table, key_str) with
+  let buffer ~table ~key ~key_str ~rk ~existed ~op ~data =
+    match Stbl.find_opt writes rk with
     | Some p ->
       (match (p.p_dead, op) with
       | true, Writeset.Delete -> ()
@@ -71,73 +85,84 @@ let exec db (txn : Op.txn) =
         p.p_op <- (if p.p_existed then Writeset.Update else Writeset.Insert);
         p.p_data <- data)
     | None ->
-      let p = { p_key = key; p_existed = existed; p_op = op; p_data = data; p_dead = false } in
-      Hashtbl.replace writes (table, key_str) p;
-      order_rev := (table, key_str) :: !order_rev
+      let p =
+        {
+          p_table = table;
+          p_key = key;
+          p_key_str = key_str;
+          p_existed = existed;
+          p_op = op;
+          p_data = data;
+          p_dead = false;
+        }
+      in
+      Stbl.replace writes rk p;
+      order_rev := p :: !order_rev
   in
   let run_op op =
     let table = Op.op_table op in
     let key = Op.op_key op in
     let key_str = Value.encode_key key in
+    let rk = rowkey ~table ~key_str in
     match op with
     | Op.Read _ -> (
-      match lookup ~table ~key_str with
-      | Some (`Base e) -> record_read ~table ~key_str e.Table.header
+      match lookup ~table ~key_str ~rk with
+      | Some (`Base e) -> record_read ~table ~key_str ~rk e.Table.header
       | Some (`Own _) | None -> ())
     | Op.Write { data; _ } -> (
-      match lookup ~table ~key_str with
-      | Some (`Base _) -> buffer ~table ~key ~key_str ~existed:true ~op:Writeset.Update ~data
-      | Some (`Own _) ->
-        let p = Hashtbl.find writes (table, key_str) in
-        buffer ~table ~key ~key_str ~existed:p.p_existed ~op:Writeset.Update ~data
-      | None -> buffer ~table ~key ~key_str ~existed:false ~op:Writeset.Insert ~data)
+      match lookup ~table ~key_str ~rk with
+      | Some (`Base _) ->
+        buffer ~table ~key ~key_str ~rk ~existed:true ~op:Writeset.Update ~data
+      | Some (`Own p) ->
+        buffer ~table ~key ~key_str ~rk ~existed:p.p_existed ~op:Writeset.Update
+          ~data
+      | None ->
+        buffer ~table ~key ~key_str ~rk ~existed:false ~op:Writeset.Insert ~data)
     | Op.Add { col; delta; _ } -> (
-      match lookup ~table ~key_str with
+      match lookup ~table ~key_str ~rk with
       | None -> raise (Exec_error (Printf.sprintf "Add: missing row in %s" table))
       | Some visible ->
         let data, existed =
           match visible with
           | `Base e ->
-            record_read ~table ~key_str e.Table.header;
+            record_read ~table ~key_str ~rk e.Table.header;
             (Array.copy e.Table.data, true)
-          | `Own d ->
-            (Array.copy d, (Hashtbl.find writes (table, key_str)).p_existed)
+          | `Own p -> (Array.copy p.p_data, p.p_existed)
         in
         if col < 0 || col >= Array.length data then
           raise (Exec_error "Add: column out of range");
         (match data.(col) with
         | Value.Int v -> data.(col) <- Value.Int (v + delta)
         | _ -> raise (Exec_error "Add: non-integer column"));
-        buffer ~table ~key ~key_str ~existed ~op:Writeset.Update ~data)
+        buffer ~table ~key ~key_str ~rk ~existed ~op:Writeset.Update ~data)
     | Op.Insert { data; _ } -> (
-      match lookup ~table ~key_str with
-      | Some _ -> raise (Exec_error (Printf.sprintf "Insert: duplicate key in %s" table))
-      | None -> buffer ~table ~key ~key_str ~existed:false ~op:Writeset.Insert ~data)
+      match lookup ~table ~key_str ~rk with
+      | Some _ ->
+        raise (Exec_error (Printf.sprintf "Insert: duplicate key in %s" table))
+      | None ->
+        buffer ~table ~key ~key_str ~rk ~existed:false ~op:Writeset.Insert ~data)
     | Op.Delete _ -> (
-      match lookup ~table ~key_str with
-      | None -> raise (Exec_error (Printf.sprintf "Delete: missing row in %s" table))
+      match lookup ~table ~key_str ~rk with
+      | None ->
+        raise (Exec_error (Printf.sprintf "Delete: missing row in %s" table))
       | Some (`Base e) ->
-        record_read ~table ~key_str e.Table.header;
-        buffer ~table ~key ~key_str ~existed:true ~op:Writeset.Delete ~data:[||]
-      | Some (`Own _) ->
-        let p = Hashtbl.find writes (table, key_str) in
-        buffer ~table ~key ~key_str ~existed:p.p_existed ~op:Writeset.Delete ~data:[||])
+        record_read ~table ~key_str ~rk e.Table.header;
+        buffer ~table ~key ~key_str ~rk ~existed:true ~op:Writeset.Delete
+          ~data:[||]
+      | Some (`Own p) ->
+        buffer ~table ~key ~key_str ~rk ~existed:p.p_existed ~op:Writeset.Delete
+          ~data:[||])
   in
   match Array.iter run_op txn.Op.ops with
   | () ->
     let ws =
       List.rev !order_rev
-      |> List.filter_map (fun (table, key_str) ->
-             let p = Hashtbl.find writes (table, key_str) in
+      |> List.filter_map (fun p ->
              if p.p_dead then None
              else
                Some
-                 {
-                   Writeset.table;
-                   key = p.p_key;
-                   op = p.p_op;
-                   data = p.p_data;
-                 })
+                 (Writeset.make_record ~key_str:p.p_key_str ~table:p.p_table
+                    ~key:p.p_key ~op:p.p_op ~data:p.p_data ()))
     in
     Ok { reads = List.rev !reads_rev; writes = ws }
   | exception Exec_error m -> Error m

@@ -9,6 +9,8 @@ type record = {
   key : Value.t array;
   op : op;
   data : Value.t array;
+  mutable key_enc : string;
+      (* memoized Value.encode_key of [key]; "" = not yet computed *)
 }
 
 type t = {
@@ -16,11 +18,27 @@ type t = {
   records : record list;
   read_keys : (string * string) list;
       (* (table, encoded key); shipped only under the SSI extension *)
+  mutable enc_size : int;  (* memoized encoded_size; -1 = not yet computed *)
 }
 
-let make ?(read_keys = []) ~meta ~records () = { meta; records; read_keys }
+let make ?(read_keys = []) ~meta ~records () =
+  { meta; records; read_keys; enc_size = -1 }
 
-let key_str r = Value.encode_key r.key
+let make_record ?(key_str = "") ~table ~key ~op ~data () =
+  { table; key; op; data; key_enc = key_str }
+
+let with_commit t ~meta ~read_keys = { t with meta; read_keys; enc_size = -1 }
+
+(* Each record's key is encoded at most once: construction sites that
+   already hold the encoding pass it in, everyone else pays one
+   [Value.encode_key] on first use and hits the cache afterwards. *)
+let key_str r =
+  if r.key_enc <> "" then r.key_enc
+  else begin
+    let s = Value.encode_key r.key in
+    r.key_enc <- s;
+    s
+  end
 
 let op_to_string = function
   | Insert -> "insert"
@@ -38,7 +56,9 @@ let op_of_tag = function
 let encode_record enc r =
   Enc.string enc r.table;
   Enc.varint enc (Array.length r.key);
-  Array.iter (Value.encode enc) r.key;
+  (* [Value.encode_key] is exactly the concatenation of the per-value
+     encodings, so the cached key doubles as the wire form. *)
+  Enc.raw enc (key_str r);
   Enc.byte enc (op_tag r.op);
   Enc.varint enc (Array.length r.data);
   Array.iter (Value.encode enc) r.data
@@ -46,11 +66,15 @@ let encode_record enc r =
 let decode_record dec =
   let table = Dec.string dec in
   let klen = Dec.varint dec in
+  let kpos = Dec.pos dec in
   let key = Array.init klen (fun _ -> Value.decode dec) in
+  (* Capture the key's wire span: the decoded record arrives with its
+     key encoding already cached, no re-encode needed. *)
+  let key_enc = Dec.sub_string dec ~pos:kpos ~len:(Dec.pos dec - kpos) in
   let op = op_of_tag (Dec.byte dec) in
   let dlen = Dec.varint dec in
   let data = Array.init dlen (fun _ -> Value.decode dec) in
-  { table; key; op; data }
+  { table; key; op; data; key_enc }
 
 let encode enc t =
   Meta.encode enc t.meta;
@@ -74,30 +98,59 @@ let decode dec =
         let key_str = Dec.string dec in
         (table, key_str))
   in
-  { meta; records; read_keys }
+  { meta; records; read_keys; enc_size = -1 }
 
 let encoded_size t =
-  let enc = Enc.create () in
-  encode enc t;
-  Enc.length enc
+  if t.enc_size >= 0 then t.enc_size
+  else begin
+    let enc = Enc.create () in
+    encode enc t;
+    let n = Enc.length enc in
+    t.enc_size <- n;
+    n
+  end
 
 module Batch = struct
   type ws = t
 
-  type t = { node : int; cen : int; txns : ws list; eof : bool; count : int }
+  type t = {
+    node : int;
+    cen : int;
+    txns : ws list;
+    eof : bool;
+    count : int;
+    mutable wire : bytes option;  (* memoized [to_wire] result *)
+  }
+
+  let encodes = ref 0
+  let encode_count () = !encodes
+  let reset_encode_count () = encodes := 0
 
   let make ~node ~cen ~txns ~eof ?count () =
-    { node; cen; txns; eof; count = Option.value count ~default:(List.length txns) }
+    {
+      node;
+      cen;
+      txns;
+      eof;
+      count = Option.value count ~default:(List.length txns);
+      wire = None;
+    }
 
   let to_wire t =
-    let enc = Enc.create () in
-    Enc.varint enc t.node;
-    Enc.varint enc t.cen;
-    Enc.bool enc t.eof;
-    Enc.varint enc t.count;
-    Enc.varint enc (List.length t.txns);
-    List.iter (encode enc) t.txns;
-    Gg_util.Compress.compress (Enc.to_bytes enc)
+    match t.wire with
+    | Some bytes -> bytes
+    | None ->
+      incr encodes;
+      let enc = Enc.create () in
+      Enc.varint enc t.node;
+      Enc.varint enc t.cen;
+      Enc.bool enc t.eof;
+      Enc.varint enc t.count;
+      Enc.varint enc (List.length t.txns);
+      List.iter (encode enc) t.txns;
+      let bytes = Gg_util.Compress.compress (Enc.to_bytes enc) in
+      t.wire <- Some bytes;
+      bytes
 
   let of_wire bytes =
     let raw = Gg_util.Compress.decompress bytes in
@@ -109,7 +162,9 @@ module Batch = struct
       let count = Dec.varint dec in
       let n = Dec.varint dec in
       let txns = List.init n (fun _ -> decode dec) in
-      { node; cen; txns; eof; count }
+      (* The input is this batch's wire form: keep it so re-forwarding or
+         sizing the batch never re-encodes. *)
+      { node; cen; txns; eof; count; wire = Some bytes }
     with Dec.Truncated -> invalid_arg "Writeset.Batch.of_wire: truncated"
 
   let wire_size t = Bytes.length (to_wire t)

@@ -3,7 +3,14 @@
     A transaction's write set is the list of rows it wrote, each a full
     row image plus operation kind. Write sets are the only thing
     exchanged between masters: together with {!Meta.t} they form the
-    delta-state CRDT update merged by {!Merge}. *)
+    delta-state CRDT update merged by {!Merge}.
+
+    Hot-path note: records memoize their encoded primary key and batches
+    memoize their wire form, so key encoding and encode+compress each
+    happen at most once per object lifetime. Records and write sets are
+    treated as immutable after construction — build them with
+    {!make_record} / {!make} / {!with_commit} rather than mutating
+    fields, or the caches go stale. *)
 
 type op = Insert | Update | Delete
 
@@ -12,6 +19,9 @@ type record = {
   key : Gg_storage.Value.t array;
   op : op;
   data : Gg_storage.Value.t array;  (** empty for [Delete] *)
+  mutable key_enc : string;
+      (** memoized [Value.encode_key key]; [""] until first use. Use
+          {!key_str}, never read this field directly. *)
 }
 
 type t = {
@@ -21,6 +31,8 @@ type t = {
       (** (table, encoded key) read-set keys, shipped only under the SSI
           extension (§4.3 sketches this and rejects it for WAN cost; we
           make the cost measurable) *)
+  mutable enc_size : int;
+      (** memoized {!encoded_size}; [-1] until first use *)
 }
 
 val make :
@@ -30,8 +42,25 @@ val make :
   unit ->
   t
 
+val make_record :
+  ?key_str:string ->
+  table:string ->
+  key:Gg_storage.Value.t array ->
+  op:op ->
+  data:Gg_storage.Value.t array ->
+  unit ->
+  record
+(** Pass [key_str] when the caller already holds [Value.encode_key key]
+    (the executors do) to seed the cache and skip the encode entirely. *)
+
+val with_commit : t -> meta:Meta.t -> read_keys:(string * string) list -> t
+(** Fresh write set with commit-time [meta]/[read_keys] substituted and
+    size cache invalidated; the records (and their key caches) are
+    shared. *)
+
 val key_str : record -> string
-(** Encoded primary key (hash-index key). *)
+(** Encoded primary key (hash-index key). Memoized: encodes on first
+    call, returns the cache afterwards. *)
 
 val op_to_string : op -> string
 
@@ -39,7 +68,7 @@ val encode : Gg_util.Codec.Enc.t -> t -> unit
 val decode : Gg_util.Codec.Dec.t -> t
 
 val encoded_size : t -> int
-(** Size of the uncompressed binary encoding in bytes. *)
+(** Size of the uncompressed binary encoding in bytes (memoized). *)
 
 (** {1 Epoch batches}
 
@@ -62,6 +91,9 @@ module Batch : sig
             this epoch, across all mini-batches. Receivers use it to
             verify completeness even when the network reorders
             mini-batches after the EOF marker. *)
+    mutable wire : bytes option;
+        (** memoized {!to_wire} result; use the functions, not the
+            field *)
   }
 
   val make : node:int -> cen:int -> txns:ws list -> eof:bool -> ?count:int -> unit -> t
@@ -69,10 +101,19 @@ module Batch : sig
 
   val to_wire : t -> bytes
   (** Encode then compress (the paper pipes write sets through protobuf +
-      gzip). *)
+      gzip). Memoized: the first call pays encode+compress, later calls
+      (and {!wire_size}) return the cached bytes. *)
 
   val of_wire : bytes -> t
-  (** Raises [Invalid_argument] on corrupt input. *)
+  (** Raises [Invalid_argument] on corrupt input. The decoded batch
+      retains [bytes] as its cached wire form. *)
 
   val wire_size : t -> int
+  (** [Bytes.length (to_wire t)], via the cache. *)
+
+  val encode_count : unit -> int
+  (** Number of actual encode+compress passes performed process-wide
+      (cache hits excluded) — instrumentation for the wallclock bench. *)
+
+  val reset_encode_count : unit -> unit
 end

@@ -1,8 +1,13 @@
-type t = { mutable now : int; queue : (unit -> unit) Event_queue.t }
+type t = {
+  mutable now : int;
+  mutable events : int;
+  queue : (unit -> unit) Event_queue.t;
+}
 
-let create () = { now = 0; queue = Event_queue.create () }
+let create () = { now = 0; events = 0; queue = Event_queue.create () }
 
 let now t = t.now
+let events t = t.events
 
 let schedule t ~after f =
   let after = max 0 after in
@@ -16,6 +21,7 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.now <- max t.now time;
+    t.events <- t.events + 1;
     f ();
     true
 

@@ -12,6 +12,9 @@ val create : unit -> t
 val now : t -> int
 (** Current simulated time (µs). *)
 
+val events : t -> int
+(** Total events executed since creation (throughput accounting). *)
+
 val schedule : t -> after:int -> (unit -> unit) -> unit
 (** [schedule t ~after f] runs [f] at [now t + max 0 after]. Events with
     equal timestamps run in scheduling order. *)

@@ -70,12 +70,11 @@ module Ctx = struct
            if w.w_dead then None
            else
              Some
-               {
-                 Writeset.table = w.w_table;
-                 key = w.w_key;
-                 op = w.w_op;
-                 data = (match w.w_op with Writeset.Delete -> [||] | _ -> w.w_data);
-               })
+               (Writeset.make_record ~key_str:w.w_key_str ~table:w.w_table
+                  ~key:w.w_key ~op:w.w_op
+                  ~data:
+                    (match w.w_op with Writeset.Delete -> [||] | _ -> w.w_data)
+                  ()))
 
   let has_writes t =
     List.exists (fun w -> not w.w_dead) t.write_order_rev

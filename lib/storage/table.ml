@@ -270,18 +270,19 @@ let copy t =
         }
       in
       Hashtbl.replace fresh.index key_str e';
-      if not e'.header.deleted then begin
-        fresh.ordered <- Key_map.add e'.key e' fresh.ordered;
-        indexes_add fresh e'
-      end)
+      if not e'.header.deleted then
+        fresh.ordered <- Key_map.add e'.key e' fresh.ordered)
     t.index;
-  (* replicate the index definitions *)
+  (* Replicate the index definitions, then fill every secondary index in
+     a single ordered pass (primary-key order, matching incremental
+     maintenance). *)
   Hashtbl.iter
     (fun name idx ->
-      let fresh_idx = { idx_cols = idx.idx_cols; idx_map = Key_map.empty } in
-      Key_map.iter (fun _ e -> idx_add fresh_idx e) fresh.ordered;
-      Hashtbl.replace fresh.indexes name fresh_idx)
+      Hashtbl.replace fresh.indexes name
+        { idx_cols = idx.idx_cols; idx_map = Key_map.empty })
     t.indexes;
+  if Hashtbl.length fresh.indexes > 0 then
+    Key_map.iter (fun _ e -> indexes_add fresh e) fresh.ordered;
   fresh
 
 let digest_into t enc =

@@ -40,6 +40,8 @@ module Enc = struct
     varint t (String.length s);
     Buffer.add_string t s
 
+  let raw t s = Buffer.add_string t s
+
   let bool t b = byte t (if b then 1 else 0)
 end
 
@@ -84,6 +86,10 @@ module Dec = struct
     let s = Bytes.sub_string t.data t.pos len in
     t.pos <- t.pos + len;
     s
+
+  let sub_string t ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length t.data then raise Truncated;
+    Bytes.sub_string t.data pos len
 
   let bool t = byte t <> 0
 end

@@ -26,6 +26,10 @@ module Enc : sig
   val string : t -> string -> unit
   (** Length-prefixed. *)
 
+  val raw : t -> string -> unit
+  (** Append bytes verbatim, no length prefix — for splicing an
+      already-encoded fragment into a stream. *)
+
   val bool : t -> bool -> unit
 end
 
@@ -46,4 +50,8 @@ module Dec : sig
   val float : t -> float
   val string : t -> string
   val bool : t -> bool
+
+  val sub_string : t -> pos:int -> len:int -> string
+  (** Copy out a slice of the underlying input without advancing the
+      cursor — for capturing the exact wire form of a decoded span. *)
 end

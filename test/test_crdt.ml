@@ -217,24 +217,18 @@ let prop_merge_associative_partial =
 let sample_ws () =
   let records =
     [
-      {
-        Writeset.table = "accounts";
-        key = [| Value.Int 7 |];
-        op = Writeset.Update;
-        data = [| Value.Int 7; Value.Str "bob"; Value.Int 250 |];
-      };
-      {
-        Writeset.table = "orders";
-        key = [| Value.Int 1; Value.Int 2 |];
-        op = Writeset.Insert;
-        data = [| Value.Int 1; Value.Int 2; Value.Str "widget" |];
-      };
-      {
-        Writeset.table = "orders";
-        key = [| Value.Int 9; Value.Int 9 |];
-        op = Writeset.Delete;
-        data = [||];
-      };
+      Writeset.make_record ~table:"accounts" ~key:[| Value.Int 7 |]
+        ~op:Writeset.Update
+        ~data:[| Value.Int 7; Value.Str "bob"; Value.Int 250 |]
+        ();
+      Writeset.make_record ~table:"orders"
+        ~key:[| Value.Int 1; Value.Int 2 |]
+        ~op:Writeset.Insert
+        ~data:[| Value.Int 1; Value.Int 2; Value.Str "widget" |]
+        ();
+      Writeset.make_record ~table:"orders"
+        ~key:[| Value.Int 9; Value.Int 9 |]
+        ~op:Writeset.Delete ~data:[||] ();
     ]
   in
   Writeset.make ~meta:(meta ~sen:3 ~cen:4 ~ts:100 ~node:2) ~records ()
@@ -278,12 +272,10 @@ let test_batch_compression_effective () =
   (* Many similar rows should compress well below the raw encoding. *)
   let records =
     List.init 200 (fun i ->
-        {
-          Writeset.table = "ycsb_main";
-          key = [| Value.Int i |];
-          op = Writeset.Update;
-          data = Array.init 10 (fun c -> Value.Str (Printf.sprintf "field%d" c));
-        })
+        Writeset.make_record ~table:"ycsb_main" ~key:[| Value.Int i |]
+          ~op:Writeset.Update
+          ~data:(Array.init 10 (fun c -> Value.Str (Printf.sprintf "field%d" c)))
+          ())
   in
   let ws = Writeset.make ~meta:(meta ~sen:1 ~cen:1 ~ts:1 ~node:0) ~records () in
   let raw = Writeset.encoded_size ws in
@@ -293,6 +285,68 @@ let test_batch_compression_effective () =
     (Printf.sprintf "compressed %d < raw %d / 3" wire raw)
     true
     (wire < raw / 3)
+
+let test_decoded_key_cache_matches () =
+  (* A decoded record arrives with its key encoding pre-cached from the
+     wire span; it must equal a from-scratch [Value.encode_key]. *)
+  let ws = sample_ws () in
+  let enc = Gg_util.Codec.Enc.create () in
+  Writeset.encode enc ws;
+  let dec = Gg_util.Codec.Dec.of_bytes (Gg_util.Codec.Enc.to_bytes enc) in
+  let ws' = Writeset.decode dec in
+  List.iter
+    (fun (r : Writeset.record) ->
+      Alcotest.(check bool) "cache populated at decode" true (r.key_enc <> "");
+      Alcotest.(check string) "cached = fresh encode" (Value.encode_key r.key)
+        (Writeset.key_str r))
+    ws'.Writeset.records
+
+let test_key_cache_lazy_and_seeded () =
+  (* Lazily built on first use... *)
+  let r =
+    Writeset.make_record ~table:"t" ~key:[| Value.Int 3 |] ~op:Writeset.Update
+      ~data:[| Value.Int 3 |] ()
+  in
+  Alcotest.(check string) "starts empty" "" r.Writeset.key_enc;
+  Alcotest.(check string) "computed" (Value.encode_key r.key) (Writeset.key_str r);
+  Alcotest.(check bool) "cached after use" true (r.Writeset.key_enc <> "");
+  (* ...and trusted when the constructor seeds it. *)
+  let pre = Value.encode_key [| Value.Int 3 |] in
+  let r' =
+    Writeset.make_record ~key_str:pre ~table:"t" ~key:[| Value.Int 3 |]
+      ~op:Writeset.Update ~data:[| Value.Int 3 |] ()
+  in
+  Alcotest.(check string) "seed used as-is" pre (Writeset.key_str r')
+
+let test_wire_size_matches_wire () =
+  let full =
+    Writeset.Batch.make ~node:1 ~cen:4 ~txns:[ sample_ws (); sample_ws () ]
+      ~eof:true ()
+  in
+  Alcotest.(check int) "full batch"
+    (Bytes.length (Writeset.Batch.to_wire full))
+    (Writeset.Batch.wire_size full);
+  (* Count-only EOF marker, as sent after pipelined mini-batches. *)
+  let eof_only = Writeset.Batch.make ~node:0 ~cen:7 ~txns:[] ~eof:true ~count:5 () in
+  Alcotest.(check int) "count-only EOF batch"
+    (Bytes.length (Writeset.Batch.to_wire eof_only))
+    (Writeset.Batch.wire_size eof_only);
+  let eof' = Writeset.Batch.of_wire (Writeset.Batch.to_wire eof_only) in
+  Alcotest.(check int) "count survives" 5 eof'.Writeset.Batch.count
+
+let test_wire_cache_single_encode () =
+  let batch = Writeset.Batch.make ~node:0 ~cen:1 ~txns:[ sample_ws () ] ~eof:true () in
+  Writeset.Batch.reset_encode_count ();
+  let w1 = Writeset.Batch.to_wire batch in
+  ignore (Writeset.Batch.wire_size batch);
+  let w2 = Writeset.Batch.to_wire batch in
+  Alcotest.(check bool) "same bytes object" true (w1 == w2);
+  Alcotest.(check int) "one encode pass" 1 (Writeset.Batch.encode_count ());
+  (* of_wire keeps the input as the decoded batch's cached wire form. *)
+  let batch' = Writeset.Batch.of_wire w1 in
+  ignore (Writeset.Batch.wire_size batch');
+  Alcotest.(check int) "decode side re-encodes nothing" 1
+    (Writeset.Batch.encode_count ())
 
 let test_batch_corrupt_rejected () =
   Alcotest.(check bool) "corrupt" true
@@ -388,6 +442,10 @@ let () =
           Alcotest.test_case "batch wire roundtrip" `Quick test_batch_wire_roundtrip;
           Alcotest.test_case "empty epoch message" `Quick test_batch_empty_message;
           Alcotest.test_case "compression effective" `Quick test_batch_compression_effective;
+          Alcotest.test_case "decoded key cache" `Quick test_decoded_key_cache_matches;
+          Alcotest.test_case "key cache lazy + seeded" `Quick test_key_cache_lazy_and_seeded;
+          Alcotest.test_case "wire_size = |to_wire|" `Quick test_wire_size_matches_wire;
+          Alcotest.test_case "wire cache single encode" `Quick test_wire_cache_single_encode;
           Alcotest.test_case "corrupt rejected" `Quick test_batch_corrupt_rejected;
         ] );
       ( "lattice",

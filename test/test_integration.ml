@@ -265,6 +265,78 @@ let test_long_churn_with_gc_converges () =
   List.iter Client.stop clients;
   Alcotest.(check bool) "converged across GC" true (converged c)
 
+(* --- determinism regression ---
+
+   The whole stack (clients, network, nodes, merge) runs on one seeded
+   event loop, so a scenario must reproduce run-to-run exactly: same
+   commit/abort totals, same per-replica digests. This guards the
+   hot-path work (cached key encodings, packed-int epoch tables, wire
+   caching) against accidentally making outcomes depend on hash order
+   or cache state. *)
+
+let determinism_scenario ~merge_threads =
+  let params =
+    {
+      Params.default with
+      Params.seed = 4711;
+      cost = { Params.default.Params.cost with merge_threads };
+    }
+  in
+  let c =
+    Cluster.create ~params ~dup:0.1 ~reorder:0.1
+      ~topology:(Topology.china3 ()) ~load:(kv2_load 50) ()
+  in
+  let clients =
+    List.init 3 (fun region ->
+        let rng = Gg_util.Rng.create (9_000 + (17 * region)) in
+        let gen () = fix_write_data (random_churn_workload ~rng ~n_rows:50 ()) in
+        let cl = Client.create c ~home:region ~connections:5 ~gen in
+        Client.start cl;
+        cl)
+  in
+  Cluster.run_for_ms c 1_200;
+  List.iter Client.stop clients;
+  Cluster.quiesce c;
+  ( Cluster.total_committed c,
+    Cluster.total_aborted c,
+    Cluster.digests c )
+
+let test_seeded_run_is_repeatable () =
+  let c1, a1, d1 = determinism_scenario ~merge_threads:8 in
+  let c2, a2, d2 = determinism_scenario ~merge_threads:8 in
+  Alcotest.(check int) "committed repeatable" c1 c2;
+  Alcotest.(check int) "aborted repeatable" a1 a2;
+  Alcotest.(check (list string)) "digests repeatable" d1 d2;
+  (match d1 with
+  | d :: rest -> Alcotest.(check bool) "replicas agree" true (List.for_all (String.equal d) rest)
+  | [] -> Alcotest.fail "no digests")
+
+let test_merge_threads_only_shift_timing () =
+  (* merge_threads changes simulated merge duration (hence timing and
+     possibly outcomes) but each configuration must stay internally
+     deterministic and convergent. *)
+  List.iter
+    (fun merge_threads ->
+      let c1, a1, d1 = determinism_scenario ~merge_threads in
+      let c2, a2, d2 = determinism_scenario ~merge_threads in
+      Alcotest.(check int)
+        (Printf.sprintf "committed repeatable (threads=%d)" merge_threads)
+        c1 c2;
+      Alcotest.(check int)
+        (Printf.sprintf "aborted repeatable (threads=%d)" merge_threads)
+        a1 a2;
+      Alcotest.(check (list string))
+        (Printf.sprintf "digests repeatable (threads=%d)" merge_threads)
+        d1 d2;
+      match d1 with
+      | d :: rest ->
+        Alcotest.(check bool)
+          (Printf.sprintf "replicas agree (threads=%d)" merge_threads)
+          true
+          (List.for_all (String.equal d) rest)
+      | [] -> Alcotest.fail "no digests")
+    [ 1; 4 ]
+
 (* --- worldwide cluster --- *)
 
 let test_worldwide_5dc_converges () =
@@ -354,6 +426,11 @@ let () =
         ] );
       ( "gc",
         [ Alcotest.test_case "long churn + tombstone GC" `Slow test_long_churn_with_gc_converges ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded run repeatable" `Slow test_seeded_run_is_repeatable;
+          Alcotest.test_case "merge_threads variants repeatable" `Slow test_merge_threads_only_shift_timing;
+        ] );
       ( "worldwide",
         [ Alcotest.test_case "5-DC convergence" `Slow test_worldwide_5dc_converges ] );
       ( "backup",
