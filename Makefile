@@ -1,0 +1,31 @@
+.PHONY: all build test fmt ci bench wallclock clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# ocamlformat is not part of the pinned dependency set everywhere this
+# repo builds; format only when the tool is actually present.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune fmt; \
+	else \
+		echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+ci: fmt
+	dune build
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+wallclock:
+	dune exec bench/main.exe -- wallclock
+
+clean:
+	dune clean

@@ -129,8 +129,10 @@ type wallclock_row = {
   wc_aborted : int;
 }
 
-let wallclock_scenario ~label ~topology ~load ~gen ~connections ~sim_ms =
+let wallclock_scenario ?(tracing = false) ~label ~topology ~load ~gen
+    ~connections ~sim_ms () =
   let cluster = Geogauss.Cluster.create ~topology ~load () in
+  if tracing then Gg_obs.Obs.set_tracing (Geogauss.Cluster.obs cluster) true;
   let n = Gg_sim.Topology.n_nodes topology in
   let clients =
     List.init n (fun i ->
@@ -170,23 +172,33 @@ let per_sec count wall_s = float_of_int count /. max 1e-9 wall_s
 let run_wallclock ~fast () =
   let sim_ms = if fast then 500 else 2_000 in
   let records = if fast then 5_000 else 20_000 in
-  let ycsb =
-    let profile = Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention records in
-    wallclock_scenario ~label:"ycsb-medium/china3"
+  let ycsb_scenario ?tracing ~label () =
+    let profile =
+      Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention records
+    in
+    wallclock_scenario ?tracing ~label
       ~topology:(Gg_sim.Topology.china3 ())
       ~load:(Gg_workload.Ycsb.load profile)
       ~gen:(Gg_harness.Driver.ycsb_gens profile ~seed:42)
-      ~connections:64 ~sim_ms
+      ~connections:64 ~sim_ms ()
   in
+  let ycsb = ycsb_scenario ~label:"ycsb-medium/china3" () in
   let tpcc =
     let cfg = Gg_workload.Tpcc.small in
     wallclock_scenario ~label:"tpcc-small/china3"
       ~topology:(Gg_sim.Topology.china3 ())
       ~load:(Gg_workload.Tpcc.load cfg)
       ~gen:(Gg_harness.Driver.tpcc_gens cfg ~seed:42)
-      ~connections:32 ~sim_ms
+      ~connections:32 ~sim_ms ()
   in
-  let rows = [ ycsb; tpcc ] in
+  (* Tracing overhead: the same seeded YCSB scenario with the event
+     tracer recording (ring buffer + span emission) vs the plain run
+     above, which pays only the disabled-tracing boolean checks. *)
+  let ycsb_traced = ycsb_scenario ~tracing:true ~label:"ycsb-medium/china3+trace" () in
+  let overhead_frac =
+    (ycsb_traced.wc_wall_s -. ycsb.wc_wall_s) /. max 1e-9 ycsb.wc_wall_s
+  in
+  let rows = [ ycsb; tpcc; ycsb_traced ] in
   print_endline "Wall-clock throughput (fixed seeded scenarios)";
   List.iter
     (fun r ->
@@ -199,6 +211,9 @@ let run_wallclock ~fast () =
         (per_sec r.wc_encodes r.wc_wall_s)
         r.wc_committed r.wc_aborted)
     rows;
+  Printf.printf
+    "  tracing overhead (ycsb-medium): %.2f s off vs %.2f s on (%+.1f%%)\n%!"
+    ycsb.wc_wall_s ycsb_traced.wc_wall_s (100.0 *. overhead_frac);
   let oc = open_out "BENCH_wallclock.json" in
   let row_json r =
     Printf.sprintf
@@ -214,8 +229,18 @@ let run_wallclock ~fast () =
       (per_sec r.wc_encodes r.wc_wall_s)
       r.wc_committed r.wc_aborted
   in
-  Printf.fprintf oc "{\n  \"suite\": \"wallclock\",\n  \"scenarios\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map row_json rows));
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"wallclock\",\n\
+    \  \"scenarios\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"tracing_overhead\": {\"scenario\": \"ycsb-medium/china3\", \
+     \"wall_s_tracing_off\": %.4f, \"wall_s_tracing_on\": %.4f, \
+     \"overhead_frac\": %.4f}\n\
+     }\n"
+    (String.concat ",\n" (List.map row_json rows))
+    ycsb.wc_wall_s ycsb_traced.wc_wall_s overhead_frac;
   close_out oc;
   print_endline "  wrote BENCH_wallclock.json"
 

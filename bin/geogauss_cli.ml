@@ -103,8 +103,16 @@ let run_cmd =
     Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"YCSB table size.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL event trace + counter snapshots of the \
+                measurement window to $(docv) (replay with `geogauss trace').")
+  in
   let run workload nodes world epoch_ms isolation variant ft seconds connections
-      theta records seed =
+      theta records seed trace =
     let topology =
       if world then Gg_sim.Topology.worldwide nodes else Gg_sim.Topology.china nodes
     in
@@ -146,8 +154,8 @@ let run_cmd =
         (Gg_harness.Driver.ycsb_gens p ~seed, Gg_workload.Ycsb.load p)
     in
     let r, extra =
-      Gg_harness.Driver.run_geogauss ~params ~connections ~topology ~load ~gen
-        ~warmup_ms:1_000 ~measure_ms:(seconds * 1_000)
+      Gg_harness.Driver.run_geogauss ~params ~connections ?trace_file:trace
+        ~topology ~load ~gen ~warmup_ms:1_000 ~measure_ms:(seconds * 1_000)
         ~label:(Geogauss.Params.variant_to_string variant)
         ()
     in
@@ -168,19 +176,57 @@ let run_cmd =
       Printf.printf
         "node0 phase means (ms): parse %.2f  exec %.2f  wait %.2f  merge %.2f  log %.2f\n"
         (p /. 1000.) (e /. 1000.) (w /. 1000.) (m /. 1000.) (l /. 1000.)
-    | [] -> ()
+    | [] -> ();
+    (match trace with
+    | Some path -> Printf.printf "trace written to %s\n" path
+    | None -> ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an ad-hoc GeoGauss cluster simulation.")
     Term.(
       const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
-      $ ft $ seconds $ connections $ theta $ records $ seed)
+      $ ft $ seconds $ connections $ theta $ records $ seed $ trace)
+
+(* --- `trace` subcommand: analyze an exported JSONL trace --- *)
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:"Trace file written by `geogauss run --trace'.")
+  in
+  let epochs =
+    Arg.(
+      value & opt int 40
+      & info [ "epochs" ] ~doc:"Max epoch-timeline rows to print.")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~doc:"Slowest epochs to drill into.")
+  in
+  let run file epochs top =
+    match Gg_obs.Trace_view.load_file file with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+    | Ok t ->
+      print_string (Gg_obs.Trace_view.render_report ~epoch_limit:epochs ~top t);
+      print_newline ();
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze a JSONL trace: epoch timelines, per-phase latency \
+          breakdowns, slowest-epoch drill-downs, cross-node epoch skew.")
+    Term.(ret (const run $ file $ epochs $ top))
 
 let main =
   Cmd.group
     (Cmd.info "geogauss" ~version:"1.0.0"
        ~doc:"GeoGauss: strongly consistent, light-coordinated geo-replicated \
              OLTP (simulated reproduction of SIGMOD'23).")
-    [ bench_cmd; run_cmd ]
+    [ bench_cmd; run_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -16,20 +16,31 @@ type t = {
   mutable started : bool;
 }
 
+let reset_stats t =
+  t.committed <- 0;
+  t.aborted <- 0;
+  t.timeouts <- 0;
+  t.latency <- Gg_util.Stats.Hist.create ();
+  t.samples <- []
+
 let create cluster ~home ~connections ~gen =
-  {
-    cluster;
-    home;
-    connections;
-    gen;
-    running = false;
-    committed = 0;
-    aborted = 0;
-    timeouts = 0;
-    latency = Gg_util.Stats.Hist.create ();
-    samples = [];
-    started = false;
-  }
+  let t =
+    {
+      cluster;
+      home;
+      connections;
+      gen;
+      running = false;
+      committed = 0;
+      aborted = 0;
+      timeouts = 0;
+      latency = Gg_util.Stats.Hist.create ();
+      samples = [];
+      started = false;
+    }
+  in
+  Gg_obs.Obs.on_reset (Cluster.obs cluster) (fun () -> reset_stats t);
+  t
 
 let now t = Sim.now (Cluster.sim t.cluster)
 
@@ -96,13 +107,6 @@ let committed t = t.committed
 let aborted t = t.aborted
 let timeouts t = t.timeouts
 let latency t = t.latency
-
-let reset_stats t =
-  t.committed <- 0;
-  t.aborted <- 0;
-  t.timeouts <- 0;
-  t.latency <- Gg_util.Stats.Hist.create ();
-  t.samples <- []
 
 let timeline t ~bucket_us =
   let samples = List.rev t.samples in

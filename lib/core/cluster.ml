@@ -1,5 +1,6 @@
 module Sim = Gg_sim.Sim
 module Net = Gg_sim.Net
+module Obs = Gg_obs.Obs
 module Topology = Gg_sim.Topology
 module Db = Gg_storage.Db
 module Raft = Gg_raft.Raft
@@ -40,6 +41,7 @@ let rec apply_view_change t data =
   if not (Hashtbl.mem t.applied_proposals data) then begin
     Hashtbl.replace t.applied_proposals data ();
     t.last_view_change <- Sim.now t.sim;
+    Obs.emit (Sim.obs t.sim) ~cat:"cluster" "view.change" ~detail:data;
     match String.split_on_char ':' data with
     | [ "remove"; p; e ] ->
       let p = int_of_string p and e = int_of_string e in
@@ -119,6 +121,11 @@ and check_transfers t ~node ~lsn =
         | Node.State_snapshot { ckpt; _ } -> Bytes.length ckpt
         | _ -> 0
       in
+      (if Obs.tracing (Sim.obs t.sim) then
+         Obs.emit (Sim.obs t.sim) ~node:donor ~cat:"cluster" "state.transfer"
+           ~detail:
+             (Printf.sprintf "target=%d rejoin_epoch=%d bytes=%d" target
+                rejoin_epoch bytes));
       Net.send t.net ~src:donor ~dst:target ~bytes (fun () ->
           match snapshot with
           | Node.State_snapshot { lsn; ckpt } ->
@@ -222,6 +229,7 @@ let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
   t
 
 let sim t = t.sim
+let obs t = Sim.obs t.sim
 let net t = t.net
 let params t = t.params
 let n_nodes t = Array.length t.nodes
@@ -253,10 +261,12 @@ let run_until t time = Sim.run_until t.sim time
 let run_for_ms t ms = Sim.run_until t.sim (Sim.now t.sim + Sim.ms ms)
 
 let crash t i =
+  Obs.emit (Sim.obs t.sim) ~node:i ~cat:"cluster" "crash";
   Net.set_down t.net i true;
   Node.set_active t.nodes.(i) false
 
 let recover t i =
+  Obs.emit (Sim.obs t.sim) ~node:i ~cat:"cluster" "recover";
   Net.set_down t.net i false;
   (* Re-join a few epochs in the future: enough for the membership change
      to commit and the state snapshot to arrive. *)

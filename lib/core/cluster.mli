@@ -18,6 +18,11 @@ val create :
     consistent snapshot). *)
 
 val sim : t -> Gg_sim.Sim.t
+
+val obs : t -> Gg_obs.Obs.t
+(** The observability registry/tracer shared by every component of this
+    deployment (same as [Gg_sim.Sim.obs (sim t)]). *)
+
 val net : t -> Gg_sim.Net.t
 val params : t -> Params.t
 val n_nodes : t -> int

@@ -1,70 +1,101 @@
 module Stats = Gg_util.Stats
+module Obs = Gg_obs.Obs
 
 type epoch_cell = { mutable committed : int; latency : Stats.Acc.t }
 
 type t = {
-  mutable started : int;
-  mutable committed : int;
-  mutable aborted : int;
-  mutable ab_constraint : int;
-  mutable ab_read : int;
-  mutable ab_write : int;
-  mutable ab_ssi : int;
-  mutable ab_deleted : int;
-  mutable ab_failure : int;
-  mutable latency : Stats.Hist.t;
-  mutable commit_latency : Stats.Hist.t;
+  started : Obs.Counter.t;
+  committed : Obs.Counter.t;
+  aborted : Obs.Counter.t;
+  ab_constraint : Obs.Counter.t;
+  ab_read : Obs.Counter.t;
+  ab_write : Obs.Counter.t;
+  ab_ssi : Obs.Counter.t;
+  ab_deleted : Obs.Counter.t;
+  ab_failure : Obs.Counter.t;
+  latency : Obs.Histogram.t;
+  commit_latency : Obs.Histogram.t;
   mutable parse : Stats.Acc.t;
   mutable exec : Stats.Acc.t;
   mutable wait : Stats.Acc.t;
   mutable merge : Stats.Acc.t;
   mutable log : Stats.Acc.t;
-  mutable per_epoch : (int, epoch_cell) Hashtbl.t;
-  mutable merged_records : int;
+  per_epoch : (int, epoch_cell) Hashtbl.t;
+  merged_records : Obs.Counter.t;
 }
 
-let create () =
-  {
-    started = 0;
-    committed = 0;
-    aborted = 0;
-    ab_constraint = 0;
-    ab_read = 0;
-    ab_write = 0;
-    ab_ssi = 0;
-    ab_deleted = 0;
-    ab_failure = 0;
-    latency = Stats.Hist.create ();
-    commit_latency = Stats.Hist.create ();
-    parse = Stats.Acc.create ();
-    exec = Stats.Acc.create ();
-    wait = Stats.Acc.create ();
-    merge = Stats.Acc.create ();
-    log = Stats.Acc.create ();
-    per_epoch = Hashtbl.create 256;
-    merged_records = 0;
-  }
+(* Clear the state that lives outside the instrument registry; the
+   instruments themselves are zeroed either by [reset] (standalone use)
+   or by [Obs.reset_all] (registry use). *)
+let reset_tables t =
+  t.parse <- Stats.Acc.create ();
+  t.exec <- Stats.Acc.create ();
+  t.wait <- Stats.Acc.create ();
+  t.merge <- Stats.Acc.create ();
+  t.log <- Stats.Acc.create ();
+  Hashtbl.reset t.per_epoch
 
-let record_start t = t.started <- t.started + 1
-let record_merged_records t n = t.merged_records <- t.merged_records + n
-let merged_records t = t.merged_records
+let create ?obs ?id () =
+  let prefix =
+    match id with Some i -> Printf.sprintf "node%d." i | None -> "node."
+  in
+  let counter name =
+    match obs with
+    | Some o -> Obs.counter o (prefix ^ name)
+    | None -> Obs.Counter.make (prefix ^ name)
+  in
+  let histogram name =
+    match obs with
+    | Some o -> Obs.histogram o (prefix ^ name)
+    | None -> Obs.Histogram.make (prefix ^ name)
+  in
+  let t =
+    {
+      started = counter "txn.started";
+      committed = counter "txn.committed";
+      aborted = counter "txn.aborted";
+      ab_constraint = counter "txn.abort.constraint";
+      ab_read = counter "txn.abort.read_validation";
+      ab_write = counter "txn.abort.write_conflict";
+      ab_ssi = counter "txn.abort.ssi";
+      ab_deleted = counter "txn.abort.row_deleted";
+      ab_failure = counter "txn.abort.node_failure";
+      latency = histogram "txn.latency_us";
+      commit_latency = histogram "txn.commit_latency_us";
+      parse = Stats.Acc.create ();
+      exec = Stats.Acc.create ();
+      wait = Stats.Acc.create ();
+      merge = Stats.Acc.create ();
+      log = Stats.Acc.create ();
+      per_epoch = Hashtbl.create 256;
+      merged_records = counter "merge.records";
+    }
+  in
+  (match obs with
+  | Some o -> Obs.on_reset o (fun () -> reset_tables t)
+  | None -> ());
+  t
+
+let record_start t = Obs.Counter.incr t.started
+let record_merged_records t n = Obs.Counter.add t.merged_records n
+let merged_records t = Obs.Counter.value t.merged_records
 
 let record_outcome t outcome =
   let lat = float_of_int (Txn.outcome_latency outcome) in
-  Stats.Hist.add t.latency lat;
+  Obs.Histogram.observe t.latency lat;
   match outcome with
   | Txn.Committed _ ->
-    t.committed <- t.committed + 1;
-    Stats.Hist.add t.commit_latency lat
+    Obs.Counter.incr t.committed;
+    Obs.Histogram.observe t.commit_latency lat
   | Txn.Aborted { reason; _ } -> (
-    t.aborted <- t.aborted + 1;
+    Obs.Counter.incr t.aborted;
     match reason with
-    | Txn.Constraint_violation _ -> t.ab_constraint <- t.ab_constraint + 1
-    | Txn.Read_validation -> t.ab_read <- t.ab_read + 1
-    | Txn.Write_conflict -> t.ab_write <- t.ab_write + 1
-    | Txn.Ssi_conflict -> t.ab_ssi <- t.ab_ssi + 1
-    | Txn.Row_deleted -> t.ab_deleted <- t.ab_deleted + 1
-    | Txn.Node_failure -> t.ab_failure <- t.ab_failure + 1)
+    | Txn.Constraint_violation _ -> Obs.Counter.incr t.ab_constraint
+    | Txn.Read_validation -> Obs.Counter.incr t.ab_read
+    | Txn.Write_conflict -> Obs.Counter.incr t.ab_write
+    | Txn.Ssi_conflict -> Obs.Counter.incr t.ab_ssi
+    | Txn.Row_deleted -> Obs.Counter.incr t.ab_deleted
+    | Txn.Node_failure -> Obs.Counter.incr t.ab_failure)
 
 let record_phases t (p : Txn.phases) =
   Stats.Acc.add t.parse (float_of_int p.parse_us);
@@ -85,20 +116,20 @@ let record_epoch_commit t ~cen ~latency_us =
   cell.committed <- cell.committed + 1;
   Stats.Acc.add cell.latency (float_of_int latency_us)
 
-let started t = t.started
-let committed t = t.committed
-let aborted t = t.aborted
+let started t = Obs.Counter.value t.started
+let committed t = Obs.Counter.value t.committed
+let aborted t = Obs.Counter.value t.aborted
 
 let aborted_by t = function
-  | Txn.Constraint_violation _ -> t.ab_constraint
-  | Txn.Read_validation -> t.ab_read
-  | Txn.Write_conflict -> t.ab_write
-  | Txn.Ssi_conflict -> t.ab_ssi
-  | Txn.Row_deleted -> t.ab_deleted
-  | Txn.Node_failure -> t.ab_failure
+  | Txn.Constraint_violation _ -> Obs.Counter.value t.ab_constraint
+  | Txn.Read_validation -> Obs.Counter.value t.ab_read
+  | Txn.Write_conflict -> Obs.Counter.value t.ab_write
+  | Txn.Ssi_conflict -> Obs.Counter.value t.ab_ssi
+  | Txn.Row_deleted -> Obs.Counter.value t.ab_deleted
+  | Txn.Node_failure -> Obs.Counter.value t.ab_failure
 
-let latency t = t.latency
-let commit_latency t = t.commit_latency
+let latency t = Obs.Histogram.hist t.latency
+let commit_latency t = Obs.Histogram.hist t.commit_latency
 
 let phase_means_us t =
   ( Stats.Acc.mean t.parse,
@@ -112,21 +143,16 @@ let epoch_cells t =
   |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 
 let reset t =
-  t.started <- 0;
-  t.committed <- 0;
-  t.aborted <- 0;
-  t.ab_constraint <- 0;
-  t.ab_read <- 0;
-  t.ab_write <- 0;
-  t.ab_ssi <- 0;
-  t.ab_deleted <- 0;
-  t.ab_failure <- 0;
-  t.latency <- Stats.Hist.create ();
-  t.commit_latency <- Stats.Hist.create ();
-  t.parse <- Stats.Acc.create ();
-  t.exec <- Stats.Acc.create ();
-  t.wait <- Stats.Acc.create ();
-  t.merge <- Stats.Acc.create ();
-  t.log <- Stats.Acc.create ();
-  t.per_epoch <- Hashtbl.create 256;
-  t.merged_records <- 0
+  Obs.Counter.reset t.started;
+  Obs.Counter.reset t.committed;
+  Obs.Counter.reset t.aborted;
+  Obs.Counter.reset t.ab_constraint;
+  Obs.Counter.reset t.ab_read;
+  Obs.Counter.reset t.ab_write;
+  Obs.Counter.reset t.ab_ssi;
+  Obs.Counter.reset t.ab_deleted;
+  Obs.Counter.reset t.ab_failure;
+  Obs.Histogram.reset t.latency;
+  Obs.Histogram.reset t.commit_latency;
+  Obs.Counter.reset t.merged_records;
+  reset_tables t

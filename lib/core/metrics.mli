@@ -5,7 +5,12 @@ type epoch_cell = { mutable committed : int; latency : Gg_util.Stats.Acc.t }
 
 type t
 
-val create : unit -> t
+val create : ?obs:Gg_obs.Obs.t -> ?id:int -> unit -> t
+(** With [?obs], counts and latency histograms live in the registry
+    under ["node<id>.txn.*"] / ["node<id>.merge.records"] names (so
+    {!Gg_obs.Obs.reset_all} zeroes them and JSONL snapshots include
+    them); without it they are standalone instruments with identical
+    behaviour. *)
 
 val record_start : t -> unit
 val record_outcome : t -> Txn.outcome -> unit

@@ -1,5 +1,6 @@
 module Sim = Gg_sim.Sim
 module Net = Gg_sim.Net
+module Obs = Gg_obs.Obs
 module Cpu = Gg_sim.Cpu
 module Topology = Gg_sim.Topology
 module Db = Gg_storage.Db
@@ -67,6 +68,7 @@ type batch_state = {
 type t = {
   id : int;
   env : env;
+  obs : Obs.t;
   cpu : Cpu.t;
   db : Db.t;
   wal : Gg_storage.Wal.t;
@@ -89,13 +91,15 @@ type t = {
 
 let create env ~id ~db =
   let n = Net.n_nodes env.net in
+  let obs = Sim.obs env.sim in
   {
     id;
     env;
+    obs;
     cpu = Cpu.create env.sim ~cores:env.params.Params.cores;
     db;
     wal = Gg_storage.Wal.create ~fsync_us:env.params.Params.cost.log_fsync_us ();
-    metrics = Metrics.create ();
+    metrics = Metrics.create ~obs ~id ();
     active = true;
     lsn = -1;
     sealed_epoch = -1;
@@ -198,6 +202,33 @@ let lww_apply t (ws : Writeset.t) =
 
 (* --- finishing transactions --- *)
 
+(* Per-transaction span: five Algorithm-1 phase events back-dated
+   cumulatively from the submit time, then the commit/abort terminator.
+   The span id is the per-node transaction sequence number, so (node,
+   span) identifies a transaction globally. *)
+let emit_txn_span t (txn : Txn.t) outcome =
+  let p = txn.Txn.phases in
+  let span = txn.Txn.id in
+  (* cen defaults to 0; only transactions that reached the commit point
+     with a write set actually belong to an epoch. *)
+  let epoch = if txn.Txn.commit_point > 0 then txn.Txn.cen else -1 in
+  let start = ref txn.Txn.submit_time in
+  let phase name dur =
+    Obs.emit t.obs ~at:!start ~node:t.id ~epoch ~span ~dur ~cat:"txn" name;
+    start := !start + max 0 dur
+  in
+  phase "phase.parse" p.Txn.parse_us;
+  phase "phase.exec" p.Txn.exec_us;
+  phase "phase.wait" p.Txn.wait_us;
+  phase "phase.merge" p.Txn.merge_us;
+  phase "phase.log" p.Txn.log_us;
+  match outcome with
+  | Txn.Committed { latency_us; _ } ->
+    Obs.emit t.obs ~node:t.id ~epoch ~span ~dur:latency_us ~cat:"txn" "commit"
+  | Txn.Aborted { latency_us; reason } ->
+    Obs.emit t.obs ~node:t.id ~epoch ~span ~dur:latency_us ~cat:"txn" "abort"
+      ~detail:(Txn.abort_reason_to_string reason)
+
 let finish t (txn : Txn.t) outcome =
   if not txn.Txn.finished then begin
     txn.Txn.finished <- true;
@@ -205,6 +236,7 @@ let finish t (txn : Txn.t) outcome =
     (match outcome with
     | Txn.Committed _ -> Metrics.record_phases t.metrics txn.Txn.phases
     | Txn.Aborted _ -> ());
+    if Obs.tracing t.obs then emit_txn_span t txn outcome;
     txn.Txn.callback outcome
   end
 
@@ -237,6 +269,12 @@ let seal_epoch t e =
     else batch
   in
   let bytes = Writeset.Batch.wire_size wire_batch in
+  if Obs.tracing t.obs then begin
+    Obs.emit t.obs ~node:t.id ~epoch:e ~cat:"epoch" "seal"
+      ~detail:(Printf.sprintf "txns=%d" (List.length txns));
+    Obs.emit t.obs ~node:t.id ~epoch:e ~cat:"epoch" "batch.send"
+      ~detail:(Printf.sprintf "bytes=%d" bytes)
+  end;
   broadcast t ~bytes (Batch_msg wire_batch);
   Itbl.replace t.notify_gate e (now t + ft_gate_delay t);
   t.sealed_epoch <- e
@@ -314,6 +352,10 @@ and try_advance t =
         + (n_records * cost.merge_record_us / max 1 cost.merge_threads)
       in
       let merge_started = now t in
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~node:t.id ~epoch:e ~dur:duration ~cat:"epoch"
+          "merge.start"
+          ~detail:(Printf.sprintf "txns=%d records=%d" (List.length txns) n_records);
       Sim.schedule t.env.sim ~after:duration (fun () ->
           do_merge t e txns ~merge_started ~duration;
           t.merging <- false;
@@ -485,6 +527,11 @@ and do_merge t e txns ~merge_started ~duration =
     txns;
   Db.temp_clear_all t.db;
   t.lsn <- e;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~node:t.id ~epoch:e ~dur:duration ~cat:"epoch" "merge.commit"
+      ~detail:
+        (Printf.sprintf "committed=%d dead=%d records=%d"
+           (Itbl.length committed_set) (Itbl.length dead) !n_records);
   (* Tombstone GC: Algorithm 2 only needs tombstones for "the past few
      epochs"; keep a generous window and reclaim the rest. *)
   if e mod 100 = 0 then ignore (Db.purge_tombstones t.db ~before_cen:(e - 100));
@@ -751,6 +798,12 @@ and receive t msg =
           bs.eof <- true;
           bs.expected <- max bs.expected b.Writeset.Batch.count;
           t.last_eof.(b.Writeset.Batch.node) <- now t;
+          if Obs.tracing t.obs then
+            Obs.emit t.obs ~node:t.id ~epoch:b.Writeset.Batch.cen ~cat:"epoch"
+              "batch.recv"
+              ~detail:
+                (Printf.sprintf "from=%d txns=%d" b.Writeset.Batch.node
+                   (Itbl.length bs.txn_keys));
           if t.env.params.Params.ft = Params.Ft_raft then
             send_msg t ~dst:b.Writeset.Batch.node ~bytes:32
               (Ft_ack { cen = b.Writeset.Batch.cen; from = t.id })
@@ -758,6 +811,9 @@ and receive t msg =
         try_advance t
       end
     | Ft_ack { cen; from } ->
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~node:t.id ~epoch:cen ~cat:"epoch" "ft.ack"
+          ~detail:(Printf.sprintf "from=%d" from);
       let acks =
         match Itbl.find_opt t.ft_acks cen with
         | Some l -> l
@@ -774,6 +830,9 @@ and receive t msg =
           broadcast t ~bytes:32 (Ft_commit { cen; origin = t.id })
       end
     | Ft_commit { cen; origin } ->
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~node:t.id ~epoch:cen ~cat:"epoch" "ft.commit"
+          ~detail:(Printf.sprintf "origin=%d" origin);
       let bs = batch_state t ~cen ~peer:origin in
       bs.committed <- true;
       try_advance t

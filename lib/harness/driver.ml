@@ -1,5 +1,7 @@
 module Sim = Gg_sim.Sim
 module Net = Gg_sim.Net
+module Obs = Gg_obs.Obs
+module Jsonl = Gg_obs.Jsonl
 module Topology = Gg_sim.Topology
 module Op = Gg_workload.Op
 module Engine = Gg_engines.Engine
@@ -44,7 +46,7 @@ let drive ~sim ~net ~submit ~gen ~connections ~warmup_ms ~measure_ms =
     done
   done;
   Sim.run_until sim warmup_end;
-  Net.reset_accounting net;
+  Obs.reset_all (Sim.obs sim);
   Sim.run_until sim measure_end;
   (!committed, !aborted, latency, Net.wan_bytes net)
 
@@ -74,10 +76,63 @@ type geo_extra = {
   epoch_cells : (int * Geogauss.Metrics.epoch_cell) list;
 }
 
+(* JSONL trace export: one meta record, the buffered events (oldest
+   first), then the periodic counter snapshots. Field order is fixed and
+   every timestamp is simulated time, so identical seeded runs produce
+   byte-identical files. *)
+let write_trace ~path ~label ~params ~nodes ~warmup_ms ~measure_ms obs snapshots
+    =
+  let events = Obs.events obs in
+  let oc = open_out path in
+  Jsonl.write_line oc
+    (Jsonl.Obj
+       [
+         ("type", Jsonl.Str "meta");
+         ("label", Jsonl.Str label);
+         ("nodes", Jsonl.Int nodes);
+         ("epoch_us", Jsonl.Int params.Geogauss.Params.epoch_us);
+         ("seed", Jsonl.Int params.Geogauss.Params.seed);
+         ("warmup_ms", Jsonl.Int warmup_ms);
+         ("measure_ms", Jsonl.Int measure_ms);
+         ("events", Jsonl.Int (List.length events));
+         ("dropped", Jsonl.Int (Obs.dropped_events obs));
+       ]);
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      Jsonl.write_line oc
+        (Jsonl.Obj
+           [
+             ("type", Jsonl.Str "event");
+             ("at", Jsonl.Int e.Obs.Trace.at);
+             ("node", Jsonl.Int e.Obs.Trace.node);
+             ("cat", Jsonl.Str e.Obs.Trace.cat);
+             ("name", Jsonl.Str e.Obs.Trace.name);
+             ("epoch", Jsonl.Int e.Obs.Trace.epoch);
+             ("span", Jsonl.Int e.Obs.Trace.span);
+             ("dur", Jsonl.Int e.Obs.Trace.dur);
+             ("detail", Jsonl.Str e.Obs.Trace.detail);
+           ]))
+    events;
+  List.iter
+    (fun (at, counters) ->
+      Jsonl.write_line oc
+        (Jsonl.Obj
+           [
+             ("type", Jsonl.Str "snapshot");
+             ("at", Jsonl.Int at);
+             ( "counters",
+               Jsonl.Obj (List.map (fun (k, v) -> (k, Jsonl.Int v)) counters) );
+           ]))
+    snapshots;
+  close_out oc
+
 let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
-    ~topology ~load ~gen ~warmup_ms ~measure_ms ~label () =
+    ?trace_file ?(snapshot_every_ms = 100) ~topology ~load ~gen ~warmup_ms
+    ~measure_ms ~label () =
   let cluster = Geogauss.Cluster.create ~params ~topology ~load () in
   let n = Topology.n_nodes topology in
+  let obs = Geogauss.Cluster.obs cluster in
+  if trace_file <> None then Obs.set_tracing obs true;
   let clients =
     List.init n (fun i ->
         let next = gen i in
@@ -89,11 +144,21 @@ let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
         cl)
   in
   Geogauss.Cluster.run_for_ms cluster warmup_ms;
-  List.iter Geogauss.Client.reset_stats clients;
-  for i = 0 to n - 1 do
-    Geogauss.Metrics.reset (Geogauss.Cluster.metrics cluster i)
-  done;
-  Net.reset_accounting (Geogauss.Cluster.net cluster);
+  (* One call clears every instrument, per-epoch table, client-side stat
+     and the trace buffer — warm-up never leaks into the window. *)
+  Obs.reset_all obs;
+  let snapshots = ref [] in
+  (match trace_file with
+  | Some _ when snapshot_every_ms > 0 ->
+    let sim = Geogauss.Cluster.sim cluster in
+    let measure_end = Sim.now sim + Sim.ms measure_ms in
+    let rec snap () =
+      snapshots := (Sim.now sim, Obs.counter_values obs) :: !snapshots;
+      if Sim.now sim + Sim.ms snapshot_every_ms <= measure_end then
+        Sim.schedule sim ~after:(Sim.ms snapshot_every_ms) snap
+    in
+    Sim.schedule sim ~after:(Sim.ms snapshot_every_ms) snap
+  | _ -> ());
   Geogauss.Cluster.run_for_ms cluster measure_ms;
   let committed = List.fold_left (fun a c -> a + Geogauss.Client.committed c) 0 clients in
   let aborted = List.fold_left (fun a c -> a + Geogauss.Client.aborted c) 0 clients in
@@ -118,4 +183,9 @@ let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
         Geogauss.Metrics.epoch_cells (Geogauss.Cluster.metrics cluster 0);
     }
   in
+  (match trace_file with
+  | Some path ->
+    write_trace ~path ~label ~params ~nodes:n ~warmup_ms ~measure_ms obs
+      (List.rev !snapshots)
+  | None -> ());
   (result, extra)

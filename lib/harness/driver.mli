@@ -4,8 +4,17 @@
     {!Gg_engines.Engine.S}; {!run_engine_with} accepts a custom
     constructor (e.g. the Raft-replicated Calvin/Aria variants);
     {!run_geogauss} builds a full GeoGauss cluster with per-region
-    clients. All warm up, reset counters, then measure over a fixed
-    window of simulated time. *)
+    clients. All warm up, reset every instrument through one
+    {!Gg_obs.Obs.reset_all} call, then measure over a fixed window of
+    simulated time.
+
+    Passing [?trace_file] to {!run_geogauss} enables tracing for the
+    whole run (the warm-up reset clears the buffer, so the file covers
+    the measurement window only) and writes a JSONL file next to the
+    other results: one [meta] record, one [event] record per trace
+    event, and a [snapshot] record of all counters every
+    [?snapshot_every_ms] (default 100, [0] disables). Identical seeded
+    runs produce byte-identical files. *)
 
 type workload_gen = int -> unit -> Gg_workload.Op.txn
 (** [gen node] returns that node's transaction generator. *)
@@ -52,6 +61,8 @@ type geo_extra = {
 val run_geogauss :
   ?params:Geogauss.Params.t ->
   ?connections:int ->
+  ?trace_file:string ->
+  ?snapshot_every_ms:int ->
   topology:Gg_sim.Topology.t ->
   load:(Gg_storage.Db.t -> unit) ->
   gen:workload_gen ->

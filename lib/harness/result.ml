@@ -9,7 +9,9 @@ type t = {
   abort_tput : float;
   mean_ms : float;
   p50_ms : float;
+  p95_ms : float;
   p99_ms : float;
+  max_ms : float;
   abort_rate : float;
   wan_kb_per_txn : float;
 }
@@ -25,7 +27,9 @@ let make ~label ~window_s ~committed ~aborted ~latency ~wan_bytes =
     abort_tput = float_of_int aborted /. window_s;
     mean_ms = Stats.Hist.mean latency /. 1000.0;
     p50_ms = Stats.Hist.p50 latency /. 1000.0;
+    p95_ms = Stats.Hist.p95 latency /. 1000.0;
     p99_ms = Stats.Hist.p99 latency /. 1000.0;
+    max_ms = Stats.Hist.max latency /. 1000.0;
     abort_rate =
       (if finished = 0 then 0.0
        else float_of_int aborted /. float_of_int finished);
@@ -37,7 +41,7 @@ let make ~label ~window_s ~committed ~aborted ~latency ~wan_bytes =
 let headers =
   [
     "system"; "tput (txn/s)"; "abort/s"; "mean lat (ms)"; "p50 (ms)";
-    "p99 (ms)"; "abort rate"; "WAN KB/txn";
+    "p95 (ms)"; "p99 (ms)"; "max (ms)"; "abort rate"; "WAN KB/txn";
   ]
 
 let f = Gg_util.Tablefmt.fmt_f
@@ -49,7 +53,9 @@ let row t =
     f ~dec:0 t.abort_tput;
     f ~dec:1 t.mean_ms;
     f ~dec:1 t.p50_ms;
+    f ~dec:1 t.p95_ms;
     f ~dec:1 t.p99_ms;
+    f ~dec:1 t.max_ms;
     f ~dec:3 t.abort_rate;
     f ~dec:2 t.wan_kb_per_txn;
   ]

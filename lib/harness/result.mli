@@ -9,7 +9,9 @@ type t = {
   abort_tput : float;
   mean_ms : float;  (** mean committed latency *)
   p50_ms : float;
+  p95_ms : float;
   p99_ms : float;
+  max_ms : float;
   abort_rate : float;  (** aborted / (committed + aborted) *)
   wan_kb_per_txn : float;  (** compressed cross-region bytes per finished txn *)
 }
@@ -24,6 +26,7 @@ val make :
   t
 
 val row : t -> string list
-(** [label; tput; abort-tput; mean; p50; p99; abort rate; wan] cells. *)
+(** [label; tput; abort-tput; mean; p50; p95; p99; max; abort rate; wan]
+    cells. *)
 
 val headers : string list

@@ -1,0 +1,30 @@
+(** Minimal JSON values for the trace JSONL files.
+
+    Covers exactly the subset the exporter emits (flat objects of ints
+    and strings, one per line) plus enough generality to round-trip
+    nested values in tests. Hand-rolled so the repo stays inside the
+    preinstalled dependency set. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with deterministic field order —
+    two identical values always produce identical bytes. *)
+
+val write_line : out_channel -> t -> unit
+(** [to_string] plus a trailing newline, buffered. *)
+
+val parse : string -> (t, string) result
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+val to_int : ?default:int -> t option -> int
+val to_str : ?default:string -> t option -> string

@@ -1,0 +1,376 @@
+module Tablefmt = Gg_util.Tablefmt
+
+type t = {
+  meta : Jsonl.t;
+  events : Obs.Trace.event list;
+  snapshots : (int * (string * int) list) list;
+}
+
+let f = Tablefmt.fmt_f
+
+(* --- loading --- *)
+
+let event_of_json j =
+  {
+    Obs.Trace.at = Jsonl.to_int (Jsonl.member "at" j);
+    node = Jsonl.to_int ~default:(-1) (Jsonl.member "node" j);
+    cat = Jsonl.to_str (Jsonl.member "cat" j);
+    name = Jsonl.to_str (Jsonl.member "name" j);
+    epoch = Jsonl.to_int ~default:(-1) (Jsonl.member "epoch" j);
+    span = Jsonl.to_int ~default:(-1) (Jsonl.member "span" j);
+    dur = Jsonl.to_int ~default:(-1) (Jsonl.member "dur" j);
+    detail = Jsonl.to_str (Jsonl.member "detail" j);
+  }
+
+let snapshot_of_json j =
+  let at = Jsonl.to_int (Jsonl.member "at" j) in
+  let counters =
+    match Jsonl.member "counters" j with
+    | Some (Jsonl.Obj fields) ->
+      List.map (fun (k, v) -> (k, Jsonl.to_int (Some v))) fields
+    | _ -> []
+  in
+  (at, counters)
+
+let of_lines lines =
+  let meta = ref (Jsonl.Obj []) in
+  let events = ref [] in
+  let snapshots = ref [] in
+  let bad = ref None in
+  List.iteri
+    (fun i line ->
+      if !bad = None && String.trim line <> "" then
+        match Jsonl.parse line with
+        | Error msg -> bad := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
+        | Ok j -> (
+          match Jsonl.to_str (Jsonl.member "type" j) with
+          | "meta" -> meta := j
+          | "event" -> events := event_of_json j :: !events
+          | "snapshot" -> snapshots := snapshot_of_json j :: !snapshots
+          | other ->
+            bad :=
+              Some (Printf.sprintf "line %d: unknown record type %S" (i + 1) other)))
+    lines;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+    Ok
+      {
+        meta = !meta;
+        events = List.rev !events;
+        snapshots = List.rev !snapshots;
+      }
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    of_lines (List.rev !lines)
+
+(* --- per-phase breakdown (Algorithm 1 / Table 2) --- *)
+
+type phase_row = {
+  pr_node : int;
+  pr_txns : int;
+  pr_parse_ms : float;
+  pr_exec_ms : float;
+  pr_wait_ms : float;
+  pr_merge_ms : float;
+  pr_log_ms : float;
+}
+
+let phase_breakdown t =
+  (* node -> (txns, sums per phase in us) *)
+  let tbl : (int, int ref * float array) Hashtbl.t = Hashtbl.create 8 in
+  let cell node =
+    match Hashtbl.find_opt tbl node with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, Array.make 5 0.0) in
+      Hashtbl.replace tbl node c;
+      c
+  in
+  let phase_idx = function
+    | "phase.parse" -> Some 0
+    | "phase.exec" -> Some 1
+    | "phase.wait" -> Some 2
+    | "phase.merge" -> Some 3
+    | "phase.log" -> Some 4
+    | _ -> None
+  in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      if e.Obs.Trace.cat = "txn" then
+        if e.Obs.Trace.name = "commit" then incr (fst (cell e.Obs.Trace.node))
+        else
+          match phase_idx e.Obs.Trace.name with
+          | Some i ->
+            let _, sums = cell e.Obs.Trace.node in
+            sums.(i) <- sums.(i) +. float_of_int (max 0 e.Obs.Trace.dur)
+          | None -> ())
+    t.events;
+  Hashtbl.fold (fun node (n, sums) acc -> (node, !n, sums) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (node, n, sums) ->
+         let mean i =
+           if n = 0 then 0.0 else sums.(i) /. float_of_int n /. 1000.0
+         in
+         {
+           pr_node = node;
+           pr_txns = n;
+           pr_parse_ms = mean 0;
+           pr_exec_ms = mean 1;
+           pr_wait_ms = mean 2;
+           pr_merge_ms = mean 3;
+           pr_log_ms = mean 4;
+         })
+
+(* --- epoch timeline (Fig 6 / Fig 8 style) --- *)
+
+type epoch_row = {
+  er_epoch : int;
+  er_seal_at : int;  (* earliest seal across nodes, -1 if unobserved *)
+  er_merge_nodes : int;  (* nodes whose merge.commit was observed *)
+  er_merge_max_us : int;  (* slowest merge duration *)
+  er_skew_us : int;  (* spread of merge.commit instants across nodes *)
+  er_commits : int;
+  er_aborts : int;
+  er_lat_mean_ms : float;  (* mean committed latency *)
+}
+
+type epoch_cell = {
+  mutable c_seal_at : int;
+  mutable c_merge_ats : (int * int) list;  (* (node, at) newest first *)
+  mutable c_merge_max : int;
+  mutable c_commits : int;
+  mutable c_aborts : int;
+  mutable c_lat_sum : float;
+}
+
+let epoch_rows t =
+  let tbl : (int, epoch_cell) Hashtbl.t = Hashtbl.create 64 in
+  let cell e =
+    match Hashtbl.find_opt tbl e with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          c_seal_at = -1;
+          c_merge_ats = [];
+          c_merge_max = 0;
+          c_commits = 0;
+          c_aborts = 0;
+          c_lat_sum = 0.0;
+        }
+      in
+      Hashtbl.replace tbl e c;
+      c
+  in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      let ep = e.Obs.Trace.epoch in
+      if ep >= 0 then
+        match (e.Obs.Trace.cat, e.Obs.Trace.name) with
+        | "epoch", "seal" ->
+          let c = cell ep in
+          if c.c_seal_at < 0 || e.Obs.Trace.at < c.c_seal_at then
+            c.c_seal_at <- e.Obs.Trace.at
+        | "epoch", "merge.commit" ->
+          let c = cell ep in
+          c.c_merge_ats <- (e.Obs.Trace.node, e.Obs.Trace.at) :: c.c_merge_ats;
+          if e.Obs.Trace.dur > c.c_merge_max then c.c_merge_max <- e.Obs.Trace.dur
+        | "txn", "commit" ->
+          let c = cell ep in
+          c.c_commits <- c.c_commits + 1;
+          c.c_lat_sum <- c.c_lat_sum +. float_of_int (max 0 e.Obs.Trace.dur)
+        | "txn", "abort" ->
+          let c = cell ep in
+          c.c_aborts <- c.c_aborts + 1
+        | _ -> ())
+    t.events;
+  Hashtbl.fold (fun ep c acc -> (ep, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (ep, c) ->
+         let skew =
+           match c.c_merge_ats with
+           | [] | [ _ ] -> 0
+           | ats ->
+             let ts = List.map snd ats in
+             List.fold_left max min_int ts - List.fold_left min max_int ts
+         in
+         {
+           er_epoch = ep;
+           er_seal_at = c.c_seal_at;
+           er_merge_nodes = List.length c.c_merge_ats;
+           er_merge_max_us = c.c_merge_max;
+           er_skew_us = skew;
+           er_commits = c.c_commits;
+           er_aborts = c.c_aborts;
+           er_lat_mean_ms =
+             (if c.c_commits = 0 then 0.0
+              else c.c_lat_sum /. float_of_int c.c_commits /. 1000.0);
+         })
+
+let slowest_epochs t ~top =
+  epoch_rows t
+  |> List.sort (fun a b -> compare b.er_merge_max_us a.er_merge_max_us)
+  |> List.filteri (fun i _ -> i < top)
+
+let skew_stats t =
+  let skews =
+    epoch_rows t
+    |> List.filter (fun r -> r.er_merge_nodes >= 2)
+    |> List.map (fun r -> r.er_skew_us)
+  in
+  match skews with
+  | [] -> (0.0, 0)
+  | _ ->
+    let sum = List.fold_left ( + ) 0 skews in
+    ( float_of_int sum /. float_of_int (List.length skews),
+      List.fold_left max 0 skews )
+
+let epoch_events t ep =
+  List.filter (fun (e : Obs.Trace.event) -> e.Obs.Trace.epoch = ep) t.events
+
+(* --- rendering --- *)
+
+let meta_line t =
+  let m k = Jsonl.member k t.meta in
+  Printf.sprintf
+    "trace: label=%s nodes=%d epoch_us=%d seed=%d events=%d (dropped %d) \
+     snapshots=%d"
+    (Jsonl.to_str ~default:"?" (m "label"))
+    (Jsonl.to_int (m "nodes"))
+    (Jsonl.to_int (m "epoch_us"))
+    (Jsonl.to_int (m "seed"))
+    (List.length t.events)
+    (Jsonl.to_int (m "dropped"))
+    (List.length t.snapshots)
+
+let render_epoch_table ?(limit = 40) t =
+  let rows = epoch_rows t in
+  let shown = List.filteri (fun i _ -> i < limit) rows in
+  let table =
+    Tablefmt.create ~title:"Epoch timeline"
+      ~headers:
+        [
+          "epoch"; "sealed @ (s)"; "merges"; "merge max (ms)"; "skew (ms)";
+          "commits"; "aborts"; "mean lat (ms)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row table
+        [
+          string_of_int r.er_epoch;
+          (if r.er_seal_at < 0 then "-" else f ~dec:3 (float_of_int r.er_seal_at /. 1e6));
+          string_of_int r.er_merge_nodes;
+          f (float_of_int r.er_merge_max_us /. 1000.0);
+          f (float_of_int r.er_skew_us /. 1000.0);
+          string_of_int r.er_commits;
+          string_of_int r.er_aborts;
+          f r.er_lat_mean_ms;
+        ])
+    shown;
+  let rendered = Tablefmt.render table in
+  if List.length rows > limit then
+    Printf.sprintf "%s\n  ... %d more epochs (use --epochs to widen)\n" rendered
+      (List.length rows - limit)
+  else rendered ^ "\n"
+
+let render_phase_table t =
+  let table =
+    Tablefmt.create ~title:"Per-phase latency breakdown (committed txns, ms)"
+      ~headers:
+        [ "node"; "txns"; "parse"; "exec"; "wait"; "merge"; "log"; "total" ]
+  in
+  List.iter
+    (fun r ->
+      let total =
+        r.pr_parse_ms +. r.pr_exec_ms +. r.pr_wait_ms +. r.pr_merge_ms
+        +. r.pr_log_ms
+      in
+      Tablefmt.add_row table
+        [
+          string_of_int r.pr_node;
+          string_of_int r.pr_txns;
+          f r.pr_parse_ms;
+          f r.pr_exec_ms;
+          f r.pr_wait_ms;
+          f r.pr_merge_ms;
+          f r.pr_log_ms;
+          f total;
+        ])
+    (phase_breakdown t);
+  Tablefmt.render table ^ "\n"
+
+let render_slowest ?(top = 5) t =
+  let table =
+    Tablefmt.create
+      ~title:(Printf.sprintf "Slowest %d epochs by merge duration" top)
+      ~headers:[ "epoch"; "merge max (ms)"; "commits"; "aborts"; "events" ]
+  in
+  let rows = slowest_epochs t ~top in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row table
+        [
+          string_of_int r.er_epoch;
+          f (float_of_int r.er_merge_max_us /. 1000.0);
+          string_of_int r.er_commits;
+          string_of_int r.er_aborts;
+          string_of_int (List.length (epoch_events t r.er_epoch));
+        ])
+    rows;
+  let drill =
+    match rows with
+    | [] -> ""
+    | worst :: _ ->
+      let evs =
+        epoch_events t worst.er_epoch
+        |> List.filter (fun (e : Obs.Trace.event) -> e.Obs.Trace.cat = "epoch")
+        |> List.sort (fun (a : Obs.Trace.event) b ->
+               compare (a.Obs.Trace.at, a.Obs.Trace.node) (b.Obs.Trace.at, b.Obs.Trace.node))
+      in
+      let dt =
+        Tablefmt.create
+          ~title:(Printf.sprintf "Drill-down: epoch %d" worst.er_epoch)
+          ~headers:[ "t (ms)"; "node"; "event"; "dur (ms)"; "detail" ]
+      in
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          Tablefmt.add_row dt
+            [
+              f (float_of_int e.Obs.Trace.at /. 1000.0);
+              string_of_int e.Obs.Trace.node;
+              e.Obs.Trace.name;
+              (if e.Obs.Trace.dur < 0 then "-"
+               else f (float_of_int e.Obs.Trace.dur /. 1000.0));
+              e.Obs.Trace.detail;
+            ])
+        evs;
+      Tablefmt.render dt ^ "\n"
+  in
+  Tablefmt.render table ^ "\n" ^ drill
+
+let render_report ?(epoch_limit = 40) ?(top = 5) t =
+  let mean_skew, max_skew = skew_stats t in
+  String.concat "\n"
+    [
+      meta_line t;
+      "";
+      render_epoch_table ~limit:epoch_limit t;
+      render_phase_table t;
+      render_slowest ~top t;
+      Printf.sprintf
+        "cross-node epoch skew (merge.commit spread): mean %.2f ms, max %.2f ms"
+        (mean_skew /. 1000.0)
+        (float_of_int max_skew /. 1000.0);
+    ]

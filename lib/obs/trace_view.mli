@@ -1,0 +1,67 @@
+(** Offline analysis of exported JSONL traces.
+
+    Loads the [meta] / [event] / [snapshot] records the harness writes
+    (see DESIGN.md §7) and renders the epoch timeline, per-phase latency
+    breakdown, slowest-epoch drill-down and cross-node epoch skew that
+    the [geogauss_cli trace] subcommand prints. *)
+
+type t = {
+  meta : Jsonl.t;  (** the ["type":"meta"] record, [Obj []] when absent *)
+  events : Obs.Trace.event list;  (** file order *)
+  snapshots : (int * (string * int) list) list;
+      (** periodic counter snapshots: (sim time µs, counter values) *)
+}
+
+val of_lines : string list -> (t, string) result
+val load_file : string -> (t, string) result
+
+(** {1 Analyses} *)
+
+type phase_row = {
+  pr_node : int;
+  pr_txns : int;  (** committed transactions observed for this node *)
+  pr_parse_ms : float;
+  pr_exec_ms : float;
+  pr_wait_ms : float;
+  pr_merge_ms : float;
+  pr_log_ms : float;
+}
+
+val phase_breakdown : t -> phase_row list
+(** Mean per-phase latency (Algorithm 1 phases) per node, from the
+    [txn/phase.*] events; sorted by node id. *)
+
+type epoch_row = {
+  er_epoch : int;
+  er_seal_at : int;  (** earliest seal across nodes, [-1] if unobserved *)
+  er_merge_nodes : int;  (** nodes whose merge.commit was observed *)
+  er_merge_max_us : int;  (** slowest merge duration *)
+  er_skew_us : int;  (** spread of merge.commit instants across nodes *)
+  er_commits : int;
+  er_aborts : int;
+  er_lat_mean_ms : float;  (** mean committed latency *)
+}
+
+val epoch_rows : t -> epoch_row list
+(** One row per epoch observed in the trace, sorted by epoch number. *)
+
+val slowest_epochs : t -> top:int -> epoch_row list
+(** The [top] epochs by maximum merge duration, slowest first. *)
+
+val skew_stats : t -> float * int
+(** (mean, max) cross-node merge.commit skew in µs over epochs merged on
+    at least two nodes; [(0., 0)] when no such epoch exists. *)
+
+val epoch_events : t -> int -> Obs.Trace.event list
+(** All events scoped to one epoch, in file order. *)
+
+(** {1 Rendering} *)
+
+val meta_line : t -> string
+val render_epoch_table : ?limit:int -> t -> string
+val render_phase_table : t -> string
+val render_slowest : ?top:int -> t -> string
+
+val render_report : ?epoch_limit:int -> ?top:int -> t -> string
+(** Full report: meta line, epoch timeline, phase breakdown,
+    slowest-epoch drill-down, skew summary. *)

@@ -1,5 +1,6 @@
 module Sim = Gg_sim.Sim
 module Net = Gg_sim.Net
+module Obs = Gg_obs.Obs
 
 type role = Follower | Candidate | Leader
 
@@ -102,6 +103,10 @@ and apply_committed t nd =
   while nd.last_applied < nd.commit_index do
     nd.last_applied <- nd.last_applied + 1;
     let e = nd.log.(nd.last_applied - 1) in
+    let obs = Sim.obs t.sim in
+    if Obs.tracing obs then
+      Obs.emit obs ~node:nd.id ~span:nd.last_applied ~cat:"raft" "apply"
+        ~detail:e.data;
     t.apply ~node:nd.id ~index:nd.last_applied e.data
   done
 
@@ -154,6 +159,7 @@ and broadcast_append t nd =
   done
 
 and become_leader t nd =
+  Obs.emit (Sim.obs t.sim) ~node:nd.id ~span:nd.term ~cat:"raft" "leader";
   nd.role <- Leader;
   nd.next_index <- Array.make t.n (log_length_of nd + 1);
   nd.match_index <- Array.make t.n 0;
@@ -168,6 +174,7 @@ and schedule_heartbeat t nd term =
       end)
 
 and start_election t nd =
+  Obs.emit (Sim.obs t.sim) ~node:nd.id ~span:(nd.term + 1) ~cat:"raft" "election";
   nd.term <- nd.term + 1;
   nd.role <- Candidate;
   nd.voted_for <- Some nd.id;

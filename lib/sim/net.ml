@@ -1,5 +1,8 @@
+module Obs = Gg_obs.Obs
+
 type t = {
   sim : Sim.t;
+  obs : Obs.t;
   rng : Gg_util.Rng.t;
   topology : Topology.t;
   jitter_frac : float;
@@ -9,37 +12,50 @@ type t = {
   bandwidth_bps : int;
   down : bool array;
   egress_free : int array; (* absolute time each node's egress pipe frees up *)
-  mutable sent_messages : int;
-  mutable sent_bytes : int;
-  mutable wan_bytes : int;
+  sent_messages : Obs.Counter.t;
+  sent_bytes : Obs.Counter.t;
+  wan_bytes : Obs.Counter.t;
+  dropped : Obs.Counter.t;
   wan_bytes_from : int array;
 }
 
 let create sim ~rng ~topology ?(jitter_frac = 0.05) ?(loss = 0.0) ?(dup = 0.0)
     ?(reorder = 0.0) ?(bandwidth_bps = 100_000_000) () =
   let n = Topology.n_nodes topology in
-  {
-    sim;
-    rng;
-    topology;
-    jitter_frac;
-    loss;
-    dup;
-    reorder;
-    bandwidth_bps;
-    down = Array.make n false;
-    egress_free = Array.make n 0;
-    sent_messages = 0;
-    sent_bytes = 0;
-    wan_bytes = 0;
-    wan_bytes_from = Array.make n 0;
-  }
+  let obs = Sim.obs sim in
+  let t =
+    {
+      sim;
+      obs;
+      rng;
+      topology;
+      jitter_frac;
+      loss;
+      dup;
+      reorder;
+      bandwidth_bps;
+      down = Array.make n false;
+      egress_free = Array.make n 0;
+      sent_messages = Obs.counter obs "net.sent.messages";
+      sent_bytes = Obs.counter obs "net.sent.bytes";
+      wan_bytes = Obs.counter obs "net.wan.bytes";
+      dropped = Obs.counter obs "net.dropped.messages";
+      wan_bytes_from = Array.make n 0;
+    }
+  in
+  Obs.on_reset obs (fun () ->
+      Array.fill t.wan_bytes_from 0 (Array.length t.wan_bytes_from) 0);
+  t
 
 let sim t = t.sim
 let topology t = t.topology
 let n_nodes t = Topology.n_nodes t.topology
 
-let set_down t node v = t.down.(node) <- v
+let set_down t node v =
+  if t.down.(node) <> v then
+    Obs.emit t.obs ~node ~cat:"net" (if v then "down" else "up");
+  t.down.(node) <- v
+
 let is_down t node = t.down.(node)
 
 let delay t ~src ~dst ~bytes =
@@ -67,14 +83,20 @@ let deliver t ~dst ~after k =
 
 let send t ~src ~dst ~bytes k =
   if not (t.down.(src) || t.down.(dst)) then begin
-    t.sent_messages <- t.sent_messages + 1;
-    t.sent_bytes <- t.sent_bytes + bytes;
+    Obs.Counter.incr t.sent_messages;
+    Obs.Counter.add t.sent_bytes bytes;
     if Topology.region_of t.topology src <> Topology.region_of t.topology dst
     then begin
-      t.wan_bytes <- t.wan_bytes + bytes;
+      Obs.Counter.add t.wan_bytes bytes;
       t.wan_bytes_from.(src) <- t.wan_bytes_from.(src) + bytes
     end;
-    if not (t.loss > 0.0 && Gg_util.Rng.chance t.rng t.loss) then begin
+    if t.loss > 0.0 && Gg_util.Rng.chance t.rng t.loss then begin
+      Obs.Counter.incr t.dropped;
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~node:src ~cat:"net" "drop"
+          ~detail:(Printf.sprintf "dst=%d bytes=%d" dst bytes)
+    end
+    else begin
       let after = delay t ~src ~dst ~bytes in
       deliver t ~dst ~after k;
       if t.dup > 0.0 && Gg_util.Rng.chance t.rng t.dup then begin
@@ -89,13 +111,14 @@ let broadcast t ~src ~bytes f =
     if dst <> src then send t ~src ~dst ~bytes (f dst)
   done
 
-let sent_messages t = t.sent_messages
-let sent_bytes t = t.sent_bytes
-let wan_bytes t = t.wan_bytes
+let sent_messages t = Obs.Counter.value t.sent_messages
+let sent_bytes t = Obs.Counter.value t.sent_bytes
+let wan_bytes t = Obs.Counter.value t.wan_bytes
 let wan_bytes_from t node = t.wan_bytes_from.(node)
 
 let reset_accounting t =
-  t.sent_messages <- 0;
-  t.sent_bytes <- 0;
-  t.wan_bytes <- 0;
+  Obs.Counter.reset t.sent_messages;
+  Obs.Counter.reset t.sent_bytes;
+  Obs.Counter.reset t.wan_bytes;
+  Obs.Counter.reset t.dropped;
   Array.fill t.wan_bytes_from 0 (Array.length t.wan_bytes_from) 0

@@ -53,7 +53,13 @@ val set_down : t -> int -> bool -> unit
 
 val is_down : t -> int -> bool
 
-(** {1 Accounting} *)
+(** {1 Accounting}
+
+    Counters are registered in the simulation's {!Gg_obs.Obs.t} registry
+    (["net.sent.messages"], ["net.sent.bytes"], ["net.wan.bytes"],
+    ["net.dropped.messages"]), so {!Gg_obs.Obs.reset_all} zeroes them
+    together with everything else; loss/up/down transitions additionally
+    emit ["net"]-category trace events when tracing is on. *)
 
 val sent_messages : t -> int
 val sent_bytes : t -> int

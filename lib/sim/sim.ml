@@ -1,13 +1,26 @@
 type t = {
   mutable now : int;
-  mutable events : int;
+  events : Gg_obs.Obs.Counter.t;
+  obs : Gg_obs.Obs.t;
   queue : (unit -> unit) Event_queue.t;
 }
 
-let create () = { now = 0; events = 0; queue = Event_queue.create () }
+let create ?obs () =
+  let obs = match obs with Some o -> o | None -> Gg_obs.Obs.create () in
+  let t =
+    {
+      now = 0;
+      events = Gg_obs.Obs.counter obs "sim.events";
+      obs;
+      queue = Event_queue.create ();
+    }
+  in
+  Gg_obs.Obs.set_clock obs (fun () -> t.now);
+  t
 
 let now t = t.now
-let events t = t.events
+let events t = Gg_obs.Obs.Counter.value t.events
+let obs t = t.obs
 
 let schedule t ~after f =
   let after = max 0 after in
@@ -21,7 +34,7 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.now <- max t.now time;
-    t.events <- t.events + 1;
+    Gg_obs.Obs.Counter.incr t.events;
     f ();
     true
 

@@ -7,13 +7,21 @@
 
 type t
 
-val create : unit -> t
+val create : ?obs:Gg_obs.Obs.t -> unit -> t
+(** Every simulation owns an observability registry (created here unless
+    one is supplied) whose clock is wired to simulated time; components
+    sharing the sim register their instruments and trace events in it. *)
 
 val now : t -> int
 (** Current simulated time (µs). *)
 
+val obs : t -> Gg_obs.Obs.t
+(** The registry/tracer bound to this simulation. *)
+
 val events : t -> int
-(** Total events executed since creation (throughput accounting). *)
+(** Total events executed since creation (throughput accounting); backed
+    by the ["sim.events"] counter, so {!Gg_obs.Obs.reset_all} zeroes
+    it. *)
 
 val schedule : t -> after:int -> (unit -> unit) -> unit
 (** [schedule t ~after f] runs [f] at [now t + max 0 after]. Events with

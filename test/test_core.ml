@@ -713,6 +713,89 @@ let test_node_recovery_rejoins () =
   List.iter Client.stop clients;
   check_converged ~msg:"recovered node caught up" c
 
+(* --- per-node metrics bookkeeping --- *)
+
+let ph ~parse ~exec ~wait ~merge ~log =
+  { Txn.parse_us = parse; exec_us = exec; wait_us = wait; merge_us = merge;
+    log_us = log }
+
+let test_metrics_phase_means () =
+  let m = Metrics.create () in
+  Metrics.record_phases m (ph ~parse:100 ~exec:200 ~wait:300 ~merge:400 ~log:500);
+  Metrics.record_phases m (ph ~parse:300 ~exec:400 ~wait:500 ~merge:600 ~log:700);
+  let p, e, w, g, l = Metrics.phase_means_us m in
+  let chk name expect got = Alcotest.(check (float 1e-6)) name expect got in
+  chk "parse" 200.0 p;
+  chk "exec" 300.0 e;
+  chk "wait" 400.0 w;
+  chk "merge" 500.0 g;
+  chk "log" 600.0 l
+
+let test_metrics_epoch_cells_sorted () =
+  let m = Metrics.create () in
+  Metrics.record_epoch_commit m ~cen:7 ~latency_us:10;
+  Metrics.record_epoch_commit m ~cen:3 ~latency_us:20;
+  Metrics.record_epoch_commit m ~cen:7 ~latency_us:30;
+  Metrics.record_epoch_commit m ~cen:5 ~latency_us:40;
+  let cells = Metrics.epoch_cells m in
+  Alcotest.(check (list int)) "ascending epochs" [ 3; 5; 7 ] (List.map fst cells);
+  let c7 = List.assoc 7 cells in
+  Alcotest.(check int) "per-epoch count accumulates" 2 c7.Metrics.committed;
+  Alcotest.(check (float 1e-6))
+    "per-epoch latency mean" 20.0
+    (Gg_util.Stats.Acc.mean c7.Metrics.latency)
+
+let test_metrics_abort_reason_pooling () =
+  let m = Metrics.create () in
+  let ab reason =
+    Metrics.record_outcome m (Txn.Aborted { latency_us = 5; reason })
+  in
+  ab (Txn.Constraint_violation "duplicate key");
+  ab (Txn.Constraint_violation "unknown table");
+  ab Txn.Write_conflict;
+  Metrics.record_outcome m (Txn.Committed { latency_us = 9; results = [] });
+  (* Constraint_violation pools by constructor, not message. *)
+  Alcotest.(check int)
+    "constraint violations pooled" 2
+    (Metrics.aborted_by m (Txn.Constraint_violation "anything"));
+  Alcotest.(check int) "write conflicts" 1 (Metrics.aborted_by m Txn.Write_conflict);
+  Alcotest.(check int) "no ssi aborts" 0 (Metrics.aborted_by m Txn.Ssi_conflict);
+  Alcotest.(check int) "aborted total" 3 (Metrics.aborted m);
+  Alcotest.(check int) "committed total" 1 (Metrics.committed m)
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.record_start m;
+  Metrics.record_outcome m (Txn.Committed { latency_us = 1_000; results = [] });
+  Metrics.record_phases m (ph ~parse:10 ~exec:20 ~wait:30 ~merge:40 ~log:50);
+  Metrics.record_epoch_commit m ~cen:1 ~latency_us:10;
+  Metrics.record_merged_records m 5;
+  Metrics.reset m;
+  Alcotest.(check int) "started" 0 (Metrics.started m);
+  Alcotest.(check int) "committed" 0 (Metrics.committed m);
+  Alcotest.(check int) "merged records" 0 (Metrics.merged_records m);
+  Alcotest.(check int)
+    "latency histogram emptied" 0
+    (Gg_util.Stats.Hist.count (Metrics.latency m));
+  Alcotest.(check (list int)) "epoch cells dropped" []
+    (List.map fst (Metrics.epoch_cells m));
+  let p, _, _, _, l = Metrics.phase_means_us m in
+  Alcotest.(check (float 1e-6)) "phase means cleared" 0.0 (p +. l)
+
+let test_metrics_registry_reset_all () =
+  let obs = Gg_obs.Obs.create () in
+  let m = Metrics.create ~obs ~id:0 () in
+  Metrics.record_outcome m (Txn.Committed { latency_us = 7; results = [] });
+  Metrics.record_epoch_commit m ~cen:2 ~latency_us:5;
+  Gg_obs.Obs.reset_all obs;
+  Alcotest.(check int) "committed zeroed via registry" 0 (Metrics.committed m);
+  Alcotest.(check (list int)) "epoch table cleared via hook" []
+    (List.map fst (Metrics.epoch_cells m));
+  Metrics.record_outcome m (Txn.Committed { latency_us = 7; results = [] });
+  Alcotest.(check int)
+    "counts surface under registry name" 1
+    (List.assoc "node0.txn.committed" (Gg_obs.Obs.counter_values obs))
+
 let () =
   Alcotest.run "geogauss_core"
     [
@@ -778,5 +861,13 @@ let () =
           Alcotest.test_case "crash then view change" `Slow test_node_crash_blocks_then_view_change_unblocks;
           Alcotest.test_case "client rerouted" `Quick test_client_rerouted_after_crash;
           Alcotest.test_case "recovery rejoins" `Slow test_node_recovery_rejoins;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "phase means" `Quick test_metrics_phase_means;
+          Alcotest.test_case "epoch cells sorted" `Quick test_metrics_epoch_cells_sorted;
+          Alcotest.test_case "abort reason pooling" `Quick test_metrics_abort_reason_pooling;
+          Alcotest.test_case "reset clears everything" `Quick test_metrics_reset;
+          Alcotest.test_case "registry reset_all" `Quick test_metrics_registry_reset_all;
         ] );
     ]

@@ -1,0 +1,308 @@
+(* Observability substrate tests: instrument registry, trace ring
+   buffer, JSONL codec, trace analysis and the end-to-end guarantee that
+   a seeded traced run is byte-reproducible. *)
+
+module Obs = Gg_obs.Obs
+module Jsonl = Gg_obs.Jsonl
+module Trace_view = Gg_obs.Trace_view
+
+(* --- registry --- *)
+
+let test_counter_get_or_create () =
+  let obs = Obs.create () in
+  let a = Obs.counter obs "x.count" in
+  Obs.Counter.add a 3;
+  let b = Obs.counter obs "x.count" in
+  Alcotest.(check int) "same instrument" 3 (Obs.Counter.value b);
+  Obs.Counter.incr b;
+  Alcotest.(check int) "shared state" 4 (Obs.Counter.value a)
+
+let test_kind_mismatch_rejected () =
+  let obs = Obs.create () in
+  ignore (Obs.counter obs "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Obs: instrument kind mismatch for x") (fun () ->
+      ignore (Obs.gauge obs "x"))
+
+let test_counter_values_registration_order () =
+  let obs = Obs.create () in
+  Obs.Counter.incr (Obs.counter obs "b");
+  ignore (Obs.histogram obs "h");
+  Obs.Counter.add (Obs.counter obs "a") 2;
+  ignore (Obs.counter obs "b");
+  (* histograms are not counters; re-lookup must not re-register *)
+  Alcotest.(check (list (pair string int)))
+    "insertion order, counters only"
+    [ ("b", 1); ("a", 2) ]
+    (Obs.counter_values obs)
+
+let test_reset_all () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs "c" in
+  let g = Obs.gauge obs "g" in
+  let h = Obs.histogram obs "h" in
+  Obs.Counter.add c 5;
+  Obs.Gauge.set g 2.5;
+  Obs.Histogram.observe h 10.0;
+  let hook_runs = ref 0 in
+  Obs.on_reset obs (fun () -> incr hook_runs);
+  Obs.set_tracing obs true;
+  Obs.emit obs ~cat:"t" "e";
+  Obs.reset_all obs;
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Counter.value c);
+  Alcotest.(check (float 0.0)) "gauge zeroed" 0.0 (Obs.Gauge.value g);
+  Alcotest.(check int) "histogram emptied" 0 (Obs.Histogram.count h);
+  Alcotest.(check int) "hook ran once" 1 !hook_runs;
+  Alcotest.(check int) "trace cleared" 0 (List.length (Obs.events obs))
+
+(* --- tracer --- *)
+
+let test_emit_disabled_is_noop () =
+  let obs = Obs.create () in
+  Obs.emit obs ~cat:"txn" "commit";
+  Alcotest.(check int) "no events buffered" 0 (Obs.events_total obs);
+  Alcotest.(check (list unit)) "empty" []
+    (List.map (fun _ -> ()) (Obs.events obs))
+
+let test_ring_buffer_wraps () =
+  let obs = Obs.create ~trace_capacity:4 () in
+  Obs.set_tracing obs true;
+  for i = 1 to 6 do
+    Obs.emit obs ~at:i ~cat:"t" (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "total counts overwritten" 6 (Obs.events_total obs);
+  Alcotest.(check int) "dropped = total - capacity" 2 (Obs.dropped_events obs);
+  Alcotest.(check (list string))
+    "survivors oldest first"
+    [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map (fun (e : Obs.Trace.event) -> e.Obs.Trace.name) (Obs.events obs))
+
+let test_clock_and_defaults () =
+  let obs = Obs.create () in
+  let now = ref 42 in
+  Obs.set_clock obs (fun () -> !now);
+  Obs.set_tracing obs true;
+  Obs.emit obs ~cat:"t" "tick";
+  now := 99;
+  Obs.emit obs ~at:7 ~cat:"t" "backdated";
+  match Obs.events obs with
+  | [ a; b ] ->
+    Alcotest.(check int) "clock time" 42 a.Obs.Trace.at;
+    Alcotest.(check int) "explicit at wins" 7 b.Obs.Trace.at;
+    Alcotest.(check int) "node default" (-1) a.Obs.Trace.node;
+    Alcotest.(check int) "dur default" (-1) a.Obs.Trace.dur
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+(* --- JSONL codec --- *)
+
+let test_jsonl_roundtrip () =
+  let v =
+    Jsonl.Obj
+      [
+        ("type", Jsonl.Str "event");
+        ("at", Jsonl.Int 123456);
+        ("neg", Jsonl.Int (-1));
+        ("f", Jsonl.Float 2.5);
+        ("s", Jsonl.Str "quote\" slash\\ nl\n tab\t");
+        ("l", Jsonl.List [ Jsonl.Bool true; Jsonl.Null ]);
+        ("o", Jsonl.Obj [ ("k", Jsonl.Str "v") ]);
+      ]
+  in
+  let s = Jsonl.to_string v in
+  (match Jsonl.parse s with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  Alcotest.(check string) "deterministic bytes" s
+    (Jsonl.to_string
+       (match Jsonl.parse s with Ok v -> v | Error _ -> Jsonl.Null))
+
+let test_jsonl_rejects_garbage () =
+  (match Jsonl.parse "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Jsonl.parse "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad value accepted"
+
+(* --- trace analysis --- *)
+
+let ev ?(node = 0) ?(epoch = -1) ?(span = -1) ?(dur = -1) ?(detail = "") ~at cat
+    name =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("type", Jsonl.Str "event");
+         ("at", Jsonl.Int at);
+         ("node", Jsonl.Int node);
+         ("cat", Jsonl.Str cat);
+         ("name", Jsonl.Str name);
+         ("epoch", Jsonl.Int epoch);
+         ("span", Jsonl.Int span);
+         ("dur", Jsonl.Int dur);
+         ("detail", Jsonl.Str detail);
+       ])
+
+let test_trace_view_analyses () =
+  let lines =
+    [
+      "{\"type\":\"meta\",\"label\":\"t\",\"nodes\":2,\"epoch_us\":10000,\
+       \"seed\":1,\"events\":10,\"dropped\":0}";
+      (* epoch 5: sealed on both nodes, merges 1 ms apart *)
+      ev ~at:50_000 ~node:0 ~epoch:5 "epoch" "seal";
+      ev ~at:50_010 ~node:1 ~epoch:5 "epoch" "seal";
+      ev ~at:60_000 ~node:0 ~epoch:5 ~dur:200 "epoch" "merge.commit";
+      ev ~at:61_000 ~node:1 ~epoch:5 ~dur:300 "epoch" "merge.commit";
+      (* one committed txn in epoch 5 on node 0 *)
+      ev ~at:52_000 ~node:0 ~epoch:5 ~span:9 ~dur:100 "txn" "phase.parse";
+      ev ~at:52_100 ~node:0 ~epoch:5 ~span:9 ~dur:400 "txn" "phase.exec";
+      ev ~at:52_500 ~node:0 ~epoch:5 ~span:9 ~dur:7_000 "txn" "phase.wait";
+      ev ~at:59_500 ~node:0 ~epoch:5 ~span:9 ~dur:200 "txn" "phase.merge";
+      ev ~at:59_700 ~node:0 ~epoch:5 ~span:9 ~dur:300 "txn" "phase.log";
+      ev ~at:62_000 ~node:0 ~epoch:5 ~span:9 ~dur:12_000 "txn" "commit";
+      (* epoch 6: single-node merge, an abort *)
+      ev ~at:70_000 ~node:0 ~epoch:6 "epoch" "seal";
+      ev ~at:80_000 ~node:0 ~epoch:6 ~dur:500 "epoch" "merge.commit";
+      ev ~at:81_000 ~node:1 ~epoch:6 ~span:3 ~dur:9_000 "txn" "abort";
+      "{\"type\":\"snapshot\",\"at\":100000,\"counters\":{\"sim.events\":42}}";
+    ]
+  in
+  match Trace_view.of_lines lines with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok t ->
+    Alcotest.(check int) "events parsed" 13 (List.length t.Trace_view.events);
+    Alcotest.(check int) "snapshot parsed" 1 (List.length t.Trace_view.snapshots);
+    let rows = Trace_view.epoch_rows t in
+    Alcotest.(check (list int)) "epochs sorted" [ 5; 6 ]
+      (List.map (fun r -> r.Trace_view.er_epoch) rows);
+    let r5 = List.hd rows in
+    Alcotest.(check int) "earliest seal" 50_000 r5.Trace_view.er_seal_at;
+    Alcotest.(check int) "merge nodes" 2 r5.Trace_view.er_merge_nodes;
+    Alcotest.(check int) "max merge dur" 300 r5.Trace_view.er_merge_max_us;
+    Alcotest.(check int) "skew = spread of merge.commit" 1_000
+      r5.Trace_view.er_skew_us;
+    Alcotest.(check int) "commits" 1 r5.Trace_view.er_commits;
+    let r6 = List.nth rows 1 in
+    Alcotest.(check int) "single-node merge has no skew" 0
+      r6.Trace_view.er_skew_us;
+    Alcotest.(check int) "aborts" 1 r6.Trace_view.er_aborts;
+    (match Trace_view.phase_breakdown t with
+    | [ p0 ] ->
+      Alcotest.(check int) "node" 0 p0.Trace_view.pr_node;
+      Alcotest.(check int) "txns" 1 p0.Trace_view.pr_txns;
+      Alcotest.(check (float 1e-6)) "wait mean ms" 7.0 p0.Trace_view.pr_wait_ms
+    | l -> Alcotest.failf "expected 1 phase row, got %d" (List.length l));
+    let mean_skew, max_skew = Trace_view.skew_stats t in
+    Alcotest.(check int) "max skew" 1_000 max_skew;
+    Alcotest.(check (float 1e-6)) "mean skew over multi-node epochs" 1_000.0
+      mean_skew;
+    (match Trace_view.slowest_epochs t ~top:1 with
+    | [ worst ] ->
+      Alcotest.(check int) "slowest epoch by merge" 6 worst.Trace_view.er_epoch
+    | l -> Alcotest.failf "expected 1, got %d" (List.length l));
+    (* report renders without raising and mentions both epochs *)
+    let report = Trace_view.render_report t in
+    Alcotest.(check bool) "report nonempty" true (String.length report > 200)
+
+(* --- end-to-end: traced harness runs are byte-identical --- *)
+
+let traced_run path =
+  let profile =
+    Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 2_000
+  in
+  let r, _ =
+    Gg_harness.Driver.run_geogauss ~connections:8 ~trace_file:path
+      ~snapshot_every_ms:100
+      ~topology:(Gg_sim.Topology.china3 ())
+      ~load:(Gg_workload.Ycsb.load profile)
+      ~gen:(Gg_harness.Driver.ycsb_gens profile ~seed:11)
+      ~warmup_ms:200 ~measure_ms:400 ~label:"trace-test" ()
+  in
+  r
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_traced_run_deterministic () =
+  let p1 = Filename.temp_file "ggtrace1" ".jsonl" in
+  let p2 = Filename.temp_file "ggtrace2" ".jsonl" in
+  let r1 = traced_run p1 in
+  let r2 = traced_run p2 in
+  Alcotest.(check int) "same committed" r1.Gg_harness.Result.committed
+    r2.Gg_harness.Result.committed;
+  let s1 = read_file p1 and s2 = read_file p2 in
+  Sys.remove p1;
+  Sys.remove p2;
+  Alcotest.(check bool) "trace nonempty" true (String.length s1 > 1_000);
+  Alcotest.(check bool) "byte-identical traces" true (String.equal s1 s2)
+
+let test_traced_run_loads_and_analyzes () =
+  let path = Filename.temp_file "ggtrace" ".jsonl" in
+  let r = traced_run path in
+  (match Trace_view.load_file path with
+  | Error m -> Alcotest.failf "trace unreadable: %s" m
+  | Ok t ->
+    Alcotest.(check bool) "has events" true (List.length t.Trace_view.events > 0);
+    Alcotest.(check bool) "has snapshots" true
+      (List.length t.Trace_view.snapshots > 0);
+    (* every committed txn in the window produced a commit event *)
+    let commits =
+      List.length
+        (List.filter
+           (fun (e : Obs.Trace.event) ->
+             e.Obs.Trace.cat = "txn" && e.Obs.Trace.name = "commit")
+           t.Trace_view.events)
+    in
+    Alcotest.(check int) "commit events match result" r.Gg_harness.Result.committed
+      commits;
+    Alcotest.(check bool) "epoch rows present" true
+      (List.length (Trace_view.epoch_rows t) > 0));
+  Sys.remove path
+
+let test_untraced_run_buffers_nothing () =
+  let profile =
+    Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 1_000
+  in
+  let cluster =
+    Geogauss.Cluster.create
+      ~topology:(Gg_sim.Topology.china3 ())
+      ~load:(Gg_workload.Ycsb.load profile)
+      ()
+  in
+  Geogauss.Cluster.run_for_ms cluster 100;
+  Alcotest.(check int) "zero events without tracing" 0
+    (Obs.events_total (Geogauss.Cluster.obs cluster))
+
+let () =
+  Alcotest.run "gg_obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter get-or-create" `Quick test_counter_get_or_create;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+          Alcotest.test_case "counter_values order" `Quick test_counter_values_registration_order;
+          Alcotest.test_case "reset_all" `Quick test_reset_all;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled emit is noop" `Quick test_emit_disabled_is_noop;
+          Alcotest.test_case "ring buffer wraps" `Quick test_ring_buffer_wraps;
+          Alcotest.test_case "clock + defaults" `Quick test_clock_and_defaults;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
+        ] );
+      ( "trace_view",
+        [ Alcotest.test_case "analyses" `Quick test_trace_view_analyses ] );
+      ( "end_to_end",
+        [
+          Alcotest.test_case "byte-identical traces" `Slow test_traced_run_deterministic;
+          Alcotest.test_case "trace loads + analyzes" `Slow test_traced_run_loads_and_analyzes;
+          Alcotest.test_case "untraced buffers nothing" `Quick test_untraced_run_buffers_nothing;
+        ] );
+    ]
