@@ -1,4 +1,4 @@
-.PHONY: all build test fmt ci bench wallclock clean
+.PHONY: all build test fmt ci bench wallclock check clean
 
 all: build
 
@@ -17,9 +17,17 @@ fmt:
 		echo "fmt: ocamlformat not installed, skipping"; \
 	fi
 
+# Seeded chaos checking (DESIGN.md §8). `make check` is the standing
+# smoke sweep; crank --seeds up for a longer hunt.
+check:
+	dune exec bin/geogauss_cli.exe -- check --seeds 25 --fast
+	dune exec bin/geogauss_cli.exe -- check --canary
+
 ci: fmt
 	dune build
 	dune runtest
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast
+	dune exec bin/geogauss_cli.exe -- check --canary
 
 bench:
 	dune exec bench/main.exe

@@ -187,6 +187,115 @@ let run_cmd =
       const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
       $ ft $ seconds $ connections $ theta $ records $ seed $ trace)
 
+(* --- `check` subcommand: seeded chaos checking --- *)
+
+let check_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 25
+      & info [ "seeds" ] ~doc:"Number of seeded scenarios to run.")
+  in
+  let base =
+    Arg.(
+      value & opt int 0
+      & info [ "base" ] ~doc:"First seed (scenarios are base..base+seeds-1).")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("geogauss", Geogauss.Params.Optimistic);
+                  ("geog-s", Geogauss.Params.Sync_exec);
+                  ("geog-a", Geogauss.Params.Async_merge) ]))
+          None
+      & info [ "engine" ]
+          ~doc:"Pin the engine variant (geogauss, geog-s, geog-a); default \
+                draws it per seed.")
+  in
+  let ft =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("none", Geogauss.Params.Ft_none);
+                  ("lb", Geogauss.Params.Ft_local_backup);
+                  ("rb", Geogauss.Params.Ft_remote_backup);
+                  ("raft", Geogauss.Params.Ft_raft) ]))
+          None
+      & info [ "ft" ] ~doc:"Pin the fault-tolerance mode (none, lb, rb, raft).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"On failure, re-run the minimized scenario with tracing on \
+                and write a JSONL trace to $(docv).")
+  in
+  let canary =
+    Arg.(
+      value & flag
+      & info [ "canary" ]
+          ~doc:"Self-test: inject a deliberate replica corruption and verify \
+                the oracles detect it (exits non-zero if they do not).")
+  in
+  let run seeds base engine ft fast trace canary =
+    let log = print_endline in
+    if canary then begin
+      let s =
+        {
+          (Gg_check.Scenario.generate ~variant:Geogauss.Params.Optimistic
+             ~fast:true base)
+          with
+          Gg_check.Scenario.faults = [];
+          corruption = Some (1, 400);
+        }
+      in
+      log (Printf.sprintf "canary: %s" (Gg_check.Scenario.to_string s));
+      match (Gg_check.Checker.run s).Gg_check.Checker.violation with
+      | None -> `Error (false, "canary corruption went undetected")
+      | Some v ->
+        let f = Gg_check.Checker.shrink_and_report ~log s v in
+        log
+          (Printf.sprintf "canary detected: %s"
+             (Gg_check.Checker.reproducer f.Gg_check.Checker.minimized
+                f.Gg_check.Checker.min_violation));
+        `Ok ()
+    end
+    else begin
+      let report =
+        Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~seeds ()
+      in
+      Printf.printf "%d seeds, %d commits, %d violation(s)\n"
+        report.Gg_check.Checker.seeds_run
+        report.Gg_check.Checker.total_commits
+        (List.length report.Gg_check.Checker.failures);
+      match report.Gg_check.Checker.failures with
+      | [] -> `Ok ()
+      | f :: _ ->
+        (match trace with
+        | Some path ->
+          ignore
+            (Gg_check.Checker.run ~trace:path f.Gg_check.Checker.minimized);
+          Printf.printf "trace of minimized scenario written to %s\n" path
+        | None -> ());
+        `Error (false, "invariant violations found")
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Deterministic chaos checking: run seeded fault scenarios (crashes, \
+          recoveries, loss/dup/reorder/jitter bursts) against full cluster \
+          simulations with per-epoch invariant oracles — convergence, \
+          monotonicity, durability, ACI merge laws, isolation — and shrink \
+          any failure to a one-line reproducer.")
+    Term.(
+      ret (const run $ seeds $ base $ engine $ ft $ fast_arg $ trace $ canary))
+
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 
 let trace_cmd =
@@ -227,6 +336,6 @@ let main =
     (Cmd.info "geogauss" ~version:"1.0.0"
        ~doc:"GeoGauss: strongly consistent, light-coordinated geo-replicated \
              OLTP (simulated reproduction of SIGMOD'23).")
-    [ bench_cmd; run_cmd; trace_cmd ]
+    [ bench_cmd; run_cmd; check_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

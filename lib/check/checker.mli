@@ -1,0 +1,56 @@
+(** The deterministic chaos checker.
+
+    Drives seeded chaos scenarios ({!Scenario}) through full cluster
+    simulations with the invariant oracles ({!Oracle}) attached, and
+    shrinks any failure ({!Shrink}) to a one-line reproducer. Fixed
+    seeds give byte-identical results, so a reproducer line is a
+    complete bug report. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  violation : Oracle.violation option;
+  commits : int;  (** client-observed commits *)
+  aborts : int;
+  timeouts : int;
+  oracle_commits : int;  (** commit-log entries the oracles tracked *)
+  lsns : int list;  (** final per-replica snapshot numbers *)
+}
+
+val run : ?trace:string -> Scenario.t -> outcome
+(** Run one scenario to completion (or to the first violation). With
+    [?trace], tracing is enabled for the whole run and a JSONL trace is
+    written to the given path ({!Gg_harness.Driver.write_trace}). *)
+
+val reproducer : Scenario.t -> Oracle.violation -> string
+(** ["VIOLATION seed=... engine=... faults=... invariant=..."] — the
+    line to paste into a regression test. *)
+
+type failure = {
+  original : Scenario.t;
+  minimized : Scenario.t;
+  min_violation : Oracle.violation;
+  shrink_runs : int;
+}
+
+type report = {
+  seeds_run : int;
+  total_commits : int;
+  failures : failure list;
+}
+
+val shrink_and_report :
+  ?log:(string -> unit) -> Scenario.t -> Oracle.violation -> failure
+
+val check :
+  ?log:(string -> unit) ->
+  ?variant:Geogauss.Params.variant ->
+  ?isolation:Geogauss.Params.isolation ->
+  ?ft:Geogauss.Params.ft_mode ->
+  ?fast:bool ->
+  ?base:int ->
+  seeds:int ->
+  unit ->
+  report
+(** Check seeds [base .. base + seeds - 1], shrinking every failure.
+    [?log] receives one progress line per seed. The optional dimension
+    pins restrict generation (e.g. only the [Optimistic] engine). *)

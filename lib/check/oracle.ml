@@ -1,0 +1,311 @@
+module Rng = Gg_util.Rng
+module Params = Geogauss.Params
+module Cluster = Geogauss.Cluster
+module Node = Geogauss.Node
+module Backup = Geogauss.Backup
+module Txn = Geogauss.Txn
+module Db = Gg_storage.Db
+module Table = Gg_storage.Table
+module Csn = Gg_storage.Csn
+module Row_header = Gg_storage.Row_header
+module Writeset = Gg_crdt.Writeset
+module Merge = Gg_crdt.Merge
+module Meta = Gg_crdt.Meta
+
+type invariant = Convergence | Monotonicity | Durability | Aci | Isolation
+
+let invariant_to_string = function
+  | Convergence -> "convergence"
+  | Monotonicity -> "monotonicity"
+  | Durability -> "durability"
+  | Aci -> "aci-merge"
+  | Isolation -> "isolation"
+
+type violation = {
+  invariant : invariant;
+  epoch : int;
+  node : int;
+  detail : string;
+}
+
+let violation_to_string v =
+  Printf.sprintf "invariant=%s epoch=%d node=%d detail=%S"
+    (invariant_to_string v.invariant)
+    v.epoch v.node v.detail
+
+type commit = {
+  c_node : int;
+  c_cen : int;
+  c_csn : Csn.t;
+  c_rows : (string * string * bool) list;  (* table, key, is_delete *)
+}
+
+type t = {
+  cluster : Cluster.t;
+  variant : Params.variant;
+  mutable violations : violation list;  (* newest first *)
+  digest_at : (int, (int * string) list) Hashtbl.t;  (* lsn -> digests *)
+  last_lsn : int array;
+  mutable commits : commit list;
+  epoch_writers : (int, (string, Csn.t) Hashtbl.t) Hashtbl.t;
+  replay_rng : Rng.t;
+}
+
+let record t ~invariant ~epoch ~node detail =
+  if List.length t.violations < 32 then
+    t.violations <- { invariant; epoch; node; detail } :: t.violations
+
+let violations t = List.rev t.violations
+let first t = match List.rev t.violations with [] -> None | v :: _ -> Some v
+
+let row_id ~table ~key = String.concat "\x00" [ table; key ]
+
+(* --- (4) ACI merge laws on real traffic -------------------------------
+
+   The merged outcome of an epoch must be independent of delivery order
+   and duplication (Lemma 2 / Theorem 1: the per-row winner is the
+   join of a semilattice). Replay the epoch's full batch set — taken
+   from the backup store, which holds exactly what replicas merged —
+   twice over fresh row headers: once as-is, once permuted with a random
+   prefix duplicated. Identical per-row winners or the merge is not a
+   CRDT. *)
+
+let replay_winners txns =
+  let winners : (string, Row_header.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ws : Writeset.t) ->
+      let meta = ws.Writeset.meta in
+      List.iter
+        (fun (r : Writeset.record) ->
+          let id = row_id ~table:r.Writeset.table ~key:(Writeset.key_str r) in
+          let header =
+            match Hashtbl.find_opt winners id with
+            | Some h -> h
+            | None ->
+              let h = Row_header.create () in
+              Hashtbl.replace winners id h;
+              h
+          in
+          ignore (Merge.merge_header header ~meta))
+        ws.Writeset.records)
+    txns;
+  winners
+
+let check_aci t ~epoch =
+  let backup = Cluster.backup t.cluster in
+  let txns =
+    List.concat_map
+      (fun node ->
+        match Backup.get backup ~node ~cen:epoch with
+        | None -> []
+        | Some b -> b.Writeset.Batch.txns)
+      (List.init (Cluster.n_nodes t.cluster) Fun.id)
+  in
+  if txns <> [] then begin
+    let reference = replay_winners txns in
+    let arr = Array.of_list txns in
+    Rng.shuffle t.replay_rng arr;
+    let dup_n = 1 + Rng.int t.replay_rng (Array.length arr) in
+    let permuted =
+      Array.to_list arr @ Array.to_list (Array.sub arr 0 dup_n)
+    in
+    let alt = replay_winners permuted in
+    if Hashtbl.length alt <> Hashtbl.length reference then
+      record t ~invariant:Aci ~epoch ~node:(-1)
+        (Printf.sprintf "replay row count %d <> %d" (Hashtbl.length alt)
+           (Hashtbl.length reference))
+    else
+      Hashtbl.iter
+        (fun id (h : Row_header.t) ->
+          match Hashtbl.find_opt alt id with
+          | None ->
+            record t ~invariant:Aci ~epoch ~node:(-1)
+              (Printf.sprintf "row %S missing from permuted replay" id)
+          | Some h' ->
+            if not (Csn.equal h.Row_header.csn h'.Row_header.csn) then
+              record t ~invariant:Aci ~epoch ~node:(-1)
+                (Printf.sprintf
+                   "row %S winner differs under permutation+duplication" id))
+        reference
+  end
+
+(* --- per-snapshot hook: (1) convergence, (2) monotonicity ------------- *)
+
+let on_snapshot t ~node ~lsn =
+  if t.last_lsn.(node) >= lsn then
+    record t ~invariant:Monotonicity ~epoch:lsn ~node
+      (Printf.sprintf "snapshot %d after %d" lsn t.last_lsn.(node));
+  t.last_lsn.(node) <- lsn;
+  let digest = Db.digest (Node.db (Cluster.node t.cluster node)) in
+  let existing =
+    Option.value ~default:[] (Hashtbl.find_opt t.digest_at lsn)
+  in
+  (match existing with
+  | (other, d) :: _ when d <> digest ->
+    record t ~invariant:Convergence ~epoch:lsn ~node
+      (Printf.sprintf "snapshot %d digest differs from node %d" lsn other)
+  | _ -> ());
+  if existing = [] && t.variant <> Params.Async_merge then
+    (* First replica to reach this snapshot: every member's epoch batch
+       is in the backup store by now (sealing precedes merging). *)
+    check_aci t ~epoch:lsn;
+  Hashtbl.replace t.digest_at lsn ((node, digest) :: existing)
+
+(* --- per-commit hook: (5) isolation + the durability commit log ------- *)
+
+let on_commit t (txn : Txn.t) =
+  match txn.Txn.writeset with
+  | None -> ()
+  | Some ws ->
+    let cen = txn.Txn.cen in
+    let rows =
+      List.map
+        (fun (r : Writeset.record) ->
+          ( r.Writeset.table,
+            Writeset.key_str r,
+            r.Writeset.op = Writeset.Delete ))
+        ws.Writeset.records
+    in
+    t.commits <-
+      { c_node = txn.Txn.node; c_cen = cen; c_csn = txn.Txn.csn; c_rows = rows }
+      :: t.commits;
+    if t.variant <> Params.Async_merge then begin
+      let writers =
+        match Hashtbl.find_opt t.epoch_writers cen with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 16 in
+          Hashtbl.replace t.epoch_writers cen tbl;
+          tbl
+      in
+      List.iter
+        (fun (table, key, _) ->
+          let id = row_id ~table ~key in
+          match Hashtbl.find_opt writers id with
+          | Some csn when not (Csn.equal csn txn.Txn.csn) ->
+            record t ~invariant:Isolation ~epoch:cen ~node:txn.Txn.node
+              (Printf.sprintf
+                 "two committed writers of row %S in epoch %d" id cen)
+          | _ -> Hashtbl.replace writers id txn.Txn.csn)
+        rows
+    end
+
+let create cluster =
+  let t =
+    {
+      cluster;
+      variant = (Cluster.params cluster).Params.variant;
+      violations = [];
+      digest_at = Hashtbl.create 512;
+      last_lsn = Array.make (Cluster.n_nodes cluster) (-1);
+      commits = [];
+      epoch_writers = Hashtbl.create 512;
+      replay_rng = Rng.create ((Cluster.params cluster).Params.seed lxor 0xACEACE);
+    }
+  in
+  Cluster.on_snapshot cluster (fun ~node ~lsn -> on_snapshot t ~node ~lsn);
+  Cluster.on_commit cluster (fun txn -> on_commit t txn);
+  t
+
+(* --- end-of-run checks: (3) durability + final convergence ------------ *)
+
+let live_members t =
+  let net = Cluster.net t.cluster in
+  List.filter
+    (fun m -> not (Gg_sim.Net.is_down net m))
+    (Cluster.members t.cluster)
+
+let finalize t ~min_lsn =
+  let live = live_members t in
+  (match live with
+  | [] -> record t ~invariant:Convergence ~epoch:(-1) ~node:(-1) "no live members"
+  | _ ->
+    let lsn_of m = Node.lsn (Cluster.node t.cluster m) in
+    let lo = List.fold_left (fun acc m -> min acc (lsn_of m)) max_int live in
+    if lo < min_lsn then
+      record t ~invariant:Convergence ~epoch:lo ~node:(-1)
+        (Printf.sprintf "stalled: live snapshot floor %d < expected %d" lo
+           min_lsn);
+    (* Replicas holding the same snapshot must be byte-identical, checked
+       directly on the final states (the per-epoch digests already
+       compared every snapshot both replicas generated). *)
+    List.iter
+      (fun m ->
+        List.iter
+          (fun m' ->
+            if m < m' && lsn_of m = lsn_of m' then
+              let d = Db.digest (Node.db (Cluster.node t.cluster m)) in
+              let d' = Db.digest (Node.db (Cluster.node t.cluster m')) in
+              if d <> d' then
+                record t ~invariant:Convergence ~epoch:(lsn_of m) ~node:m'
+                  (Printf.sprintf "final digest differs from node %d" m))
+          live)
+      live;
+    (* Durability: every commit reported to a client must survive in the
+       most advanced live replica, and its write set must be recoverable
+       from the origin's backup server (§5.2). Commits from epochs the
+       reference has not merged yet (in-flight past the quiesce target)
+       are out of scope. *)
+    if t.variant <> Params.Async_merge then begin
+      let refm =
+        List.fold_left
+          (fun best m -> if lsn_of m > lsn_of best then m else best)
+          (List.hd live) live
+      in
+      let ref_lsn = lsn_of refm in
+      let db = Node.db (Cluster.node t.cluster refm) in
+      let backup = Cluster.backup t.cluster in
+      List.iter
+        (fun c ->
+          if c.c_cen <= ref_lsn then begin
+            (match Backup.get backup ~node:c.c_node ~cen:c.c_cen with
+            | None ->
+              record t ~invariant:Durability ~epoch:c.c_cen ~node:c.c_node
+                "committed epoch batch missing from backup"
+            | Some b ->
+              if
+                not
+                  (List.exists
+                     (fun (ws : Writeset.t) ->
+                       Csn.equal ws.Writeset.meta.Meta.csn c.c_csn)
+                     b.Writeset.Batch.txns)
+              then
+                record t ~invariant:Durability ~epoch:c.c_cen ~node:c.c_node
+                  "committed write set missing from backup batch");
+            List.iter
+              (fun (table, key, is_delete) ->
+                if not is_delete then
+                  let row =
+                    match Db.get_table db table with
+                    | None -> None
+                    | Some tbl -> Table.find tbl key
+                  in
+                  match row with
+                  | None ->
+                    record t ~invariant:Durability ~epoch:c.c_cen
+                      ~node:c.c_node
+                      (Printf.sprintf "committed row %S absent" key)
+                  | Some entry ->
+                    let h = entry.Table.header in
+                    if h.Row_header.deleted && h.Row_header.cen <= c.c_cen
+                    then
+                      record t ~invariant:Durability ~epoch:c.c_cen
+                        ~node:c.c_node
+                        (Printf.sprintf "committed row %S tombstoned" key)
+                    else if
+                      h.Row_header.cen < c.c_cen
+                      || (h.Row_header.cen = c.c_cen
+                         && not (Csn.equal h.Row_header.csn c.c_csn))
+                    then
+                      record t ~invariant:Durability ~epoch:c.c_cen
+                        ~node:c.c_node
+                        (Printf.sprintf
+                           "committed write to %S lost (header cen %d)" key
+                           h.Row_header.cen))
+              c.c_rows
+          end)
+        t.commits
+    end);
+  first t
+
+let n_commits t = List.length t.commits

@@ -1,0 +1,51 @@
+(** Seeded chaos scenarios.
+
+    A scenario is plain data: every knob of one randomized cluster run —
+    engine variant, isolation, fault-tolerance mode, workload, epoch
+    length, network fault rates, and a timestamped fault schedule
+    ({!Gg_sim.Fault}). {!generate} derives it deterministically from a
+    single integer seed, so any failure reproduces from its seed alone,
+    and the shrinker ({!Shrink}) can mutate the record field-wise. *)
+
+type workload = Ycsb_mc | Ycsb_hc | Tpcc
+
+type t = {
+  seed : int;
+  nodes : int;
+  workload : workload;
+  variant : Geogauss.Params.variant;
+  isolation : Geogauss.Params.isolation;
+  ft : Geogauss.Params.ft_mode;
+  epoch_ms : int;
+  duration_ms : int;
+  connections : int;  (** closed-loop connections per node *)
+  loss : float;  (** baseline network fault rates... *)
+  dup : float;
+  reorder : float;
+  jitter : float;
+  faults : Gg_sim.Fault.event list;  (** ...plus the scheduled faults *)
+  corruption : (int * int) option;
+      (** [(node, at_ms)]: deliberately corrupt one row on one replica —
+          the self-test canary proving the oracles can detect divergence *)
+}
+
+val generate :
+  ?variant:Geogauss.Params.variant ->
+  ?isolation:Geogauss.Params.isolation ->
+  ?ft:Geogauss.Params.ft_mode ->
+  fast:bool ->
+  int ->
+  t
+(** [generate ~fast seed] draws a scenario from the seed; the optional
+    arguments pin a dimension instead of drawing it. [fast] bounds the
+    run length for test-suite use. GeoG-A ([Async_merge]) scenarios are
+    automatically restricted to the faults eventual consistency
+    tolerates (no loss, no crashes). *)
+
+val params : t -> Geogauss.Params.t
+(** The cluster parameter block this scenario runs under. *)
+
+val to_string : t -> string
+(** One-line reproducer form; includes every generated knob. *)
+
+val workload_to_string : workload -> string

@@ -1,0 +1,75 @@
+(* Greedy delta-debugging over the scenario record: each transformation
+   is kept only if the re-run still violates an invariant (not
+   necessarily the same one — any failure is a valid reproducer). Every
+   re-run is a full deterministic simulation, so the budget is small and
+   the cheap transformation (truncating the duration) runs first. *)
+
+let budget = 24
+
+let minimize ~run (s : Scenario.t) (v : Oracle.violation) =
+  let runs = ref 0 in
+  let best = ref s in
+  let best_v = ref v in
+  let attempt (s' : Scenario.t) =
+    !runs < budget && s' <> !best
+    && begin
+         incr runs;
+         match run s' with
+         | Some v' ->
+           best := s';
+           best_v := v';
+           true
+         | None -> false
+       end
+  in
+  (* 1. Truncate the run to just past the violating epoch; faults
+     scheduled after the new horizon can no longer matter. *)
+  (if !best_v.Oracle.epoch >= 0 then
+     let dur = ((!best_v.Oracle.epoch + 20) * s.Scenario.epoch_ms) + 400 in
+     if dur < s.Scenario.duration_ms then
+       ignore
+         (attempt
+            {
+              !best with
+              Scenario.duration_ms = dur;
+              faults =
+                List.filter
+                  (fun e -> e.Gg_sim.Fault.at_ms < dur)
+                  s.Scenario.faults;
+            }));
+  (* 2. Drop fault events one by one until no single removal keeps the
+     failure alive. *)
+  let rec drop_events () =
+    let evs = !best.Scenario.faults in
+    let dropped =
+      List.exists
+        (fun i ->
+          attempt
+            {
+              !best with
+              Scenario.faults = List.filteri (fun j _ -> j <> i) evs;
+            })
+        (List.init (List.length evs) Fun.id)
+    in
+    if dropped && !runs < budget then drop_events ()
+  in
+  drop_events ();
+  (* 3. Zero the baseline network fault rates. *)
+  List.iter
+    (fun f -> ignore (attempt (f !best)))
+    [
+      (fun s -> { s with Scenario.loss = 0.0 });
+      (fun s -> { s with Scenario.dup = 0.0 });
+      (fun s -> { s with Scenario.reorder = 0.0 });
+      (fun s -> { s with Scenario.jitter = 0.0 });
+    ];
+  (* 4. Thin the workload. *)
+  let rec fewer_connections () =
+    if !best.Scenario.connections > 1 then
+      if
+        attempt
+          { !best with Scenario.connections = !best.Scenario.connections / 2 }
+      then fewer_connections ()
+  in
+  fewer_connections ();
+  (!best, !best_v, !runs)

@@ -1,0 +1,16 @@
+(** Scenario minimizer.
+
+    [minimize ~run scenario violation] greedily shrinks a failing
+    scenario toward a minimal reproducer: it truncates the duration to
+    just past the violating epoch, drops fault-schedule events one by
+    one, zeroes the baseline network fault rates and halves the client
+    count — keeping each transformation only when [run] still reports a
+    violation. Deterministic ([run] is a pure function of the scenario)
+    and bounded (at most 24 re-runs). Returns the smallest failing
+    scenario found, its violation, and the number of re-runs spent. *)
+
+val minimize :
+  run:(Scenario.t -> Oracle.violation option) ->
+  Scenario.t ->
+  Oracle.violation ->
+  Scenario.t * Oracle.violation * int

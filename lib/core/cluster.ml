@@ -23,6 +23,9 @@ type t = {
   proposed : (string, unit) Hashtbl.t;
   mutable pending_transfers : pending_transfer list;
   mutable last_view_change : int;
+  mutable snapshot_hooks : (node:int -> lsn:int -> unit) list;
+      (* newest first; run before transfer bookkeeping *)
+  mutable commit_hooks : (Txn.t -> unit) list;  (* newest first *)
 }
 
 let members_at_views views e =
@@ -35,6 +38,27 @@ let members_at_views views e =
 let epoch_us t = t.params.Params.epoch_us
 let current_epoch t = Sim.now t.sim / epoch_us t
 
+(* Nearest live, active member that could donate a state snapshot to
+   [target]. An up-but-inactive node (e.g. one whose own re-join is
+   still pending) must not donate: its snapshot is stale. *)
+let pick_donor t ~target =
+  List.fold_left
+    (fun best m ->
+      if
+        m = target
+        || Net.is_down t.net m
+        || not (Node.active t.nodes.(m))
+      then best
+      else
+        match best with
+        | None -> Some m
+        | Some b ->
+          if Topology.latency t.topology target m < Topology.latency t.topology target b
+          then Some m
+          else best)
+    None
+    (List.hd t.views).members
+
 (* --- membership view changes, committed through Raft --- *)
 
 let rec apply_view_change t data =
@@ -43,7 +67,11 @@ let rec apply_view_change t data =
     t.last_view_change <- Sim.now t.sim;
     Obs.emit (Sim.obs t.sim) ~cat:"cluster" "view.change" ~detail:data;
     match String.split_on_char ':' data with
-    | [ "remove"; p; e ] ->
+    (* The optional trailing field is a proposal nonce (the epoch at
+       proposal time): it keeps repeated removals of the same node
+       distinct when the node made no progress in between (e.g. a
+       re-join whose state transfer never completed). *)
+    | [ "remove"; p; e ] | [ "remove"; p; e; _ ] ->
       let p = int_of_string p and e = int_of_string e in
       let current = (List.hd t.views).members in
       if List.mem p current then begin
@@ -79,22 +107,7 @@ let rec apply_view_change t data =
           { from_epoch = er; members = List.sort compare (p :: current) } :: t.views;
         (* Find a donor and queue the state transfer: it fires when the
            donor generates snapshot (er - 1). *)
-        let donor =
-          List.fold_left
-            (fun best m ->
-              if m = p || Net.is_down t.net m then best
-              else
-                match best with
-                | None -> Some m
-                | Some b ->
-                  if
-                    Topology.latency t.topology p m
-                    < Topology.latency t.topology p b
-                  then Some m
-                  else best)
-            None current
-        in
-        match donor with
+        match pick_donor t ~target:p with
         | None -> ()
         | Some donor ->
           t.pending_transfers <-
@@ -112,32 +125,48 @@ and check_transfers t ~node ~lsn =
       t.pending_transfers
   in
   t.pending_transfers <- still;
-  List.iter
-    (fun { donor; target; rejoin_epoch } ->
-      let donor_node = t.nodes.(donor) in
-      let snapshot = Node.make_state_snapshot donor_node in
-      let bytes =
-        match snapshot with
-        | Node.State_snapshot { ckpt; _ } -> Bytes.length ckpt
-        | _ -> 0
-      in
-      (if Obs.tracing (Sim.obs t.sim) then
-         Obs.emit (Sim.obs t.sim) ~node:donor ~cat:"cluster" "state.transfer"
-           ~detail:
-             (Printf.sprintf "target=%d rejoin_epoch=%d bytes=%d" target
-                rejoin_epoch bytes));
-      Net.send t.net ~src:donor ~dst:target ~bytes (fun () ->
-          match snapshot with
-          | Node.State_snapshot { lsn; ckpt } ->
-            Node.install_state t.nodes.(target) ~lsn
-              ~db:(Gg_storage.Checkpoint.decode ckpt);
-            ignore rejoin_epoch;
-            (* Reset failure detection clocks for the re-joined node. *)
-            Array.iter
-              (fun n -> Node.touch_eof n ~peer:target)
-              t.nodes
-          | _ -> ()))
-    ready
+  List.iter (fun tr -> send_transfer t tr) ready
+
+and send_transfer t { donor; target; rejoin_epoch } =
+  let donor_node = t.nodes.(donor) in
+  let snapshot = Node.make_state_snapshot donor_node in
+  let bytes =
+    match snapshot with
+    | Node.State_snapshot { ckpt; _ } -> Bytes.length ckpt
+    | _ -> 0
+  in
+  (if Obs.tracing (Sim.obs t.sim) then
+     Obs.emit (Sim.obs t.sim) ~node:donor ~cat:"cluster" "state.transfer"
+       ~detail:
+         (Printf.sprintf "target=%d rejoin_epoch=%d bytes=%d" target
+            rejoin_epoch bytes));
+  Net.send t.net ~src:donor ~dst:target ~bytes (fun () ->
+      match snapshot with
+      | Node.State_snapshot { lsn; ckpt } ->
+        Node.install_state t.nodes.(target) ~rejoin:rejoin_epoch ~lsn
+          ~db:(Gg_storage.Checkpoint.decode ckpt);
+        (* Reset failure detection clocks for the re-joined node. *)
+        Array.iter
+          (fun n -> Node.touch_eof n ~peer:target)
+          t.nodes
+      | _ -> ());
+  (* The snapshot itself travels over the faulty network. If the target
+     has still not resumed after a generous delay (snapshot lost, or the
+     donor failed meanwhile), run the transfer again from a — possibly
+     different — live donor. [install_state] ignores duplicates, so a
+     retry racing a slow original is harmless. *)
+  Sim.schedule t.sim ~after:500_000 (fun () ->
+      if
+        (not (Node.active t.nodes.(target)))
+        && List.mem target (List.hd t.views).members
+        && not (Net.is_down t.net target)
+      then
+        match pick_donor t ~target with
+        | None -> ()
+        | Some donor ->
+          t.pending_transfers <-
+            { donor; target; rejoin_epoch } :: t.pending_transfers;
+          check_transfers t ~node:donor ~lsn:(Node.lsn t.nodes.(donor)))
 
 (* --- failure detection (500 ms EOF silence => propose removal) --- *)
 
@@ -146,6 +175,11 @@ let rec schedule_detector t =
       let now = Sim.now t.sim in
       let current = (List.hd t.views).members in
       let timeout = t.params.Params.membership_timeout_us in
+      (* A freshly added view can start in the future (re-joins pick a
+         rejoin epoch far enough out for the state transfer to land).
+         Members are expected silent until then, so the silence clock
+         must not start before the view does. *)
+      let view_start = (List.hd t.views).from_epoch * epoch_us t in
       List.iter
         (fun p ->
           let suspected =
@@ -154,13 +188,22 @@ let rec schedule_detector t =
                 o <> p
                 && (not (Net.is_down t.net o))
                 && Node.active t.nodes.(o)
-                && now - max (Node.last_eof_from t.nodes.(o) ~peer:p) t.last_view_change
+                && now
+                   - max
+                       (Node.last_eof_from t.nodes.(o) ~peer:p)
+                       (max t.last_view_change view_start)
                    > timeout)
               current
           in
           if suspected then begin
             let e = max (Backup.last_sealed t.backup ~node:p) (Node.lsn t.nodes.(p)) in
-            let proposal = Printf.sprintf "remove:%d:%d" p e in
+            (* The current epoch is a nonce: a node that must be removed
+               twice without progress in between (failed re-join) would
+               otherwise produce the same proposal string and be
+               swallowed by the dedup below. *)
+            let proposal =
+              Printf.sprintf "remove:%d:%d:%d" p e (current_epoch t)
+            in
             if not (Hashtbl.mem t.proposed proposal) then
               if Raft.propose_anywhere t.raft proposal then
                 Hashtbl.replace t.proposed proposal ()
@@ -184,6 +227,7 @@ let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
       members_at = (fun _ -> List.init n (fun i -> i));
       deliver = (fun ~dst:_ _ -> ());
       on_snapshot = (fun ~node:_ ~lsn:_ -> ());
+      on_commit = (fun _ -> ());
     }
   in
   let nodes =
@@ -217,12 +261,22 @@ let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
       proposed = Hashtbl.create 8;
       pending_transfers = [];
       last_view_change = 0;
+      snapshot_hooks = [];
+      commit_hooks = [];
     }
   in
   tref := Some t;
   env.Node.members_at <- (fun e -> members_at_views t.views e);
   env.Node.deliver <- (fun ~dst msg -> Node.receive t.nodes.(dst) msg);
-  env.Node.on_snapshot <- (fun ~node ~lsn -> check_transfers t ~node ~lsn);
+  env.Node.on_snapshot <-
+    (fun ~node ~lsn ->
+      (* Observer hooks run first: the node's state is exactly the new
+         snapshot at this instant (write-back done, next merge not yet
+         started), which is what digest-based oracles need. *)
+      List.iter (fun f -> f ~node ~lsn) (List.rev t.snapshot_hooks);
+      check_transfers t ~node ~lsn);
+  env.Node.on_commit <-
+    (fun txn -> List.iter (fun f -> f txn) (List.rev t.commit_hooks));
   Array.iter Node.start nodes;
   Raft.start raft;
   schedule_detector t;
@@ -238,6 +292,9 @@ let metrics t i = Node.metrics t.nodes.(i)
 let backup t = t.backup
 
 let submit t ~node req cb = Node.submit t.nodes.(node) req cb
+
+let on_snapshot t f = t.snapshot_hooks <- f :: t.snapshot_hooks
+let on_commit t f = t.commit_hooks <- f :: t.commit_hooks
 
 let members t = (List.hd t.views).members
 

@@ -32,6 +32,23 @@ val backup : t -> Backup.t
 
 val submit : t -> node:int -> Txn.request -> (Txn.outcome -> unit) -> unit
 
+(** {1 Observer hooks}
+
+    Registration points for protocol observers (the chaos checker's
+    invariant oracles). Hooks run synchronously inside the simulation and
+    must not mutate cluster state. *)
+
+val on_snapshot : t -> (node:int -> lsn:int -> unit) -> unit
+(** [f ~node ~lsn] fires every time [node] finishes merging epoch [lsn],
+    at the instant its database equals consistent snapshot [lsn] (and
+    before any state-transfer bookkeeping). Hooks run in registration
+    order. *)
+
+val on_commit : t -> (Txn.t -> unit) -> unit
+(** Commit-log hook: [f txn] fires whenever a transaction's commit is
+    reported to its client; [txn] carries the commit epoch / csn / write
+    set. Hooks run in registration order. *)
+
 val route : t -> preferred:int -> int
 (** The node a client in [preferred]'s region should talk to: the
     preferred node when it is alive and in the view, otherwise the

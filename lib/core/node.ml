@@ -55,6 +55,7 @@ type env = {
   mutable members_at : int -> int list;
   mutable deliver : dst:int -> msg -> unit;
   mutable on_snapshot : node:int -> lsn:int -> unit;
+  mutable on_commit : Txn.t -> unit;
 }
 
 type batch_state = {
@@ -87,6 +88,7 @@ type t = {
   mutable merging : bool;
   mutable csn_last : int;
   mutable txn_seq : int;
+  mutable last_advance : int;  (* sim time the snapshot last moved *)
 }
 
 let create env ~id ~db =
@@ -114,6 +116,7 @@ let create env ~id ~db =
     merging = false;
     csn_last = 0;
     txn_seq = 0;
+    last_advance = 0;
   }
 
 let id t = t.id
@@ -237,6 +240,9 @@ let finish t (txn : Txn.t) outcome =
     | Txn.Committed _ -> Metrics.record_phases t.metrics txn.Txn.phases
     | Txn.Aborted _ -> ());
     if Obs.tracing t.obs then emit_txn_span t txn outcome;
+    (match outcome with
+    | Txn.Committed _ -> t.env.on_commit txn
+    | Txn.Aborted _ -> ());
     txn.Txn.callback outcome
   end
 
@@ -527,6 +533,7 @@ and do_merge t e txns ~merge_started ~duration =
     txns;
   Db.temp_clear_all t.db;
   t.lsn <- e;
+  t.last_advance <- now t;
   if Obs.tracing t.obs then
     Obs.emit t.obs ~node:t.id ~epoch:e ~dur:duration ~cat:"epoch" "merge.commit"
       ~detail:
@@ -841,7 +848,65 @@ and receive t msg =
 
 (* --- lifecycle --- *)
 
-let start t = schedule_boundary t (current_epoch t)
+(* Stall repair (§5.2): without a reliable transport, a lost mini-batch,
+   EOF or Ft_commit would block the next merge forever — the failure
+   detector never fires because the peer keeps sending later EOFs. When
+   the snapshot has not moved for [repair_after_us], re-fetch whatever is
+   missing for epoch (lsn + 1) from the peers' backup servers (one
+   regional round trip, same path survivors use after a view change). A
+   batch present in the backup is durable, which is also all the Raft-FT
+   commit gate establishes, so a successful fetch may release it too.
+   Fetches are idempotent: receive deduplicates transactions by csn. *)
+let repair t =
+  let e = t.lsn + 1 in
+  if
+    t.active
+    && (not (Net.is_down t.env.net t.id))
+    && (not t.merging)
+    && t.sealed_epoch >= e
+    && now t - t.last_advance > t.env.params.Params.repair_after_us
+  then
+    List.iter
+      (fun peer ->
+        if peer <> t.id then begin
+          let complete =
+            match Itbl.find_opt t.remote (pack_cp ~cen:e ~peer) with
+            | Some bs -> bs.eof && Itbl.length bs.txn_keys >= bs.expected
+            | None -> false
+          in
+          let gated =
+            t.env.params.Params.ft = Params.Ft_raft
+            &&
+            match Itbl.find_opt t.remote (pack_cp ~cen:e ~peer) with
+            | Some bs -> not bs.committed
+            | None -> true
+          in
+          if (not complete) || gated then
+            match Backup.get t.env.backup ~node:peer ~cen:e with
+            | None -> ()
+            | Some batch ->
+              let topo = Net.topology t.env.net in
+              let delay = 2 * Topology.latency topo t.id peer in
+              if Obs.tracing t.obs then
+                Obs.emit t.obs ~node:t.id ~epoch:e ~cat:"epoch" "repair.fetch"
+                  ~detail:(Printf.sprintf "peer=%d" peer);
+              Sim.schedule t.env.sim ~after:delay (fun () ->
+                  if t.active && not (Net.is_down t.env.net t.id) then begin
+                    let bs = batch_state t ~cen:e ~peer in
+                    bs.committed <- true;
+                    receive t (Batch_msg batch)
+                  end)
+        end)
+      (t.env.members_at e)
+
+let rec schedule_repair t =
+  Sim.schedule t.env.sim ~after:100_000 (fun () ->
+      repair t;
+      schedule_repair t)
+
+let start t =
+  schedule_boundary t (current_epoch t);
+  schedule_repair t
 
 let set_active t v =
   if t.active && not v then begin
@@ -874,27 +939,38 @@ let missing_sealed_epochs t ~peer ~upto =
 let make_state_snapshot t =
   State_snapshot { lsn = t.lsn; ckpt = Gg_storage.Checkpoint.encode t.db }
 
-let install_state t ~lsn ~db =
-  (* Keep batches buffered for epochs after the installed snapshot — the
-     peers broadcast them while the transfer was in flight. *)
-  let stale =
-    Itbl.fold
-      (fun key _ acc -> if cen_of_cp key <= lsn then key :: acc else acc)
-      t.remote []
-  in
-  List.iter (Itbl.remove t.remote) stale;
-  Itbl.reset t.local_sealed;
-  Itbl.reset t.waiting;
-  Db.replace_contents t.db ~from:db;
-  t.lsn <- lsn;
-  t.sealed_epoch <- max t.sealed_epoch lsn;
-  t.merging <- false;
-  t.active <- true;
-  (* Seal every epoch between the snapshot and the current one (all
-     empty — the node served no clients): peers are already waiting for
-     these EOFs, and our own merges need the local entries. The current
-     epoch is left to its own boundary timer. *)
-  for e = t.lsn + 1 to current_epoch t - 1 do
-    if e > t.sealed_epoch then seal_epoch t e
-  done;
-  try_advance t
+let install_state t ~rejoin ~lsn ~db =
+  (* Guard against duplicated or stale snapshots: the transfer travels
+     over the faulty network, so it can arrive twice (dup) or be re-sent
+     by the cluster's retry loop after the node already resumed.
+     Installing again would wipe live per-epoch state. *)
+  if (not t.active) && lsn > t.lsn then begin
+    (* Keep batches buffered for epochs after the installed snapshot —
+       the peers broadcast them while the transfer was in flight. *)
+    let stale =
+      Itbl.fold
+        (fun key _ acc -> if cen_of_cp key <= lsn then key :: acc else acc)
+        t.remote []
+    in
+    List.iter (Itbl.remove t.remote) stale;
+    Itbl.reset t.local_sealed;
+    Itbl.reset t.waiting;
+    Db.replace_contents t.db ~from:db;
+    t.lsn <- lsn;
+    t.last_advance <- Sim.now t.env.sim;
+    t.sealed_epoch <- max t.sealed_epoch lsn;
+    t.merging <- false;
+    t.active <- true;
+    (* Seal every epoch from the re-join epoch up to the current one
+       (all empty — the node served no clients): peers are already
+       waiting for these EOFs, and our own merges need the local
+       entries. The snapshot may cover epochs past [rejoin] (the donor
+       keeps merging while the transfer is pending), in which case the
+       already-covered epochs still need their empty seals broadcast.
+       The current epoch is left to its own boundary timer. *)
+    for e = min (t.lsn + 1) rejoin to current_epoch t - 1 do
+      seal_epoch t e
+    done;
+    t.sealed_epoch <- max t.sealed_epoch lsn;
+    try_advance t
+  end

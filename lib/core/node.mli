@@ -39,6 +39,11 @@ type env = {
       (** local dispatch, invoked at network delivery time *)
   mutable on_snapshot : node:int -> lsn:int -> unit;
       (** cluster hook fired after each snapshot generation *)
+  mutable on_commit : Txn.t -> unit;
+      (** commit-log hook: fired for every transaction whose commit is
+          reported to its client, at the reporting instant. The {!Txn.t}
+          carries the commit epoch, csn and write set — the chaos
+          checker's durability and isolation oracles consume these. *)
 }
 
 type t
@@ -85,8 +90,11 @@ val missing_sealed_epochs : t -> peer:int -> upto:int -> int list
 val make_state_snapshot : t -> msg
 (** Donor side of recovery: deep copy of the current snapshot state. *)
 
-val install_state : t -> lsn:int -> db:Gg_storage.Db.t -> unit
-(** Recovering side: adopt a transferred snapshot and resume. *)
+val install_state : t -> rejoin:int -> lsn:int -> db:Gg_storage.Db.t -> unit
+(** Recovering side: adopt a transferred snapshot and resume, sealing
+    (empty) every epoch from [rejoin] — the epoch peers start expecting
+    this node's EOFs again — up to the present. Duplicate or stale
+    snapshots (lower [lsn], or the node already active) are ignored. *)
 
 val try_advance : t -> unit
 (** Re-evaluate merge prerequisites (call after view changes). *)

@@ -25,6 +25,7 @@ type t = {
   cost : cost;
   membership_timeout_us : int;
   client_retry_us : int;
+  repair_after_us : int;
 }
 
 let default_cost =
@@ -50,6 +51,7 @@ let default =
     cost = default_cost;
     membership_timeout_us = 500_000;
     client_retry_us = 2_000_000;
+    repair_after_us = 250_000;
   }
 
 let with_epoch_ms t ms = { t with epoch_us = ms * 1_000 }

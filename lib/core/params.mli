@@ -50,6 +50,10 @@ type t = {
   cost : cost;
   membership_timeout_us : int;  (** failure-detection timeout, 500 ms *)
   client_retry_us : int;  (** client resubmission timeout after node failure *)
+  repair_after_us : int;
+      (** how long a node lets the next merge stall before re-fetching
+          missing peer batches from their backup servers (§5.2 repair —
+          what makes epochs survive message loss), 250 ms *)
 }
 
 val default_cost : cost

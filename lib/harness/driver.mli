@@ -58,6 +58,21 @@ type geo_extra = {
       (** node 0's per-epoch commit counts and latencies (Fig 6) *)
 }
 
+val write_trace :
+  path:string ->
+  label:string ->
+  params:Geogauss.Params.t ->
+  nodes:int ->
+  warmup_ms:int ->
+  measure_ms:int ->
+  Gg_obs.Obs.t ->
+  (int * (string * int) list) list ->
+  unit
+(** Dump the observability buffer as a JSONL trace file (one [meta]
+    record, the buffered events, then the given [(at, counters)]
+    snapshots — pass [[]] for none). Also used by the chaos checker to
+    export a trace of a failing scenario. *)
+
 val run_geogauss :
   ?params:Geogauss.Params.t ->
   ?connections:int ->

@@ -1,0 +1,46 @@
+module Obs = Gg_obs.Obs
+
+type action =
+  | Crash of int
+  | Recover of int
+  | Loss of float
+  | Dup of float
+  | Reorder of float
+  | Jitter of float
+
+type event = { at_ms : int; action : action }
+
+let action_to_string = function
+  | Crash n -> Printf.sprintf "crash:%d" n
+  | Recover n -> Printf.sprintf "recover:%d" n
+  | Loss p -> Printf.sprintf "loss:%.3f" p
+  | Dup p -> Printf.sprintf "dup:%.3f" p
+  | Reorder p -> Printf.sprintf "reorder:%.3f" p
+  | Jitter f -> Printf.sprintf "jitter:%.3f" f
+
+let event_to_string e = Printf.sprintf "%s@%dms" (action_to_string e.action) e.at_ms
+
+let schedule_to_string events =
+  if events = [] then "-"
+  else String.concat "," (List.map event_to_string events)
+
+let apply net ?(on_crash = fun n -> Net.set_down net n true)
+    ?(on_recover = fun n -> Net.set_down net n false) action =
+  match action with
+  | Crash n -> on_crash n
+  | Recover n -> on_recover n
+  | Loss p -> Net.set_loss net p
+  | Dup p -> Net.set_dup net p
+  | Reorder p -> Net.set_reorder net p
+  | Jitter f -> Net.set_jitter_frac net f
+
+let install net ?on_crash ?on_recover events =
+  let sim = Net.sim net in
+  let obs = Sim.obs sim in
+  List.iter
+    (fun e ->
+      Sim.schedule_at sim (Sim.ms e.at_ms) (fun () ->
+          if Obs.tracing obs then
+            Obs.emit obs ~cat:"fault" "inject" ~detail:(event_to_string e);
+          apply net ?on_crash ?on_recover e.action))
+    (List.stable_sort (fun a b -> compare a.at_ms b.at_ms) events)

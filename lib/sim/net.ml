@@ -5,10 +5,10 @@ type t = {
   obs : Obs.t;
   rng : Gg_util.Rng.t;
   topology : Topology.t;
-  jitter_frac : float;
-  loss : float;
-  dup : float;
-  reorder : float;
+  mutable jitter_frac : float;
+  mutable loss : float;
+  mutable dup : float;
+  mutable reorder : float;
   bandwidth_bps : int;
   down : bool array;
   egress_free : int array; (* absolute time each node's egress pipe frees up *)
@@ -57,6 +57,19 @@ let set_down t node v =
   t.down.(node) <- v
 
 let is_down t node = t.down.(node)
+
+(* Runtime fault knobs: the chaos checker's fault timelines flip these
+   mid-run (loss bursts, jitter spikes). Draw order from the shared rng
+   is unaffected — only probabilities change — so a schedule of knob
+   changes stays deterministic for a fixed seed. *)
+let set_loss t p = t.loss <- Float.max 0.0 (Float.min 1.0 p)
+let set_dup t p = t.dup <- Float.max 0.0 (Float.min 1.0 p)
+let set_reorder t p = t.reorder <- Float.max 0.0 (Float.min 1.0 p)
+let set_jitter_frac t f = t.jitter_frac <- Float.max 0.0 f
+let loss t = t.loss
+let dup t = t.dup
+let reorder t = t.reorder
+let jitter_frac t = t.jitter_frac
 
 let delay t ~src ~dst ~bytes =
   let base = Topology.latency t.topology src dst in

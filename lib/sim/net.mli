@@ -53,6 +53,23 @@ val set_down : t -> int -> bool -> unit
 
 val is_down : t -> int -> bool
 
+(** {1 Runtime fault knobs}
+
+    The loss/dup/reorder/jitter probabilities given to {!create} can be
+    changed mid-run — the chaos checker's fault timelines use this for
+    loss bursts and jitter spikes ({!Fault}). Values are clamped to
+    their valid range. Changing a probability never consumes randomness,
+    so a fixed seed plus a fixed change schedule stays deterministic. *)
+
+val set_loss : t -> float -> unit
+val set_dup : t -> float -> unit
+val set_reorder : t -> float -> unit
+val set_jitter_frac : t -> float -> unit
+val loss : t -> float
+val dup : t -> float
+val reorder : t -> float
+val jitter_frac : t -> float
+
 (** {1 Accounting}
 
     Counters are registered in the simulation's {!Gg_obs.Obs.t} registry

@@ -713,6 +713,69 @@ let test_node_recovery_rejoins () =
   List.iter Client.stop clients;
   check_converged ~msg:"recovered node caught up" c
 
+(* --- write-set backup store crash paths (§5.2) --- *)
+
+let sealed_batch ~node ~cen =
+  Gg_crdt.Writeset.Batch.make ~node ~cen ~txns:[] ~eof:true ()
+
+let test_backup_put_requires_eof () =
+  let b = Backup.create ~n:3 in
+  Alcotest.(check bool) "mini-batch rejected" true
+    (try
+       Backup.put b (Gg_crdt.Writeset.Batch.make ~node:0 ~cen:1 ~txns:[] ~eof:false ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "nothing stored" 0 (Backup.count b)
+
+let test_backup_duplicate_put_idempotent () =
+  (* Retransmitted sealed batches (the network duplicates, the repair
+     path re-pushes) must not multiply backup state. *)
+  let b = Backup.create ~n:3 in
+  let batch = sealed_batch ~node:1 ~cen:4 in
+  Backup.put b batch;
+  Backup.put b batch;
+  Backup.put b (sealed_batch ~node:1 ~cen:4);
+  Alcotest.(check int) "one copy" 1 (Backup.count b);
+  Alcotest.(check int) "last_sealed" 4 (Backup.last_sealed b ~node:1);
+  (* Out-of-order arrival of an older epoch never regresses the seal
+     high-water mark survivors read during view change. *)
+  Backup.put b (sealed_batch ~node:1 ~cen:2);
+  Alcotest.(check int) "monotone last_sealed" 4 (Backup.last_sealed b ~node:1);
+  Alcotest.(check bool) "old epoch fetchable" true
+    (Backup.get b ~node:1 ~cen:2 <> None);
+  Alcotest.(check int) "other node untouched" (-1) (Backup.last_sealed b ~node:0)
+
+let test_backup_after_mid_epoch_crash () =
+  (* Crash a node mid-run: its backup must expose a consistent prefix —
+     last_sealed is the true high-water mark and every epoch up to it is
+     fetchable, which is what survivors rely on to finish merging before
+     the view change drops the node. *)
+  let c = make_cluster () in
+  let clients = mixed_workload_clients ~connections:4 c 11_000 in
+  run_ms c 1_000;
+  Cluster.crash c 2;
+  let b = Cluster.backup c in
+  let last = Backup.last_sealed b ~node:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "crashed node sealed epochs (last %d)" last)
+    true (last > 10);
+  for e = 1 to last do
+    Alcotest.(check bool)
+      (Printf.sprintf "epoch %d fetchable" e)
+      true
+      (Backup.get b ~node:2 ~cen:e <> None)
+  done;
+  (* Survivors fetch what they miss, merge through [last], and move on. *)
+  run_ms c 3_000;
+  List.iter Client.stop clients;
+  Alcotest.(check (list int)) "view excludes crashed node" [ 0; 1 ] (Cluster.members c);
+  Alcotest.(check bool) "survivors merged past the seal mark" true
+    (Node.lsn (Cluster.node c 0) > last);
+  Cluster.quiesce c;
+  let d0 = Gg_storage.Db.digest (Node.db (Cluster.node c 0)) in
+  let d1 = Gg_storage.Db.digest (Node.db (Cluster.node c 1)) in
+  Alcotest.(check string) "survivors consistent" d0 d1
+
 (* --- per-node metrics bookkeeping --- *)
 
 let ph ~parse ~exec ~wait ~merge ~log =
@@ -861,6 +924,12 @@ let () =
           Alcotest.test_case "crash then view change" `Slow test_node_crash_blocks_then_view_change_unblocks;
           Alcotest.test_case "client rerouted" `Quick test_client_rerouted_after_crash;
           Alcotest.test_case "recovery rejoins" `Slow test_node_recovery_rejoins;
+        ] );
+      ( "backup",
+        [
+          Alcotest.test_case "put requires eof" `Quick test_backup_put_requires_eof;
+          Alcotest.test_case "duplicate put idempotent" `Quick test_backup_duplicate_put_idempotent;
+          Alcotest.test_case "mid-epoch crash leaves consistent prefix" `Slow test_backup_after_mid_epoch_crash;
         ] );
       ( "metrics",
         [

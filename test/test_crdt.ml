@@ -212,6 +212,176 @@ let prop_merge_associative_partial =
       List.iter (fun m -> ignore (Merge.merge_header h2 ~meta:m)) chunk2;
       Csn.equal h1.Row_header.csn h2.Row_header.csn)
 
+(* --- Full write-set ACI under a hand-rolled seeded generator ---
+
+   The QCheck properties above exercise single-row header merges. These
+   drive whole write sets — several rows per transaction, inserts,
+   updates and deletes — through a replay harness that mirrors the
+   node's apply step (header merge decides the winner; the winning
+   record's op decides the tombstone). The chaos checker's ACI oracle
+   uses the same construction on live traffic; here we pin it down on
+   adversarial synthetic epochs, seeded so failures reproduce. *)
+
+module Rng = Gg_util.Rng
+
+let gen_epoch_writesets rng ~cen ~n =
+  List.init n (fun i ->
+      let sen = 1 + Rng.int rng cen in
+      (* ts unique per write set => globally unique csns. *)
+      let m = meta ~sen ~cen ~ts:(100 + i) ~node:(Rng.int rng 5) in
+      let n_rows = 1 + Rng.int rng 3 in
+      let keys =
+        List.sort_uniq compare (List.init n_rows (fun _ -> Rng.int rng 8))
+      in
+      let records =
+        List.map
+          (fun k ->
+            let op =
+              match Rng.int rng 4 with
+              | 0 -> Writeset.Insert
+              | 1 -> Writeset.Delete
+              | _ -> Writeset.Update
+            in
+            let data =
+              if op = Writeset.Delete then [||]
+              else [| Value.Int k; Value.Int (Rng.int rng 1000) |]
+            in
+            Writeset.make_record ~table:"t" ~key:[| Value.Int k |] ~op ~data ())
+          keys
+      in
+      Writeset.make ~meta:m ~records ())
+
+let replay_state wss =
+  let rows = Hashtbl.create 32 in
+  List.iter
+    (fun (ws : Writeset.t) ->
+      List.iter
+        (fun (r : Writeset.record) ->
+          let id = (r.Writeset.table, Writeset.key_str r) in
+          let header, winner_op =
+            match Hashtbl.find_opt rows id with
+            | Some hs -> hs
+            | None ->
+              let hs = (Row_header.create (), ref Writeset.Update) in
+              Hashtbl.add rows id hs;
+              hs
+          in
+          match Merge.merge_header header ~meta:ws.Writeset.meta with
+          | Merge.Win -> winner_op := r.Writeset.op
+          | Merge.Lose | Merge.Already -> ())
+        ws.Writeset.records)
+    wss;
+  Hashtbl.fold
+    (fun (tbl, key) ((h : Row_header.t), winner_op) acc ->
+      ( tbl,
+        key,
+        h.Row_header.sen,
+        h.Row_header.csn.Csn.ts,
+        h.Row_header.csn.Csn.node,
+        !winner_op = Writeset.Delete )
+      :: acc)
+    rows []
+  |> List.sort compare
+
+let shuffled rng l =
+  let a = Array.of_list l in
+  Rng.shuffle rng a;
+  Array.to_list a
+
+let test_ws_replay_commutative () =
+  let rng = Rng.create 0xC0FFEE in
+  for _ = 1 to 200 do
+    let wss = gen_epoch_writesets rng ~cen:10 ~n:(1 + Rng.int rng 8) in
+    let reference = replay_state wss in
+    Alcotest.(check bool) "any delivery order, same state" true
+      (replay_state (shuffled rng wss) = reference)
+  done
+
+let test_ws_replay_idempotent () =
+  let rng = Rng.create 0xD0D0 in
+  for _ = 1 to 200 do
+    let wss = gen_epoch_writesets rng ~cen:10 ~n:(1 + Rng.int rng 8) in
+    let reference = replay_state wss in
+    (* Every write set retransmitted, in a different order. *)
+    Alcotest.(check bool) "duplicates absorbed" true
+      (replay_state (wss @ shuffled rng wss) = reference)
+  done
+
+let test_ws_replay_grouping_independent () =
+  (* Associativity in state-based form: delivering the epoch in any two
+     mini-batches (each internally shuffled, boundary arbitrary) ends in
+     the same state as one batch. *)
+  let rng = Rng.create 0xABBA in
+  for _ = 1 to 200 do
+    let wss = gen_epoch_writesets rng ~cen:10 ~n:(2 + Rng.int rng 8) in
+    let reference = replay_state wss in
+    let cut = 1 + Rng.int rng (List.length wss - 1) in
+    let chunk1 = shuffled rng (List.filteri (fun i _ -> i < cut) wss) in
+    let chunk2 = shuffled rng (List.filteri (fun i _ -> i >= cut) wss) in
+    Alcotest.(check bool) "chunked = whole" true
+      (replay_state (chunk1 @ chunk2) = reference)
+  done
+
+let test_ws_tombstone_race_deterministic () =
+  (* A delete and an update race on one row in one epoch: the Lemma 2
+     winner decides the tombstone, independent of order, and replaying
+     the loser afterwards changes nothing. *)
+  let row k op data =
+    Writeset.make_record ~table:"t" ~key:[| Value.Int k |] ~op ~data ()
+  in
+  let del =
+    Writeset.make
+      ~meta:(meta ~sen:5 ~cen:7 ~ts:10 ~node:0)
+      ~records:[ row 1 Writeset.Delete [||] ]
+      ()
+  in
+  let upd =
+    Writeset.make
+      ~meta:(meta ~sen:5 ~cen:7 ~ts:11 ~node:1)
+      ~records:[ row 1 Writeset.Update [| Value.Int 1; Value.Int 9 |] ]
+      ()
+  in
+  let s1 = replay_state [ del; upd ] in
+  let s2 = replay_state [ upd; del ] in
+  Alcotest.(check bool) "order-independent" true (s1 = s2);
+  (match s1 with
+  | [ (_, _, _, ts, _, deleted) ] ->
+    Alcotest.(check int) "delete (smaller csn) wins" 10 ts;
+    Alcotest.(check bool) "row tombstoned" true deleted
+  | _ -> Alcotest.fail "one row expected");
+  Alcotest.(check bool) "losing update re-delivered is a no-op" true
+    (replay_state [ del; upd; upd ] = s1)
+
+let test_lww_map_aci_seeded () =
+  (* Seeded whole-map ACI: merge of random Lww_maps is commutative,
+     associative and idempotent. Values derive from (ts, node) so the
+     stamp uniquely identifies the write. *)
+  let open Lattice in
+  let rng = Rng.create 0xFACADE in
+  let gen_map () =
+    let n = 1 + Rng.int rng 6 in
+    let m = ref Lww_map.empty in
+    for _ = 1 to n do
+      let ts = Rng.int rng 50 and node = Rng.int rng 4 in
+      let key = Printf.sprintf "k%d" (Rng.int rng 4) in
+      m :=
+        Lww_map.set !m ~key
+          (Lww.make ~ts ~node ~value:(Printf.sprintf "%d-%d" ts node))
+    done;
+    !m
+  in
+  for _ = 1 to 200 do
+    let a = gen_map () and b = gen_map () and c = gen_map () in
+    Alcotest.(check bool) "commutative" true
+      (Lww_map.equal (Lww_map.merge a b) (Lww_map.merge b a));
+    Alcotest.(check bool) "associative" true
+      (Lww_map.equal
+         (Lww_map.merge (Lww_map.merge a b) c)
+         (Lww_map.merge a (Lww_map.merge b c)));
+    Alcotest.(check bool) "idempotent" true
+      (Lww_map.equal (Lww_map.merge a a) a)
+  done
+
 (* --- Writeset serialization --- *)
 
 let sample_ws () =
@@ -435,6 +605,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_merge_idempotent;
           QCheck_alcotest.to_alcotest prop_merge_matches_lemma2;
           QCheck_alcotest.to_alcotest prop_merge_associative_partial;
+        ] );
+      ( "writeset merge (seeded)",
+        [
+          Alcotest.test_case "commutative" `Quick test_ws_replay_commutative;
+          Alcotest.test_case "idempotent" `Quick test_ws_replay_idempotent;
+          Alcotest.test_case "grouping independent" `Quick test_ws_replay_grouping_independent;
+          Alcotest.test_case "tombstone race deterministic" `Quick test_ws_tombstone_race_deterministic;
+          Alcotest.test_case "lww map ACI (seeded)" `Quick test_lww_map_aci_seeded;
         ] );
       ( "writeset",
         [

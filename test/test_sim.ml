@@ -216,6 +216,69 @@ let test_net_down_node () =
   Sim.run sim;
   Alcotest.(check bool) "crashed before delivery" false !got
 
+let test_net_dup_down_interaction () =
+  (* Regression: a message duplicated in flight must not leak into a
+     node that crashes before delivery. Both copies re-check the down
+     state at delivery time, so neither arrives. *)
+  let topo = Topology.china3 () in
+  let sim, net = make_net ~dup:1.0 topo in
+  let got = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr got);
+  Sim.schedule sim ~after:1 (fun () -> Net.set_down net 1 true);
+  Sim.run sim;
+  Alcotest.(check int) "no copy reaches the downed node" 0 !got;
+  (* And after recovery, fresh traffic (still dup=1.0) flows again. *)
+  Net.set_down net 1 false;
+  Net.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr got);
+  Sim.run sim;
+  Alcotest.(check int) "recovered node gets both copies" 2 !got
+
+let test_net_knob_mutation () =
+  (* The chaos checker flips fault rates mid-run; setters must take
+     effect immediately and clamp out-of-range values. *)
+  let topo = Topology.china3 () in
+  let sim, net = make_net topo in
+  Net.set_loss net 1.0;
+  Alcotest.(check (float 0.0)) "loss readable" 1.0 (Net.loss net);
+  let got = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~bytes:1 (fun () -> incr got);
+  Sim.run sim;
+  Alcotest.(check int) "full loss drops" 0 !got;
+  Net.set_loss net 0.0;
+  Net.send net ~src:0 ~dst:1 ~bytes:1 (fun () -> incr got);
+  Sim.run sim;
+  Alcotest.(check int) "restored rate delivers" 1 !got;
+  Net.set_dup net 2.0;
+  Alcotest.(check (float 0.0)) "dup clamped to 1" 1.0 (Net.dup net);
+  Net.set_reorder net (-0.5);
+  Alcotest.(check (float 0.0)) "reorder clamped to 0" 0.0 (Net.reorder net);
+  Net.set_jitter_frac net (-1.0);
+  Alcotest.(check (float 0.0)) "jitter clamped to 0" 0.0 (Net.jitter_frac net)
+
+let test_fault_schedule_install_and_format () =
+  let topo = Topology.china3 () in
+  let sim, net = make_net topo in
+  let crashed = ref [] and recovered = ref [] in
+  let sched =
+    [
+      { Fault.at_ms = 5; action = Fault.Loss 0.5 };
+      { Fault.at_ms = 10; action = Fault.Crash 2 };
+      { Fault.at_ms = 20; action = Fault.Recover 2 };
+    ]
+  in
+  Fault.install net
+    ~on_crash:(fun n -> crashed := n :: !crashed)
+    ~on_recover:(fun n -> recovered := n :: !recovered)
+    sched;
+  Sim.run sim;
+  Alcotest.(check (float 0.0)) "loss knob applied" 0.5 (Net.loss net);
+  Alcotest.(check (list int)) "crash hook fired" [ 2 ] !crashed;
+  Alcotest.(check (list int)) "recover hook fired" [ 2 ] !recovered;
+  Alcotest.(check string) "reproducer format"
+    "loss:0.500@5ms,crash:2@10ms,recover:2@20ms"
+    (Fault.schedule_to_string sched);
+  Alcotest.(check string) "empty schedule" "-" (Fault.schedule_to_string [])
+
 let test_net_wan_accounting () =
   let topo = Topology.china3 () in
   let sim, net = make_net topo in
@@ -304,6 +367,9 @@ let () =
           Alcotest.test_case "loss" `Quick test_net_loss;
           Alcotest.test_case "duplication" `Quick test_net_dup;
           Alcotest.test_case "down node" `Quick test_net_down_node;
+          Alcotest.test_case "dup x down" `Quick test_net_dup_down_interaction;
+          Alcotest.test_case "runtime knob mutation" `Quick test_net_knob_mutation;
+          Alcotest.test_case "fault schedule" `Quick test_fault_schedule_install_and_format;
           Alcotest.test_case "wan accounting" `Quick test_net_wan_accounting;
           Alcotest.test_case "broadcast" `Quick test_net_broadcast;
         ] );
