@@ -1,4 +1,9 @@
-.PHONY: all build test fmt ci bench wallclock check clean
+.PHONY: all build test fmt ci bench wallclock parallel check clean
+
+# Domain fan-out for the harness (check sweeps, experiment grids, bench
+# scenarios). 0 = one worker per core; output is byte-identical at any
+# value. Override per invocation: `make check JOBS=4`.
+JOBS ?= 0
 
 all: build
 
@@ -20,20 +25,31 @@ fmt:
 # Seeded chaos checking (DESIGN.md §8). `make check` is the standing
 # smoke sweep; crank --seeds up for a longer hunt.
 check:
-	dune exec bin/geogauss_cli.exe -- check --seeds 25 --fast
+	dune exec bin/geogauss_cli.exe -- check --seeds 25 --fast --jobs $(JOBS)
 	dune exec bin/geogauss_cli.exe -- check --canary
 
 ci: fmt
 	dune build
 	dune runtest
-	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast
+	@t1=$$(date +%s.%N); \
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --jobs 1 > /tmp/gg_ci_j1.out; \
+	t2=$$(date +%s.%N); \
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --jobs $(JOBS) > /tmp/gg_ci_jn.out; \
+	t3=$$(date +%s.%N); \
+	cmp /tmp/gg_ci_j1.out /tmp/gg_ci_jn.out || { echo "ci: -j1 vs -j$(JOBS) output differs"; exit 1; }; \
+	cat /tmp/gg_ci_jn.out; \
+	awk -v a="$$t1" -v b="$$t2" -v c="$$t3" \
+		'BEGIN { printf "ci: check sweep %.2fs at -j1, %.2fs at JOBS=$(JOBS) (%.2fx)\n", b-a, c-b, (b-a)/(c-b) }'
 	dune exec bin/geogauss_cli.exe -- check --canary
 
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- --jobs $(JOBS)
 
 wallclock:
-	dune exec bench/main.exe -- wallclock
+	dune exec bench/main.exe -- wallclock --jobs $(JOBS)
+
+parallel:
+	dune exec bench/main.exe -- parallel
 
 clean:
 	dune clean

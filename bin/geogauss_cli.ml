@@ -6,6 +6,15 @@ open Cmdliner
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk populations and windows.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Fan independent simulations out over $(docv) domains (0 = one per \
+           core). Output is byte-identical at any value; 1 is the sequential \
+           path.")
+
 (* --- `bench` subcommand: run paper experiments --- *)
 
 let bench_names =
@@ -16,22 +25,23 @@ let bench_names =
               fig10 fig11 fig12 fig13 ablations). Default: all.")
 
 let bench_cmd =
-  let run fast names =
+  let run fast jobs names =
     let names =
       if names = [] then List.map fst Gg_harness.Experiments.all else names
     in
+    Gg_par.Pool.with_pool ~jobs @@ fun pool ->
     let ok =
       List.for_all
         (fun name ->
           Printf.printf "=== %s ===\n%!" name;
-          Gg_harness.Experiments.run ~fast name)
+          Gg_harness.Experiments.run ~fast ~pool name)
         names
     in
     if ok then `Ok () else `Error (false, "unknown experiment")
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(ret (const run $ fast_arg $ bench_names))
+    Term.(ret (const run $ fast_arg $ jobs_arg $ bench_names))
 
 (* --- `run` subcommand: ad-hoc simulation --- *)
 
@@ -242,7 +252,7 @@ let check_cmd =
           ~doc:"Self-test: inject a deliberate replica corruption and verify \
                 the oracles detect it (exits non-zero if they do not).")
   in
-  let run seeds base engine ft fast trace canary =
+  let run seeds base engine ft fast jobs trace canary =
     let log = print_endline in
     if canary then begin
       let s =
@@ -267,7 +277,9 @@ let check_cmd =
     end
     else begin
       let report =
-        Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~seeds ()
+        Gg_par.Pool.with_pool ~jobs @@ fun pool ->
+        Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~pool
+          ~seeds ()
       in
       Printf.printf "%d seeds, %d commits, %d violation(s)\n"
         report.Gg_check.Checker.seeds_run
@@ -294,7 +306,9 @@ let check_cmd =
           monotonicity, durability, ACI merge laws, isolation — and shrink \
           any failure to a one-line reproducer.")
     Term.(
-      ret (const run $ seeds $ base $ engine $ ft $ fast_arg $ trace $ canary))
+      ret
+        (const run $ seeds $ base $ engine $ ft $ fast_arg $ jobs_arg $ trace
+       $ canary))
 
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 

@@ -161,23 +161,33 @@ let shrink_and_report ?log s v =
        (reproducer minimized min_violation));
   { original = s; minimized; min_violation; shrink_runs }
 
-let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0) ~seeds () =
+(* Each seed is one pool task: a fully self-contained simulation (own
+   Sim/Obs/Db/RNGs, no printing). Results stream back in seed order, so
+   the log and the report are byte-identical at any [pool] width; the
+   default sequential pool is the exact legacy loop. Shrinking reruns
+   happen on the calling domain, between ordered deliveries, exactly
+   where the sequential run would do them. *)
+let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0)
+    ?(pool = Gg_par.Pool.seq) ~seeds () =
   let emit m = match log with Some f -> f m | None -> () in
   let failures = ref [] in
   let total_commits = ref 0 in
-  for i = 0 to seeds - 1 do
-    let s = Scenario.generate ?variant ?isolation ?ft ~fast (base + i) in
-    let o = run s in
-    total_commits := !total_commits + o.commits;
-    match o.violation with
-    | None ->
-      emit
-        (Printf.sprintf "seed %d: ok (%d commits, %d aborts, %d timeouts) %s"
-           s.Scenario.seed o.commits o.aborts o.timeouts (Scenario.to_string s))
-    | Some v ->
-      emit (Printf.sprintf "seed %d: %s" s.Scenario.seed (reproducer s v));
-      failures := shrink_and_report ?log s v :: !failures
-  done;
+  let tasks =
+    List.init seeds (fun i ->
+        let s = Scenario.generate ?variant ?isolation ?ft ~fast (base + i) in
+        fun () -> (s, run s))
+  in
+  Gg_par.Pool.iter_ordered pool tasks ~f:(fun _ (s, o) ->
+      total_commits := !total_commits + o.commits;
+      match o.violation with
+      | None ->
+        emit
+          (Printf.sprintf "seed %d: ok (%d commits, %d aborts, %d timeouts) %s"
+             s.Scenario.seed o.commits o.aborts o.timeouts
+             (Scenario.to_string s))
+      | Some v ->
+        emit (Printf.sprintf "seed %d: %s" s.Scenario.seed (reproducer s v));
+        failures := shrink_and_report ?log s v :: !failures);
   {
     seeds_run = seeds;
     total_commits = !total_commits;

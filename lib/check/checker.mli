@@ -48,9 +48,14 @@ val check :
   ?ft:Geogauss.Params.ft_mode ->
   ?fast:bool ->
   ?base:int ->
+  ?pool:Gg_par.Pool.t ->
   seeds:int ->
   unit ->
   report
 (** Check seeds [base .. base + seeds - 1], shrinking every failure.
     [?log] receives one progress line per seed. The optional dimension
-    pins restrict generation (e.g. only the [Optimistic] engine). *)
+    pins restrict generation (e.g. only the [Optimistic] engine).
+    [?pool] fans seeds out over domains; the log, report and exit
+    status are byte-identical at every pool width (results are
+    delivered in seed order, and each scenario simulation is fully
+    self-contained). Default: sequential. *)

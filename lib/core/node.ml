@@ -187,6 +187,9 @@ let lww_apply t (ws : Writeset.t) =
           then begin
             Row_header.stamp entry.Table.header ~sen:meta.Meta.sen
               ~csn:meta.Meta.csn ~cen:meta.Meta.cen;
+            (* The stamp alone is digest-relevant (a delete over an
+               existing tombstone changes only the header). *)
+            Table.touch table;
             match r.Writeset.op with
             | Writeset.Delete -> Table.delete table entry
             | Writeset.Insert | Writeset.Update ->
@@ -408,7 +411,12 @@ and do_merge t e txns ~merge_started ~duration =
                 mark ws Txn.Row_deleted
               | Some entry -> (
                 match Merge.merge_header entry.Table.header ~meta with
-                | Merge.Win | Merge.Already -> ()
+                | Merge.Win ->
+                  (* In-place stamp of a committed row's header: the
+                     digest changes even if this transaction later fails
+                     validation and Phase C never rewrites the row. *)
+                  Table.touch table
+                | Merge.Already -> ()
                 | Merge.Lose -> mark ws Txn.Write_conflict))))
         ws.Writeset.records)
     txns;

@@ -122,9 +122,14 @@ module Batch = struct
     mutable wire : bytes option;  (* memoized [to_wire] result *)
   }
 
-  let encodes = ref 0
-  let encode_count () = !encodes
-  let reset_encode_count () = encodes := 0
+  (* Domain-local, not a plain global: bench scenarios run one-per-task
+     on a Domain pool, and each task resets then reads the counter for
+     the whole simulation it owns. A shared ref would mix concurrent
+     scenarios' counts (and race). *)
+  let encodes_key = Domain.DLS.new_key (fun () -> ref 0)
+  let encode_count () = !(Domain.DLS.get encodes_key)
+  let reset_encode_count () = Domain.DLS.get encodes_key := 0
+  let count_encode () = incr (Domain.DLS.get encodes_key)
 
   let make ~node ~cen ~txns ~eof ?count () =
     {
@@ -140,7 +145,7 @@ module Batch = struct
     match t.wire with
     | Some bytes -> bytes
     | None ->
-      incr encodes;
+      count_encode ();
       let enc = Enc.create () in
       Enc.varint enc t.node;
       Enc.varint enc t.cen;

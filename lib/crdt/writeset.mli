@@ -112,8 +112,10 @@ module Batch : sig
   (** [Bytes.length (to_wire t)], via the cache. *)
 
   val encode_count : unit -> int
-  (** Number of actual encode+compress passes performed process-wide
-      (cache hits excluded) — instrumentation for the wallclock bench. *)
+  (** Number of actual encode+compress passes performed on the calling
+      domain (cache hits excluded) — instrumentation for the wallclock
+      bench. Domain-local so concurrent pool tasks count independently;
+      reset and read it from within the same task. *)
 
   val reset_encode_count : unit -> unit
 end

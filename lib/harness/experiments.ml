@@ -5,6 +5,7 @@ module Params = Geogauss.Params
 module Tablefmt = Gg_util.Tablefmt
 module Stats = Gg_util.Stats
 module Engine = Gg_engines.Engine
+module Pool = Gg_par.Pool
 
 let f = Tablefmt.fmt_f
 
@@ -60,6 +61,13 @@ let engine_run s (module E : Engine.S) ~gen ~connections ~label =
     ~config:engine_cfg ~topology:(Topology.china3 ()) ~gen ~connections
     ~warmup_ms:s.warmup_ms ~measure_ms:s.measure_ms ~label ()
 
+(* Every figure below is phrased the same way: build the full list of
+   grid-point thunks (one thunk = one self-contained cluster simulation,
+   nothing printed inside), fan them out through the Domain pool in one
+   wave, then assemble tables from the results in submission order. The
+   rendered output is byte-identical at every pool width; [Pool.seq]
+   reproduces the old sequential loops exactly. *)
+
 (* --- Fig 5: cross-system comparison --- *)
 
 let fig5_workloads s =
@@ -70,51 +78,64 @@ let fig5_workloads s =
     ("TPC-C", `Tpcc s.tpcc_cfg);
   ]
 
-let fig5 ?(fast = false) () =
-  let s = setting ~fast in
-  List.iter
-    (fun (wname, workload) ->
-      let gen, load, connections =
-        match workload with
-        | `Ycsb p -> (Driver.ycsb_gens p ~seed:11, Ycsb.load p, s.ycsb_connections)
-        | `Tpcc cfg -> (Driver.tpcc_gens cfg ~seed:11, Tpcc.load cfg, s.tpcc_connections)
-      in
-      let is_tpcc = match workload with `Tpcc _ -> true | `Ycsb _ -> false in
+let fig5_tables pool s =
+  let groups =
+    List.map
+      (fun (wname, workload) ->
+        let gen, load, connections =
+          match workload with
+          | `Ycsb p -> (Driver.ycsb_gens p ~seed:11, Ycsb.load p, s.ycsb_connections)
+          | `Tpcc cfg -> (Driver.tpcc_gens cfg ~seed:11, Tpcc.load cfg, s.tpcc_connections)
+        in
+        let is_tpcc = match workload with `Tpcc _ -> true | `Ycsb _ -> false in
+        let geo variant label () =
+          geo_variant s ~variant ~label ~load ~gen ~connections ()
+        in
+        let eng (module E : Engine.S) label () =
+          engine_run s (module E) ~gen ~connections ~label
+        in
+        let runs =
+          [
+            geo Params.Optimistic "GeoGauss"; geo Params.Sync_exec "GeoG-S";
+            geo Params.Async_merge "GeoG-A"; eng (module Gg_engines.Crdb) "CRDB";
+            eng (module Gg_engines.Calvin) "Calvin";
+            eng (module Gg_engines.Aria) "Aria";
+          ]
+          @
+          if is_tpcc then []
+          else
+            [
+              eng (module Gg_engines.Calvinfs) "CalvinFS";
+              eng (module Gg_engines.Qstore) "Q-Store";
+              eng (module Gg_engines.Slog) "SLOG";
+              eng (module Gg_engines.Anna) "Anna";
+            ]
+        in
+        (wname, runs))
+      (fig5_workloads s)
+  in
+  let results = Pool.run pool (List.concat_map snd groups) in
+  let remaining = ref results in
+  let take n =
+    let taken = List.filteri (fun i _ -> i < n) !remaining in
+    remaining := List.filteri (fun i _ -> i >= n) !remaining;
+    taken
+  in
+  List.map
+    (fun (wname, runs) ->
       let table =
         Tablefmt.create
           ~title:(Printf.sprintf "Fig 5 — %s (3 regions, China)" wname)
           ~headers:Result.headers
       in
-      let add r = Tablefmt.add_row table (Result.row r) in
-      add
-        (geo_variant s ~variant:Params.Optimistic ~label:"GeoGauss" ~load ~gen
-           ~connections ());
-      add
-        (geo_variant s ~variant:Params.Sync_exec ~label:"GeoG-S" ~load ~gen
-           ~connections ());
-      add
-        (geo_variant s ~variant:Params.Async_merge ~label:"GeoG-A" ~load ~gen
-           ~connections ());
-      add (engine_run s (module Gg_engines.Crdb) ~gen ~connections ~label:"CRDB");
-      add (engine_run s (module Gg_engines.Calvin) ~gen ~connections ~label:"Calvin");
-      add (engine_run s (module Gg_engines.Aria) ~gen ~connections ~label:"Aria");
-      if not is_tpcc then begin
-        add
-          (engine_run s (module Gg_engines.Calvinfs) ~gen ~connections
-             ~label:"CalvinFS");
-        add
-          (engine_run s (module Gg_engines.Qstore) ~gen ~connections
-             ~label:"Q-Store");
-        add (engine_run s (module Gg_engines.Slog) ~gen ~connections ~label:"SLOG");
-        add (engine_run s (module Gg_engines.Anna) ~gen ~connections ~label:"Anna")
-      end;
-      Tablefmt.print table)
-    (fig5_workloads s)
+      List.iter (fun r -> Tablefmt.add_row table (Result.row r))
+        (take (List.length runs));
+      Tablefmt.render table)
+    groups
 
 (* --- Table 2: phase breakdown (TPC-C) --- *)
 
-let table2 ?(fast = false) () =
-  let s = setting ~fast in
+let table2_tables pool s =
   let gen = Driver.tpcc_gens s.tpcc_cfg ~seed:21 in
   let load = Tpcc.load s.tpcc_cfg in
   let table =
@@ -122,7 +143,7 @@ let table2 ?(fast = false) () =
       ~title:"Table 2 — Runtime breakdown of a committed TPC-C transaction (ms)"
       ~headers:[ "phase"; "GeoG-S"; "GeoG-A"; "GeoGauss" ]
   in
-  let phases variant =
+  let phases variant () =
     let params = Params.with_variant Params.default variant in
     let _, extra =
       Driver.run_geogauss ~params ~connections:s.tpcc_connections
@@ -141,28 +162,29 @@ let table2 ?(fast = false) () =
     let d x = x /. float_of_int n /. 1000.0 in
     (d p, d e, d w, d m, d l)
   in
-  let ps, pa, pg =
-    ( phases Params.Sync_exec,
-      phases Params.Async_merge,
-      phases Params.Optimistic )
-  in
-  let row name get =
-    Tablefmt.add_row table [ name; f (get ps); f (get pa); f (get pg) ]
-  in
-  row "SQL Parse" (fun (p, _, _, _, _) -> p);
-  row "Execute" (fun (_, e, _, _, _) -> e);
-  row "Wait" (fun (_, _, w, _, _) -> w);
-  row "Merge" (fun (_, _, _, m, _) -> m);
-  row "Log" (fun (_, _, _, _, l) -> l);
-  Tablefmt.print table
+  match
+    Pool.run pool
+      [ phases Params.Sync_exec; phases Params.Async_merge;
+        phases Params.Optimistic ]
+  with
+  | [ ps; pa; pg ] ->
+    let row name get =
+      Tablefmt.add_row table [ name; f (get ps); f (get pa); f (get pg) ]
+    in
+    row "SQL Parse" (fun (p, _, _, _, _) -> p);
+    row "Execute" (fun (_, e, _, _, _) -> e);
+    row "Wait" (fun (_, _, w, _, _) -> w);
+    row "Merge" (fun (_, _, _, m, _) -> m);
+    row "Log" (fun (_, _, _, _, l) -> l);
+    [ Tablefmt.render table ]
+  | _ -> assert false
 
 (* --- Fig 6: per-epoch behaviour --- *)
 
-let fig6 ?(fast = false) () =
-  let s = setting ~fast in
+let fig6_tables pool s ~fast =
   let gen = Driver.tpcc_gens s.tpcc_cfg ~seed:31 in
   let load = Tpcc.load s.tpcc_cfg in
-  let cells variant =
+  let cells variant () =
     let params = Params.with_variant Params.default variant in
     let _, extra =
       Driver.run_geogauss ~params ~connections:s.tpcc_connections
@@ -173,7 +195,11 @@ let fig6 ?(fast = false) () =
     in
     extra.Driver.epoch_cells
   in
-  let gg = cells Params.Optimistic and gs = cells Params.Sync_exec in
+  let gg, gs =
+    match Pool.run pool [ cells Params.Optimistic; cells Params.Sync_exec ] with
+    | [ gg; gs ] -> (gg, gs)
+    | _ -> assert false
+  in
   let table =
     Tablefmt.create
       ~title:
@@ -198,14 +224,60 @@ let fig6 ?(fast = false) () =
     Tablefmt.add_row table
       [ string_of_int e; string_of_int c1; f l1; string_of_int c2; f l2 ]
   done;
-  Tablefmt.print table
+  [ Tablefmt.render table ]
 
 (* --- Fig 7: long transactions --- *)
 
-let fig7 ?(fast = false) () =
-  let s = setting ~fast in
+let fig7_tables pool s ~fast =
+  let delays = if fast then [ 20 ] else [ 20; 100 ] in
   let fractions = [ 0.0; 0.02; 0.05; 0.1 ] in
-  List.iter
+  let profile delay_ms frac =
+    Ycsb.with_long_txns
+      (ycsb_profile s Ycsb.medium_contention)
+      ~frac ~delay_us:(delay_ms * 1000)
+  in
+  let systems delay_ms =
+    let geo frac () =
+      let p = profile delay_ms frac in
+      (geo_variant s ~variant:Params.Optimistic ~label:"GeoGauss"
+         ~load:(Ycsb.load p)
+         ~gen:(Driver.ycsb_gens p ~seed:41)
+         ~connections:s.ycsb_connections ())
+        .Result.tput
+    in
+    let eng (module E : Engine.S) frac () =
+      let p = profile delay_ms frac in
+      (engine_run s
+         (module E)
+         ~gen:(Driver.ycsb_gens p ~seed:41)
+         ~connections:s.ycsb_connections ~label:E.name)
+        .Result.tput
+    in
+    [
+      ("GeoGauss", geo); ("Calvin", eng (module Gg_engines.Calvin));
+      ("Aria", eng (module Gg_engines.Aria));
+      ("CRDB", eng (module Gg_engines.Crdb));
+    ]
+  in
+  (* One thunk per (delay, system, fraction) grid point; the slowdown
+     ratios against the 0% baseline are computed after collection. *)
+  let thunks =
+    List.concat_map
+      (fun delay_ms ->
+        List.concat_map
+          (fun (_, run_for) -> List.map run_for fractions)
+          (systems delay_ms))
+      delays
+  in
+  let tputs = ref (Pool.run pool thunks) in
+  let take () =
+    match !tputs with
+    | t :: rest ->
+      tputs := rest;
+      t
+    | [] -> assert false
+  in
+  List.map
     (fun delay_ms ->
       let table =
         Tablefmt.create
@@ -218,47 +290,23 @@ let fig7 ?(fast = false) () =
             ("system"
             :: List.map (fun fr -> Printf.sprintf "%.0f%%" (fr *. 100.)) fractions)
       in
-      let series run_for =
-        let base = ref None in
-        List.map
-          (fun frac ->
-            let tput = run_for frac in
-            let b = match !base with None -> base := Some tput; tput | Some b -> b in
-            Printf.sprintf "%.2fx" (tput /. Float.max 1.0 b))
-          fractions
-      in
-      let profile frac =
-        Ycsb.with_long_txns
-          (ycsb_profile s Ycsb.medium_contention)
-          ~frac ~delay_us:(delay_ms * 1000)
-      in
-      let geo frac =
-        let p = profile frac in
-        (geo_variant s ~variant:Params.Optimistic ~label:"GeoGauss"
-           ~load:(Ycsb.load p)
-           ~gen:(Driver.ycsb_gens p ~seed:41)
-           ~connections:s.ycsb_connections ())
-          .Result.tput
-      in
-      let eng (module E : Engine.S) frac =
-        let p = profile frac in
-        (engine_run s
-           (module E)
-           ~gen:(Driver.ycsb_gens p ~seed:41)
-           ~connections:s.ycsb_connections ~label:E.name)
-          .Result.tput
-      in
-      Tablefmt.add_row table ("GeoGauss" :: series geo);
-      Tablefmt.add_row table ("Calvin" :: series (eng (module Gg_engines.Calvin)));
-      Tablefmt.add_row table ("Aria" :: series (eng (module Gg_engines.Aria)));
-      Tablefmt.add_row table ("CRDB" :: series (eng (module Gg_engines.Crdb)));
-      Tablefmt.print table)
-    (if fast then [ 20 ] else [ 20; 100 ])
+      List.iter
+        (fun (name, _) ->
+          let row = List.map (fun _ -> take ()) fractions in
+          let base = match row with b :: _ -> b | [] -> 1.0 in
+          Tablefmt.add_row table
+            (name
+            :: List.map
+                 (fun tput ->
+                   Printf.sprintf "%.2fx" (tput /. Float.max 1.0 base))
+                 row))
+        (systems delay_ms);
+      Tablefmt.render table)
+    delays
 
 (* --- Table 3: WAN traffic --- *)
 
-let table3 ?(fast = false) () =
-  let s = setting ~fast in
+let table3_tables pool s =
   let table =
     Tablefmt.create
       ~title:"Table 3 — Average WAN traffic per transaction (KB/txn, gzip'd)"
@@ -274,52 +322,33 @@ let table3 ?(fast = false) () =
           | `Tpcc cfg ->
             (Driver.tpcc_gens cfg ~seed:51, Tpcc.load cfg, s.tpcc_connections)
         in
-        f (run ~gen ~load ~connections))
+        fun () -> f (run ~gen ~load ~connections))
       (fig5_workloads s)
   in
-  Tablefmt.add_row table
-    ("GeoGauss"
-    :: per_workload (fun ~gen ~load ~connections ->
-           (geo_variant s ~variant:Params.Optimistic ~label:"GeoGauss" ~load
-              ~gen ~connections ())
-             .Result.wan_kb_per_txn));
-  Tablefmt.add_row table
-    ("Calvin"
-    :: per_workload (fun ~gen ~load:_ ~connections ->
-           (engine_run s (module Gg_engines.Calvin) ~gen ~connections
-              ~label:"Calvin")
-             .Result.wan_kb_per_txn));
-  Tablefmt.print table
+  let geo_cells =
+    per_workload (fun ~gen ~load ~connections ->
+        (geo_variant s ~variant:Params.Optimistic ~label:"GeoGauss" ~load ~gen
+           ~connections ())
+          .Result.wan_kb_per_txn)
+  in
+  let calvin_cells =
+    per_workload (fun ~gen ~load:_ ~connections ->
+        (engine_run s (module Gg_engines.Calvin) ~gen ~connections
+           ~label:"Calvin")
+          .Result.wan_kb_per_txn)
+  in
+  let cells = Pool.run pool (geo_cells @ calvin_cells) in
+  let geo_row = List.filteri (fun i _ -> i < 4) cells in
+  let calvin_row = List.filteri (fun i _ -> i >= 4) cells in
+  Tablefmt.add_row table ("GeoGauss" :: geo_row);
+  Tablefmt.add_row table ("Calvin" :: calvin_row);
+  [ Tablefmt.render table ]
 
 (* --- Fig 8: epoch length --- *)
 
-let fig8 ?(fast = false) () =
-  let s = setting ~fast in
+let fig8_tables pool s ~fast =
   let lengths = if fast then [ 1; 10; 50 ] else [ 1; 5; 10; 20; 50; 100; 200 ] in
-  List.iter
-    (fun (wname, load, gen, connections) ->
-      let table =
-        Tablefmt.create
-          ~title:(Printf.sprintf "Fig 8 — Effect of epoch length (%s)" wname)
-          ~headers:[ "epoch (ms)"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
-      in
-      List.iter
-        (fun ms ->
-          let params = Params.with_epoch_ms Params.default ms in
-          let r, _ =
-            Driver.run_geogauss ~params ~connections
-              ~topology:(Topology.china3 ()) ~load ~gen ~warmup_ms:s.warmup_ms
-              ~measure_ms:s.measure_ms
-              ~label:(string_of_int ms)
-              ()
-          in
-          Tablefmt.add_row table
-            [
-              string_of_int ms; f ~dec:0 r.Result.tput; f r.Result.mean_ms;
-              f r.Result.p99_ms;
-            ])
-        lengths;
-      Tablefmt.print table)
+  let workloads =
     [
       (let p = ycsb_profile s Ycsb.medium_contention in
        ( "YCSB-MC", Ycsb.load p, Driver.ycsb_gens p ~seed:61,
@@ -327,13 +356,78 @@ let fig8 ?(fast = false) () =
       ( "TPC-C", Tpcc.load s.tpcc_cfg, Driver.tpcc_gens s.tpcc_cfg ~seed:61,
         s.tpcc_connections );
     ]
+  in
+  let thunks =
+    List.concat_map
+      (fun (_, load, gen, connections) ->
+        List.map
+          (fun ms () ->
+            let params = Params.with_epoch_ms Params.default ms in
+            let r, _ =
+              Driver.run_geogauss ~params ~connections
+                ~topology:(Topology.china3 ()) ~load ~gen ~warmup_ms:s.warmup_ms
+                ~measure_ms:s.measure_ms
+                ~label:(string_of_int ms)
+                ()
+            in
+            r)
+          lengths)
+      workloads
+  in
+  let results = ref (Pool.run pool thunks) in
+  List.map
+    (fun (wname, _, _, _) ->
+      let table =
+        Tablefmt.create
+          ~title:(Printf.sprintf "Fig 8 — Effect of epoch length (%s)" wname)
+          ~headers:[ "epoch (ms)"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
+      in
+      List.iter
+        (fun ms ->
+          let r = List.hd !results in
+          results := List.tl !results;
+          Tablefmt.add_row table
+            [
+              string_of_int ms; f ~dec:0 r.Result.tput; f r.Result.mean_ms;
+              f r.Result.p99_ms;
+            ])
+        lengths;
+      Tablefmt.render table)
+    workloads
 
 (* --- Fig 9: isolation levels --- *)
 
-let fig9 ?(fast = false) () =
-  let s = setting ~fast in
-  List.iter
-    (fun (wname, load, gen, connections) ->
+let fig9_tables pool s =
+  let isolations = [ Params.RC; Params.RR; Params.SI ] in
+  let workloads =
+    [
+      (let p = ycsb_profile s Ycsb.medium_contention in
+       ( "YCSB-MC", Ycsb.load p, Driver.ycsb_gens p ~seed:71,
+         s.ycsb_connections ));
+      ( "TPC-C", Tpcc.load s.tpcc_cfg, Driver.tpcc_gens s.tpcc_cfg ~seed:71,
+        s.tpcc_connections );
+    ]
+  in
+  let thunks =
+    List.concat_map
+      (fun (_, load, gen, connections) ->
+        List.map
+          (fun iso () ->
+            let params = Params.with_isolation Params.default iso in
+            let r, _ =
+              Driver.run_geogauss ~params ~connections
+                ~topology:(Topology.china3 ()) ~load ~gen ~warmup_ms:s.warmup_ms
+                ~measure_ms:s.measure_ms
+                ~label:(Params.isolation_to_string iso)
+                ()
+            in
+            r)
+          isolations)
+      workloads
+  in
+  let results = ref (Pool.run pool thunks) in
+  List.map
+    (fun (wname, _, _, _) ->
       let table =
         Tablefmt.create
           ~title:(Printf.sprintf "Fig 9 — Isolation levels (%s)" wname)
@@ -342,36 +436,39 @@ let fig9 ?(fast = false) () =
       in
       List.iter
         (fun iso ->
-          let params = Params.with_isolation Params.default iso in
-          let r, _ =
-            Driver.run_geogauss ~params ~connections
-              ~topology:(Topology.china3 ()) ~load ~gen ~warmup_ms:s.warmup_ms
-              ~measure_ms:s.measure_ms
-              ~label:(Params.isolation_to_string iso)
-              ()
-          in
+          let r = List.hd !results in
+          results := List.tl !results;
           Tablefmt.add_row table
             [
               Params.isolation_to_string iso; f ~dec:0 r.Result.tput;
               f r.Result.mean_ms; f ~dec:3 r.Result.abort_rate;
             ])
-        [ Params.RC; Params.RR; Params.SI ];
-      Tablefmt.print table)
-    [
-      (let p = ycsb_profile s Ycsb.medium_contention in
-       ( "YCSB-MC", Ycsb.load p, Driver.ycsb_gens p ~seed:71,
-         s.ycsb_connections ));
-      ( "TPC-C", Tpcc.load s.tpcc_cfg, Driver.tpcc_gens s.tpcc_cfg ~seed:71,
-        s.tpcc_connections );
-    ]
+        isolations;
+      Tablefmt.render table)
+    workloads
 
 (* --- Fig 10: contention --- *)
 
-let fig10 ?(fast = false) () =
-  let s = setting ~fast in
+let fig10_tables pool s ~fast =
   let thetas = if fast then [ 0.0; 0.8; 0.99 ] else [ 0.0; 0.2; 0.4; 0.6; 0.8; 0.9; 0.99 ] in
-  List.iter
-    (fun (mix_name, base) ->
+  let mixes = [ ("80/20", Ycsb.medium_contention); ("50/50", Ycsb.high_contention) ] in
+  let thunks =
+    List.concat_map
+      (fun (_, base) ->
+        List.map
+          (fun theta () ->
+            let p = Ycsb.with_theta (ycsb_profile s base) theta in
+            geo_variant s ~variant:Params.Optimistic
+              ~label:(f theta)
+              ~load:(Ycsb.load p)
+              ~gen:(Driver.ycsb_gens p ~seed:81)
+              ~connections:s.ycsb_connections ())
+          thetas)
+      mixes
+  in
+  let results = ref (Pool.run pool thunks) in
+  List.map
+    (fun (mix_name, _) ->
       let table =
         Tablefmt.create
           ~title:(Printf.sprintf "Fig 10 — Contention sweep (%s mix)" mix_name)
@@ -379,31 +476,24 @@ let fig10 ?(fast = false) () =
       in
       List.iter
         (fun theta ->
-          let p = Ycsb.with_theta (ycsb_profile s base) theta in
-          let r =
-            geo_variant s ~variant:Params.Optimistic
-              ~label:(f theta)
-              ~load:(Ycsb.load p)
-              ~gen:(Driver.ycsb_gens p ~seed:81)
-              ~connections:s.ycsb_connections ()
-          in
+          let r = List.hd !results in
+          results := List.tl !results;
           Tablefmt.add_row table
             [
               f theta; f ~dec:0 r.Result.tput; f r.Result.mean_ms;
               f ~dec:3 r.Result.abort_rate;
             ])
         thetas;
-      Tablefmt.print table)
-    [ ("80/20", Ycsb.medium_contention); ("50/50", Ycsb.high_contention) ]
+      Tablefmt.render table)
+    mixes
 
 (* --- Fig 11: scalability --- *)
 
-let fig11 ?(fast = false) () =
-  let s = setting ~fast in
+let fig11_tables pool s ~fast =
   (* Smaller per-node population: up to 25 replicas live in one process. *)
   let p = Ycsb.with_records Ycsb.medium_contention (if fast then 2_000 else 20_000) in
   let connections = if fast then 16 else 128 in
-  let run topo =
+  let run topo () =
     let r, _ =
       Driver.run_geogauss ~connections ~topology:topo ~load:(Ycsb.load p)
         ~gen:(Driver.ycsb_gens p ~seed:91) ~warmup_ms:s.warmup_ms
@@ -411,73 +501,90 @@ let fig11 ?(fast = false) () =
     in
     r
   in
-  let table_of title topos =
-    let table =
-      Tablefmt.create ~title
-        ~headers:[ "replicas"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
-    in
-    List.iter
-      (fun topo ->
-        let r = run topo in
-        Tablefmt.add_row table
-          [
-            string_of_int (Topology.n_nodes topo); f ~dec:0 r.Result.tput;
-            f r.Result.mean_ms; f r.Result.p99_ms;
-          ])
-      topos;
-    Tablefmt.print table
-  in
   let china_sizes = if fast then [ 3; 9 ] else [ 3; 6; 9; 12; 15 ] in
   let world_sizes = if fast then [ 5; 15 ] else [ 3; 5; 10; 15; 20; 25 ] in
-  table_of "Fig 11a — Scalability, China regions (YCSB-MC)"
-    (List.map Topology.china china_sizes);
-  table_of "Fig 11b — Scalability, worldwide DCs (YCSB-MC)"
-    (List.map Topology.worldwide world_sizes)
+  let sets =
+    [
+      ( "Fig 11a — Scalability, China regions (YCSB-MC)",
+        List.map Topology.china china_sizes );
+      ( "Fig 11b — Scalability, worldwide DCs (YCSB-MC)",
+        List.map Topology.worldwide world_sizes );
+    ]
+  in
+  let results =
+    ref (Pool.run pool (List.concat_map (fun (_, topos) -> List.map run topos) sets))
+  in
+  List.map
+    (fun (title, topos) ->
+      let table =
+        Tablefmt.create ~title
+          ~headers:[ "replicas"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
+      in
+      List.iter
+        (fun topo ->
+          let r = List.hd !results in
+          results := List.tl !results;
+          Tablefmt.add_row table
+            [
+              string_of_int (Topology.n_nodes topo); f ~dec:0 r.Result.tput;
+              f r.Result.mean_ms; f r.Result.p99_ms;
+            ])
+        topos;
+      Tablefmt.render table)
+    sets
 
 (* --- Fig 12: fault-tolerance modes --- *)
 
-let fig12 ?(fast = false) () =
-  let s = setting ~fast in
+let fig12_tables pool s =
   let p = ycsb_profile s Ycsb.medium_contention in
   let gen = Driver.ycsb_gens p ~seed:101 in
-  let table =
-    Tablefmt.create
-      ~title:"Fig 12 — Fault-tolerance mechanisms (YCSB-MC)"
-      ~headers:[ "system"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
-  in
-  let add_geo label ft =
+  let geo label ft () =
     let params = Params.with_ft Params.default ft in
     let r, _ =
       Driver.run_geogauss ~params ~connections:s.ycsb_connections
         ~topology:(Topology.china3 ()) ~load:(Ycsb.load p) ~gen
         ~warmup_ms:s.warmup_ms ~measure_ms:s.measure_ms ~label ()
     in
-    Tablefmt.add_row table
-      [ label; f ~dec:0 r.Result.tput; f r.Result.mean_ms; f r.Result.p99_ms ]
+    (label, r)
   in
-  add_geo "GeoG-LB" Params.Ft_local_backup;
-  add_geo "GeoG-RB" Params.Ft_remote_backup;
-  add_geo "GeoG-Raft" Params.Ft_raft;
-  let add_det label make =
+  let det label make () =
     let r =
       Driver.run_engine_with ~make ~topology:(Topology.china3 ()) ~gen
         ~connections:s.ycsb_connections ~warmup_ms:s.warmup_ms
         ~measure_ms:s.measure_ms ~label ()
     in
-    Tablefmt.add_row table
-      [ label; f ~dec:0 r.Result.tput; f r.Result.mean_ms; f r.Result.p99_ms ]
+    (label, r)
   in
-  add_det "Calvin-Raft" (fun net ->
-      let e = Gg_engines.Calvin.create_ft net engine_cfg in
-      fun ~node txn cb -> Gg_engines.Calvin.submit e ~node txn cb);
-  add_det "Aria-Raft" (fun net ->
-      let e = Gg_engines.Aria.create_ft net engine_cfg in
-      fun ~node txn cb -> Gg_engines.Aria.submit e ~node txn cb);
-  Tablefmt.print table
+  let rows =
+    Pool.run pool
+      [
+        geo "GeoG-LB" Params.Ft_local_backup;
+        geo "GeoG-RB" Params.Ft_remote_backup; geo "GeoG-Raft" Params.Ft_raft;
+        det "Calvin-Raft" (fun net ->
+            let e = Gg_engines.Calvin.create_ft net engine_cfg in
+            fun ~node txn cb -> Gg_engines.Calvin.submit e ~node txn cb);
+        det "Aria-Raft" (fun net ->
+            let e = Gg_engines.Aria.create_ft net engine_cfg in
+            fun ~node txn cb -> Gg_engines.Aria.submit e ~node txn cb);
+      ]
+  in
+  let table =
+    Tablefmt.create
+      ~title:"Fig 12 — Fault-tolerance mechanisms (YCSB-MC)"
+      ~headers:[ "system"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
+  in
+  List.iter
+    (fun (label, r) ->
+      Tablefmt.add_row table
+        [ label; f ~dec:0 r.Result.tput; f r.Result.mean_ms; f r.Result.p99_ms ])
+    rows;
+  [ Tablefmt.render table ]
 
 (* --- Fig 13: failure timeline --- *)
 
-let fig13 ?(fast = false) () =
+(* A single crash/recover timeline: one simulation, inherently
+   sequential — there is no grid to fan out. *)
+let fig13_tables _pool ~fast =
   let records = if fast then 2_000 else 20_000 in
   let connections = if fast then 16 else 64 in
   let p = Ycsb.with_records Ycsb.medium_contention records in
@@ -530,90 +637,150 @@ let fig13 ?(fast = false) () =
       @ cell (List.nth tls 1)
       @ cell (List.nth tls 2))
   done;
-  Tablefmt.print table
+  [ Tablefmt.render table ]
 
 (* --- Ablations of the §5.1 design choices (not a paper figure) --- *)
 
-let ablations ?(fast = false) () =
-  let s = setting ~fast in
+let ablations_tables pool s =
   let p = ycsb_profile s Ycsb.medium_contention in
   let gen = Driver.ycsb_gens p ~seed:121 in
-  let table =
-    Tablefmt.create
-      ~title:"Ablations — pipelining and merge parallelism (YCSB-MC)"
-      ~headers:[ "configuration"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
-  in
-  let run label params =
+  let run label params () =
     let r, _ =
       Driver.run_geogauss ~params ~connections:s.ycsb_connections
         ~topology:(Topology.china3 ()) ~load:(Ycsb.load p) ~gen
         ~warmup_ms:s.warmup_ms ~measure_ms:s.measure_ms ~label ()
     in
-    Tablefmt.add_row table
-      [ label; f ~dec:0 r.Result.tput; f r.Result.mean_ms; f r.Result.p99_ms ]
+    (label, r)
   in
-  run "baseline (pipeline, 8 merge threads)" Params.default;
-  run "no pipelining (batch at epoch end)"
-    { Params.default with Params.pipeline = false };
-  run "single merge thread"
-    {
-      Params.default with
-      Params.cost = { Params.default.Params.cost with Params.merge_threads = 1 };
-    };
-  run "no write-set compression proxy (4x records)"
-    {
-      Params.default with
-      Params.cost =
-        { Params.default.Params.cost with Params.merge_record_us = 24 };
-    };
-  Tablefmt.print table;
+  let iso_run iso () =
+    let params = Params.with_isolation Params.default iso in
+    let r, _ =
+      Driver.run_geogauss ~params ~connections:s.ycsb_connections
+        ~topology:(Topology.china3 ()) ~load:(Ycsb.load p) ~gen
+        ~warmup_ms:s.warmup_ms ~measure_ms:s.measure_ms
+        ~label:(Params.isolation_to_string iso)
+        ()
+    in
+    (iso, r)
+  in
+  let ablation_thunks =
+    [
+      run "baseline (pipeline, 8 merge threads)" Params.default;
+      run "no pipelining (batch at epoch end)"
+        { Params.default with Params.pipeline = false };
+      run "single merge thread"
+        {
+          Params.default with
+          Params.cost =
+            { Params.default.Params.cost with Params.merge_threads = 1 };
+        };
+      run "no write-set compression proxy (4x records)"
+        {
+          Params.default with
+          Params.cost =
+            { Params.default.Params.cost with Params.merge_record_us = 24 };
+        };
+    ]
+  in
   (* The SSI extension the paper sketches in §4.3: read keys travel with
      the write sets, so WAN traffic grows — the cost the paper cites for
      not shipping it. *)
+  let iso_thunks = List.map iso_run [ Params.SI; Params.SSI ] in
+  let n_abl = List.length ablation_thunks in
+  let all_rows =
+    Pool.run pool
+      (List.map (fun t () -> `Abl (t ())) ablation_thunks
+      @ List.map (fun t () -> `Iso (t ())) iso_thunks)
+  in
   let table =
+    Tablefmt.create
+      ~title:"Ablations — pipelining and merge parallelism (YCSB-MC)"
+      ~headers:[ "configuration"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
+  in
+  List.iteri
+    (fun i row ->
+      match row with
+      | `Abl (label, r) when i < n_abl ->
+        Tablefmt.add_row table
+          [
+            label; f ~dec:0 r.Result.tput; f r.Result.mean_ms; f r.Result.p99_ms;
+          ]
+      | _ -> ())
+    all_rows;
+  let table_ssi =
     Tablefmt.create
       ~title:"Extension — SSI vs the paper's isolation levels (YCSB-MC)"
       ~headers:
         [ "isolation"; "tput (txn/s)"; "mean lat (ms)"; "abort rate"; "WAN KB/txn" ]
   in
   List.iter
-    (fun iso ->
-      let params = Params.with_isolation Params.default iso in
-      let r, _ =
-        Driver.run_geogauss ~params ~connections:s.ycsb_connections
-          ~topology:(Topology.china3 ()) ~load:(Ycsb.load p) ~gen
-          ~warmup_ms:s.warmup_ms ~measure_ms:s.measure_ms
-          ~label:(Params.isolation_to_string iso)
-          ()
-      in
-      Tablefmt.add_row table
-        [
-          Params.isolation_to_string iso; f ~dec:0 r.Result.tput;
-          f r.Result.mean_ms; f ~dec:3 r.Result.abort_rate;
-          f r.Result.wan_kb_per_txn;
-        ])
-    [ Params.SI; Params.SSI ];
-  Tablefmt.print table
+    (fun row ->
+      match row with
+      | `Iso (iso, r) ->
+        Tablefmt.add_row table_ssi
+          [
+            Params.isolation_to_string iso; f ~dec:0 r.Result.tput;
+            f r.Result.mean_ms; f ~dec:3 r.Result.abort_rate;
+            f r.Result.wan_kb_per_txn;
+          ]
+      | `Abl _ -> ())
+    all_rows;
+  [ Tablefmt.render table; Tablefmt.render table_ssi ]
+
+(* --- registry --- *)
+
+let tables ?(pool = Pool.seq) ~setting:s ~fast name =
+  match name with
+  | "fig5" -> Some (fig5_tables pool s)
+  | "table2" -> Some (table2_tables pool s)
+  | "fig6" -> Some (fig6_tables pool s ~fast)
+  | "fig7" -> Some (fig7_tables pool s ~fast)
+  | "table3" -> Some (table3_tables pool s)
+  | "fig8" -> Some (fig8_tables pool s ~fast)
+  | "fig9" -> Some (fig9_tables pool s)
+  | "fig10" -> Some (fig10_tables pool s ~fast)
+  | "fig11" -> Some (fig11_tables pool s ~fast)
+  | "fig12" -> Some (fig12_tables pool s)
+  | "fig13" -> Some (fig13_tables pool ~fast)
+  | "ablations" -> Some (ablations_tables pool s)
+  | _ -> None
+
+let print_tables ts =
+  List.iter
+    (fun t ->
+      print_string t;
+      print_newline ())
+    ts
+
+let make_runner name ?(fast = false) ?pool () =
+  match tables ?pool ~setting:(setting ~fast) ~fast name with
+  | Some ts -> print_tables ts
+  | None -> assert false
 
 let all =
-  [
-    ("fig5", fig5);
-    ("table2", table2);
-    ("fig6", fig6);
-    ("fig7", fig7);
-    ("table3", table3);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("fig10", fig10);
-    ("fig11", fig11);
-    ("fig12", fig12);
-    ("fig13", fig13);
-    ("ablations", ablations);
-  ]
+  List.map
+    (fun name -> (name, make_runner name))
+    [
+      "fig5"; "table2"; "fig6"; "fig7"; "table3"; "fig8"; "fig9"; "fig10";
+      "fig11"; "fig12"; "fig13"; "ablations";
+    ]
 
-let run ?fast name =
+let fig5 = make_runner "fig5"
+let table2 = make_runner "table2"
+let fig6 = make_runner "fig6"
+let fig7 = make_runner "fig7"
+let table3 = make_runner "table3"
+let fig8 = make_runner "fig8"
+let fig9 = make_runner "fig9"
+let fig10 = make_runner "fig10"
+let fig11 = make_runner "fig11"
+let fig12 = make_runner "fig12"
+let fig13 = make_runner "fig13"
+let ablations = make_runner "ablations"
+
+let run ?fast ?pool name =
   match List.assoc_opt name all with
   | Some fn ->
-    fn ?fast ();
+    fn ?fast ?pool ();
     true
   | None -> false

@@ -3,54 +3,83 @@
     paper-style tables to stdout.
 
     [fast] shrinks populations and measurement windows (used by tests
-    and smoke runs); shapes remain, absolute numbers get noisier. *)
+    and smoke runs); shapes remain, absolute numbers get noisier.
 
-val fig5 : ?fast:bool -> unit -> unit
+    [pool] fans the independent grid points of a figure (one cluster
+    simulation each) out over a {!Gg_par.Pool} of domains. Results are
+    collected in submission order and each simulation is fully
+    self-contained, so the printed tables are byte-identical at every
+    pool width; the default is sequential. *)
+
+type setting = {
+  ycsb_records : int;
+  ycsb_connections : int;
+  tpcc_cfg : Gg_workload.Tpcc.config;
+  tpcc_connections : int;
+  warmup_ms : int;
+  measure_ms : int;
+}
+(** Knobs shared by all experiments. Exposed (with {!tables}) so tests
+    can run tiny grids and byte-compare the rendered figure data across
+    pool widths. *)
+
+val setting : fast:bool -> setting
+(** The standard settings used by the [figN] runners. *)
+
+val tables :
+  ?pool:Gg_par.Pool.t -> setting:setting -> fast:bool -> string -> string list option
+(** [tables ?pool ~setting ~fast name] runs experiment [name] and
+    returns its rendered tables instead of printing them; [None] if the
+    name is unknown. [fast] here only picks grid sizes (sweep points,
+    epoch rows) — population/window knobs come from [setting]. *)
+
+val fig5 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Cross-system throughput/latency comparison on YCSB-RO/MC/HC and
     TPC-C. *)
 
-val table2 : ?fast:bool -> unit -> unit
+val table2 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Per-phase runtime breakdown of a committed TPC-C transaction for
     GeoG-S / GeoG-A / GeoGauss. *)
 
-val fig6 : ?fast:bool -> unit -> unit
+val fig6 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Per-epoch committed transactions and latency, GeoGauss vs GeoG-S
     (TPC-C). *)
 
-val fig7 : ?fast:bool -> unit -> unit
+val fig7 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Throughput slowdown vs fraction of long transactions (20 ms and
     100 ms injected delays). *)
 
-val table3 : ?fast:bool -> unit -> unit
+val table3 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Average compressed WAN traffic per transaction, GeoGauss vs
     Calvin. *)
 
-val fig8 : ?fast:bool -> unit -> unit
+val fig8 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Effect of epoch length (1–200 ms). *)
 
-val fig9 : ?fast:bool -> unit -> unit
+val fig9 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Effect of isolation level (RC / RR / SI). *)
 
-val fig10 : ?fast:bool -> unit -> unit
+val fig10 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Effect of contention (Zipf theta sweep). *)
 
-val fig11 : ?fast:bool -> unit -> unit
+val fig11 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Scalability: 3–15 replicas (China) and 3–25 replicas (worldwide). *)
 
-val fig12 : ?fast:bool -> unit -> unit
+val fig12 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Fault-tolerance modes: GeoG-LB / GeoG-RB / GeoG-Raft vs Calvin-Raft
     / Aria-Raft. *)
 
-val fig13 : ?fast:bool -> unit -> unit
-(** Throughput/latency timeline across a node crash and recovery. *)
+val fig13 : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
+(** Throughput/latency timeline across a node crash and recovery. A
+    single timeline simulation: runs sequentially at any pool width. *)
 
-val ablations : ?fast:bool -> unit -> unit
+val ablations : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Not a paper figure: ablations of the §5.1 design choices
     (pipelining, merge parallelism, write-set size). *)
 
-val all : (string * (?fast:bool -> unit -> unit)) list
+val all : (string * (?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit)) list
 (** Experiment registry in paper order (plus the ablations). *)
 
-val run : ?fast:bool -> string -> bool
+val run : ?fast:bool -> ?pool:Gg_par.Pool.t -> string -> bool
 (** Run one experiment by name ("fig5", "table2", …); false if
     unknown. *)

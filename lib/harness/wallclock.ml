@@ -1,0 +1,86 @@
+type counts = {
+  events : int;
+  merged : int;
+  encodes : int;
+  committed : int;
+  aborted : int;
+}
+
+type scenario = {
+  name : string;
+  sim_ms : int;
+  run : tracing:bool -> unit -> counts;
+}
+
+let run_cluster ~tracing ~topology ~load ~gen ~connections ~sim_ms () =
+  let cluster = Geogauss.Cluster.create ~topology ~load () in
+  if tracing then Gg_obs.Obs.set_tracing (Geogauss.Cluster.obs cluster) true;
+  let n = Gg_sim.Topology.n_nodes topology in
+  let clients =
+    List.init n (fun i ->
+        let next = gen i in
+        let cl =
+          Geogauss.Client.create cluster ~home:i ~connections ~gen:(fun () ->
+              Geogauss.Txn.Op_txn (next ()))
+        in
+        Geogauss.Client.start cl;
+        cl)
+  in
+  let sim = Geogauss.Cluster.sim cluster in
+  Gg_crdt.Writeset.Batch.reset_encode_count ();
+  let ev0 = Gg_sim.Sim.events sim in
+  Geogauss.Cluster.run_for_ms cluster sim_ms;
+  List.iter Geogauss.Client.stop clients;
+  let merged = ref 0 in
+  for i = 0 to n - 1 do
+    merged :=
+      !merged
+      + Geogauss.Metrics.merged_records (Geogauss.Cluster.metrics cluster i)
+  done;
+  {
+    events = Gg_sim.Sim.events sim - ev0;
+    merged = !merged;
+    encodes = Gg_crdt.Writeset.Batch.encode_count ();
+    committed = Geogauss.Cluster.total_committed cluster;
+    aborted = Geogauss.Cluster.total_aborted cluster;
+  }
+
+let ycsb ~fast =
+  let sim_ms = if fast then 500 else 2_000 in
+  let records = if fast then 5_000 else 20_000 in
+  {
+    name = "ycsb-medium/china3";
+    sim_ms;
+    run =
+      (fun ~tracing () ->
+        let profile =
+          Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention
+            records
+        in
+        run_cluster ~tracing
+          ~topology:(Gg_sim.Topology.china3 ())
+          ~load:(Gg_workload.Ycsb.load profile)
+          ~gen:(Driver.ycsb_gens profile ~seed:42)
+          ~connections:64 ~sim_ms ());
+  }
+
+let tpcc ~fast =
+  let sim_ms = if fast then 500 else 2_000 in
+  {
+    name = "tpcc-small/china3";
+    sim_ms;
+    run =
+      (fun ~tracing () ->
+        let cfg = Gg_workload.Tpcc.small in
+        run_cluster ~tracing
+          ~topology:(Gg_sim.Topology.china3 ())
+          ~load:(Gg_workload.Tpcc.load cfg)
+          ~gen:(Driver.tpcc_gens cfg ~seed:42)
+          ~connections:32 ~sim_ms ());
+  }
+
+let scenarios ~fast = [ ycsb ~fast; tpcc ~fast ]
+
+let traced_scenario ~fast =
+  let s = ycsb ~fast in
+  { s with name = s.name ^ "+trace" }

@@ -1,0 +1,34 @@
+(** Deterministic scenario bodies for the wall-clock benchmark suite.
+
+    The wall-clock suite measures how fast the simulator chews through a
+    fixed seeded scenario. The scenario itself is fully deterministic —
+    same events, merged records, encode passes, commits at any pool
+    width or repetition count — so it lives here, Unix-free; the
+    benchmark binary wraps {!scenario.run} with a monotonic/wall timer
+    and owns all timing-derived output. *)
+
+type counts = {
+  events : int;  (** simulator events processed *)
+  merged : int;  (** records through DeltaCRDTMerge phase A, all nodes *)
+  encodes : int;  (** actual encode+gzip passes (wire-cache misses) *)
+  committed : int;
+  aborted : int;
+}
+
+type scenario = {
+  name : string;
+  sim_ms : int;
+  run : tracing:bool -> unit -> counts;
+      (** Build a fresh cluster and drive it [sim_ms] simulated ms.
+          Self-contained (own Sim/Db/RNGs; the encode counter is
+          domain-local, reset and read inside the call), so concurrent
+          calls from pool tasks don't interfere and every call returns
+          identical counts. *)
+}
+
+val scenarios : fast:bool -> scenario list
+(** The suite: YCSB-MC/china3 and TPC-C-small/china3. *)
+
+val traced_scenario : fast:bool -> scenario
+(** The YCSB-MC scenario again — run it with [~tracing:true] against
+    the plain run to measure tracing overhead. *)

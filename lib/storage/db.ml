@@ -31,12 +31,20 @@ let purge_tombstones t ~before_cen =
     (fun _ table acc -> acc + Table.purge_tombstones table ~before_cen)
     t.tables 0
 
+(* Hash of per-table digests rather than of one concatenated
+   serialization: each table's digest is cached behind its mutation
+   counter (Table.digest), so re-digesting a database in which only a
+   few tables changed — the convergence oracle does this every epoch —
+   re-serializes only those tables. *)
 let digest t =
-  let enc = Gg_util.Codec.Enc.create () in
+  let buf = Buffer.create 256 in
   List.iter
-    (fun name -> Table.digest_into (get_table_exn t name) enc)
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Table.digest (get_table_exn t name)))
     (table_names t);
-  Digest.to_hex (Digest.bytes (Gg_util.Codec.Enc.to_bytes enc))
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let row_count t =
   Hashtbl.fold (fun _ table acc -> acc + Table.live_count table) t.tables 0

@@ -114,3 +114,16 @@ val purge_tombstones : t -> before_cen:int -> int
 val digest_into : t -> Gg_util.Codec.Enc.t -> unit
 (** Canonical serialization (keys ascending; data + header + tombstones)
     used for replica-equality checks. *)
+
+val digest : t -> string
+(** MD5 hex of {!digest_into}, cached behind a per-table mutation
+    counter: digesting an unchanged table is O(1). *)
+
+val touch : t -> unit
+(** Invalidate the digest cache. Every mutator in this module touches
+    automatically; code that stamps a committed row's header in place
+    (the merge pre-write path) must call this itself. *)
+
+val version : t -> int
+(** Mutation counter (monotone; bumped by every digest-relevant
+    change). *)

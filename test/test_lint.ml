@@ -1,0 +1,135 @@
+(* Determinism-hazard lint over lib/ sources.
+
+   Everything under lib/ runs inside seeded simulations whose outputs
+   must be bit-reproducible (chaos reproducers, figure tables, bench
+   counts) — and, since the Domain pool, possibly on several domains at
+   once. Two classes of hazard are banned at the source level:
+
+   - ambient nondeterminism: the stdlib [Random] (shared global state;
+     use the per-instance [Gg_util.Rng]), and wall clocks
+     ([Unix.gettimeofday], [Unix.time], [Sys.time] — sim time comes
+     from [Gg_sim.Sim]; wall timing belongs to bench/ and bin/);
+   - module-level mutable state ([ref]/[Hashtbl.create]/... at
+     structure level): shared across concurrent pool tasks, it breaks
+     run-to-run isolation. Per-domain state via [Domain.DLS] is the
+     sanctioned escape hatch ([Writeset.Batch]'s encode counter). *)
+
+let src_root () =
+  (* dune runs tests from _build/default/test with sources copied in *)
+  List.find_opt Sys.file_exists [ "../lib"; "lib"; "../../lib" ]
+
+let rec ml_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun name ->
+         let path = Filename.concat dir name in
+         if Sys.is_directory path then ml_files path
+         else if Filename.check_suffix name ".ml" then [ path ]
+         else [])
+  |> List.sort compare
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn > 0 && at 0
+
+let ambient_banned =
+  [ "Random."; "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+(* A structure-level mutable binding: `let x = ref ...` (any
+   indentation — nested modules indent) with no ` in ` on the line.
+   Local bindings carry their ` in` on the same line throughout this
+   codebase; a fresh violation that wraps can be caught at review, the
+   lint is a tripwire, not a proof. *)
+let mutable_makers =
+  [ "ref "; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Atomic.make";
+    "Array.make" ]
+
+let is_module_level_mutable line =
+  let t = String.trim line in
+  match String.index_opt t '=' with
+  | Some eq when String.length t > 4 && String.sub t 0 4 = "let " ->
+    let lhs = String.trim (String.sub t 4 (eq - 4)) in
+    let rhs = String.trim (String.sub t (eq + 1) (String.length t - eq - 1)) in
+    (* value bindings only: `let x =` or `let x : ty =` — a lhs with
+       parameters or patterns defines a function, which allocates fresh
+       state per call and is fine *)
+    let is_value_binding =
+      match String.split_on_char ' ' lhs with
+      | [ _name ] -> true
+      | _name :: ":" :: _ -> true
+      | _ -> false
+    in
+    is_value_binding
+    && List.exists
+         (fun m ->
+           String.length rhs >= String.length m
+           && String.sub rhs 0 (String.length m) = m)
+         mutable_makers
+    && not (contains (" " ^ t ^ " ") " in ")
+  | _ -> false
+
+let lint_file path =
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let where what =
+           Printf.sprintf "%s:%d: %s: %s" path (i + 1) what (String.trim line)
+         in
+         let ambient =
+           List.filter_map
+             (fun b ->
+               if contains line b then Some (where ("ambient `" ^ b ^ "`"))
+               else None)
+             ambient_banned
+         in
+         let mutable_ =
+           if is_module_level_mutable line then
+             [ where "module-level mutable state" ]
+           else []
+         in
+         ambient @ mutable_)
+       (read_lines path))
+
+let test_no_hazards () =
+  match src_root () with
+  | None -> Alcotest.fail "cannot locate lib/ sources from test cwd"
+  | Some root ->
+    let files = ml_files root in
+    Alcotest.(check bool) "found lib sources" true (List.length files > 10);
+    let findings = List.concat_map lint_file files in
+    if findings <> [] then
+      Alcotest.fail
+        ("determinism hazards in lib/:\n" ^ String.concat "\n" findings)
+
+let test_dls_is_sanctioned () =
+  (* The one piece of cross-call state lib/ keeps — the bench encode
+     counter — must stay domain-local, not a plain global ref. *)
+  match src_root () with
+  | None -> Alcotest.fail "cannot locate lib/ sources from test cwd"
+  | Some root ->
+    let ws = read_lines (Filename.concat root "crdt/writeset.ml") in
+    Alcotest.(check bool) "encode counter uses Domain.DLS" true
+      (List.exists (fun l -> contains l "Domain.DLS.new_key") ws)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "no ambient nondeterminism or module globals"
+            `Quick test_no_hazards;
+          Alcotest.test_case "encode counter is domain-local" `Quick
+            test_dls_is_sanctioned;
+        ] );
+    ]

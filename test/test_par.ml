@@ -1,0 +1,187 @@
+(* The Domain-pool runner: ordering, error propagation, and the
+   end-to-end determinism contract — check sweeps, experiment tables and
+   bench counts must be byte-identical at every pool width. *)
+
+module Pool = Gg_par.Pool
+
+(* Compute-bound busy work so parallel tasks genuinely overlap and
+   finish out of submission order (task 0 is the slowest). *)
+let busy n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+let test_run_ordering () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let n = 32 in
+  let tasks =
+    List.init n (fun i ->
+        fun () ->
+         ignore (busy ((n - i) * 50_000));
+         i)
+  in
+  Alcotest.(check (list int)) "submission order" (List.init n Fun.id)
+    (Pool.run pool tasks)
+
+let test_iter_ordered () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let n = 24 in
+  let order = ref [] in
+  let tasks =
+    List.init n (fun i ->
+        fun () ->
+         ignore (busy ((if i mod 3 = 0 then 40 else 1) * 20_000));
+         i * i)
+  in
+  Pool.iter_ordered pool tasks ~f:(fun i v ->
+      Alcotest.(check int) "value matches index" (i * i) v;
+      order := i :: !order);
+  Alcotest.(check (list int)) "callback order" (List.init n Fun.id)
+    (List.rev !order)
+
+let test_seq_is_interleaved () =
+  (* jobs=1 must interleave task and callback exactly like the legacy
+     sequential loop: t0 f0 t1 f1 ... *)
+  let log = ref [] in
+  let tasks =
+    List.init 4 (fun i ->
+        fun () ->
+         log := `T i :: !log;
+         i)
+  in
+  Pool.iter_ordered Pool.seq tasks ~f:(fun i _ -> log := `F i :: !log);
+  let expected =
+    List.concat_map (fun i -> [ `T i; `F i ]) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "t/f interleaving" true (List.rev !log = expected)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      let tasks =
+        List.init 8 (fun i ->
+            fun () -> if i = 3 || i = 5 then raise (Boom i) else i)
+      in
+      match Pool.run pool tasks with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom i ->
+        (* lowest-index failure wins at any width *)
+        Alcotest.(check int) "first raising task" 3 i)
+    [ 1; 4 ]
+
+let test_map_and_auto_jobs () =
+  Alcotest.(check bool) "auto jobs >= 1" true (Pool.default_jobs () >= 1);
+  Pool.with_pool ~jobs:0 @@ fun pool ->
+  Alcotest.(check bool) "auto pool width" true (Pool.jobs pool >= 1);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_more_tasks_than_jobs () =
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let n = 100 in
+  Alcotest.(check int) "all tasks ran" (n * (n - 1) / 2)
+    (List.fold_left ( + ) 0 (Pool.run pool (List.init n (fun i () -> i))))
+
+(* --- determinism contracts: parallel output == sequential output --- *)
+
+let check_log ~pool seeds =
+  let buf = Buffer.create 4096 in
+  let report =
+    Gg_check.Checker.check
+      ~log:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      ~fast:true ~pool ~seeds ()
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%d/%d/%d" report.Gg_check.Checker.seeds_run
+       report.Gg_check.Checker.total_commits
+       (List.length report.Gg_check.Checker.failures));
+  Buffer.contents buf
+
+let test_check_byte_identical () =
+  let seeds = 4 in
+  let sequential = check_log ~pool:Pool.seq seeds in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool -> check_log ~pool seeds)
+  in
+  Alcotest.(check string) "check sweep log" sequential parallel
+
+let tiny_setting =
+  {
+    Gg_harness.Experiments.ycsb_records = 500;
+    ycsb_connections = 8;
+    tpcc_cfg = { Gg_workload.Tpcc.small with Gg_workload.Tpcc.warehouses = 2 };
+    tpcc_connections = 4;
+    warmup_ms = 100;
+    measure_ms = 200;
+  }
+
+let experiment_tables ~pool name =
+  match
+    Gg_harness.Experiments.tables ~pool ~setting:tiny_setting ~fast:true name
+  with
+  | Some ts -> String.concat "\n" ts
+  | None -> Alcotest.fail ("unknown experiment " ^ name)
+
+let test_experiments_byte_identical () =
+  (* fig8 (epoch grid) and fig9 (isolation grid) cover the two fan-out
+     shapes: per-workload sweeps and fixed-point grids. *)
+  List.iter
+    (fun name ->
+      let sequential = experiment_tables ~pool:Pool.seq name in
+      let parallel =
+        Pool.with_pool ~jobs:4 (fun pool -> experiment_tables ~pool name)
+      in
+      Alcotest.(check string) (name ^ " tables") sequential parallel)
+    [ "fig8"; "fig9" ]
+
+let test_wallclock_counts_identical () =
+  let module W = Gg_harness.Wallclock in
+  let s = List.hd (W.scenarios ~fast:true) in
+  let seq_counts = s.W.run ~tracing:false () in
+  let par_counts =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.run pool
+          (List.init 2 (fun _ () -> s.W.run ~tracing:false ())))
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "bench counts identical across domains" true
+        (c = seq_counts))
+    par_counts;
+  Alcotest.(check bool) "scenario did real work" true
+    (seq_counts.W.events > 0 && seq_counts.W.committed > 0)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "run preserves submission order" `Quick
+            test_run_ordering;
+          Alcotest.test_case "iter_ordered streams in order" `Quick
+            test_iter_ordered;
+          Alcotest.test_case "jobs=1 interleaves like the legacy loop" `Quick
+            test_seq_is_interleaved;
+          Alcotest.test_case "first exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "map / auto jobs" `Quick test_map_and_auto_jobs;
+          Alcotest.test_case "more tasks than workers" `Quick
+            test_more_tasks_than_jobs;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "check sweep byte-identical -j1 vs -j4" `Slow
+            test_check_byte_identical;
+          Alcotest.test_case "experiment tables byte-identical -j1 vs -j4"
+            `Slow test_experiments_byte_identical;
+          Alcotest.test_case "bench counts identical across domains" `Slow
+            test_wallclock_counts_identical;
+        ] );
+    ]

@@ -280,6 +280,11 @@ let test_db_digest_replicas () =
   let t = Db.get_table_exn b "kv" in
   let e = Option.get (Table.find t (Value.encode_key [| v_int 3 |])) in
   e.Table.header.Row_header.cen <- 7;
+  (* digests are cached behind the table's mutation counter: an
+     in-place header stamp is invisible until the mutator announces it
+     with [Table.touch] (as the merge path does) *)
+  Alcotest.(check string) "stale until touched" (Db.digest a) (Db.digest b);
+  Table.touch t;
   Alcotest.(check bool) "header divergence detected" true (Db.digest a <> Db.digest b)
 
 (* --- Secondary indexes --- *)
