@@ -15,6 +15,16 @@ let jobs_arg =
            core). Output is byte-identical at any value; 1 is the sequential \
            path.")
 
+let merge_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "merge-jobs" ]
+        ~doc:
+          "Shard each node's intra-node epoch merge over $(docv) host domains \
+           (0 = auto: min of host cores and the modeled merge-thread count; \
+           widths round down to a power of two <= 16). Results are \
+           byte-identical at any value — this is purely a wall-clock knob.")
+
 (* --- `bench` subcommand: run paper experiments --- *)
 
 let bench_names =
@@ -122,7 +132,7 @@ let run_cmd =
                 measurement window to $(docv) (replay with `geogauss trace').")
   in
   let run workload nodes world epoch_ms isolation variant ft seconds connections
-      theta records seed trace =
+      theta records seed trace merge_jobs =
     let topology =
       if world then Gg_sim.Topology.worldwide nodes else Gg_sim.Topology.china nodes
     in
@@ -134,6 +144,7 @@ let run_cmd =
         variant;
         ft;
         seed;
+        merge_jobs;
       }
     in
     let gen, load =
@@ -195,7 +206,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an ad-hoc GeoGauss cluster simulation.")
     Term.(
       const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
-      $ ft $ seconds $ connections $ theta $ records $ seed $ trace)
+      $ ft $ seconds $ connections $ theta $ records $ seed $ trace
+      $ merge_jobs_arg)
 
 (* --- `check` subcommand: seeded chaos checking --- *)
 
@@ -252,7 +264,7 @@ let check_cmd =
           ~doc:"Self-test: inject a deliberate replica corruption and verify \
                 the oracles detect it (exits non-zero if they do not).")
   in
-  let run seeds base engine ft fast jobs trace canary =
+  let run seeds base engine ft fast jobs trace canary merge_jobs =
     let log = print_endline in
     if canary then begin
       let s =
@@ -279,7 +291,7 @@ let check_cmd =
       let report =
         Gg_par.Pool.with_pool ~jobs @@ fun pool ->
         Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~pool
-          ~seeds ()
+          ~merge_jobs ~seeds ()
       in
       Printf.printf "%d seeds, %d commits, %d violation(s)\n"
         report.Gg_check.Checker.seeds_run
@@ -308,7 +320,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ seeds $ base $ engine $ ft $ fast_arg $ jobs_arg $ trace
-       $ canary))
+       $ canary $ merge_jobs_arg))
 
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 

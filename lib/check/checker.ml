@@ -168,13 +168,19 @@ let shrink_and_report ?log s v =
    happen on the calling domain, between ordered deliveries, exactly
    where the sequential run would do them. *)
 let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0)
-    ?(pool = Gg_par.Pool.seq) ~seeds () =
+    ?(pool = Gg_par.Pool.seq) ?(merge_jobs = 1) ~seeds () =
   let emit m = match log with Some f -> f m | None -> () in
   let failures = ref [] in
   let total_commits = ref 0 in
   let tasks =
     List.init seeds (fun i ->
         let s = Scenario.generate ?variant ?isolation ?ft ~fast (base + i) in
+        (* Pinned after generation: the seed's RNG draws are identical
+           at any [merge_jobs], so the scenario differs only in the
+           knob itself. *)
+        let s =
+          if merge_jobs = 1 then s else { s with Scenario.merge_jobs }
+        in
         fun () -> (s, run s))
   in
   Gg_par.Pool.iter_ordered pool tasks ~f:(fun _ (s, o) ->

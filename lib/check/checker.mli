@@ -49,6 +49,7 @@ val check :
   ?fast:bool ->
   ?base:int ->
   ?pool:Gg_par.Pool.t ->
+  ?merge_jobs:int ->
   seeds:int ->
   unit ->
   report
@@ -58,4 +59,10 @@ val check :
     [?pool] fans seeds out over domains; the log, report and exit
     status are byte-identical at every pool width (results are
     delivered in seed order, and each scenario simulation is fully
-    self-contained). Default: sequential. *)
+    self-contained). Default: sequential.
+
+    [?merge_jobs] pins every scenario's intra-node merge width (default
+    1). It is applied after seed generation, so the drawn scenarios are
+    the same ones the default sweep runs — and since the parallel merge
+    is result-identical, commits/aborts/violations must match the
+    [merge_jobs = 1] sweep exactly (the tests assert this). *)

@@ -25,6 +25,10 @@ type t = {
   jitter : float;
   faults : Fault.event list;
   corruption : (int * int) option;
+  merge_jobs : int;
+      (* host domains for the intra-node merge; 1 = sequential. Not
+         drawn from the seed (it must not perturb existing
+         reproducers) — sweeps pin it via Checker.check ?merge_jobs. *)
 }
 
 (* Crash/recover timing must respect the protocol's own clocks: the
@@ -148,6 +152,7 @@ let generate ?variant ?isolation ?ft ~fast seed =
       jitter = Rng.float rng 0.3;
       faults = [];
       corruption = None;
+      merge_jobs = 1;
     }
   | Params.Optimistic | Params.Sync_exec ->
     let faults = gen_faults rng ~nodes ~duration_ms in
@@ -167,6 +172,7 @@ let generate ?variant ?isolation ?ft ~fast seed =
       jitter = Rng.float rng 0.2;
       faults;
       corruption = None;
+      merge_jobs = 1;
     }
 
 let params s =
@@ -180,6 +186,11 @@ let params s =
     (* Faulty runs stall for up to a detection window; clients should
        re-route well before the run ends. *)
     client_retry_us = 900_000;
+    merge_jobs = s.merge_jobs;
+    (* A sharded sweep must actually shard: small checker epochs never
+       reach the default record threshold. *)
+    merge_par_threshold =
+      (if s.merge_jobs > 1 then 0 else Params.default.Params.merge_par_threshold);
   }
 
 let to_string s =
@@ -197,3 +208,6 @@ let to_string s =
     (match s.corruption with
     | None -> ""
     | Some (node, at_ms) -> Printf.sprintf " corrupt=%d@%dms" node at_ms)
+  (* printed only when sharded so every existing reproducer line is
+     byte-identical *)
+  ^ (if s.merge_jobs = 1 then "" else Printf.sprintf " merge_jobs=%d" s.merge_jobs)

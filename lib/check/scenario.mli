@@ -27,6 +27,12 @@ type t = {
   corruption : (int * int) option;
       (** [(node, at_ms)]: deliberately corrupt one row on one replica —
           the self-test canary proving the oracles can detect divergence *)
+  merge_jobs : int;
+      (** host domains for each node's intra-node merge (1 = the
+          sequential path). Never drawn from the seed — existing
+          reproducer lines stay stable — and merge results are
+          byte-identical at any value, so a sweep with [merge_jobs > 1]
+          checks the parallel merge against the same five oracles. *)
 }
 
 val generate :

@@ -1,0 +1,51 @@
+(** The per-epoch intra-node merge kernel — DeltaCRDTMerge pre-write
+    (phase A), OCC validation (phase B), the optional SSI pivot pass and
+    write-back (phase C) — extracted from [Node.do_merge] so phases A/B
+    can shard across OCaml domains ({!Gg_par.Pool.map_shards}) while
+    staying byte-identical to the sequential pass, and so the kernel can
+    be benchmarked and tested in isolation. DESIGN.md §10 gives the
+    sharding rule and the determinism argument. *)
+
+type t
+(** The merge outcome: per-transaction commit/abort decisions plus
+    counters. The decisions (and the database mutations performed by
+    {!run}) are a deterministic function of the inputs alone — never of
+    [jobs]. *)
+
+val run :
+  ?threshold:int -> db:Gg_storage.Db.t -> jobs:int -> ssi:bool ->
+  Gg_crdt.Writeset.t list -> t
+(** Merge one epoch's deduplicated write sets into [db] (mutating it:
+    header stamps, write-back, temp-area use and final clear — exactly
+    the sequential [do_merge] data path). [jobs] is the requested shard
+    width; it is rounded down to a power of two dividing
+    {!Gg_storage.Table.temp_shard_count}, and forced to 1 when the epoch
+    has fewer than [threshold] records (default
+    [Params.default.merge_par_threshold]; pass [~threshold:0] to force
+    sharding on). [ssi] enables the SSI pivot-abort pass. *)
+
+val committed : t -> Gg_crdt.Writeset.t -> bool
+(** Did this write set's transaction commit? (Keyed by its csn.) *)
+
+val abort_reason : t -> Gg_crdt.Writeset.t -> Txn.abort_reason
+(** The recorded abort reason — the {e first} failing record's reason in
+    global record order, as in the sequential pass. Defaults to
+    [Write_conflict] when the transaction is not in the dead set. *)
+
+val n_records : t -> int
+val n_committed : t -> int
+val n_dead : t -> int
+
+val jobs_used : t -> int
+(** The effective shard width after clamping and the threshold gate
+    (1 = the sequential path ran). *)
+
+val resolve_jobs : Params.t -> int
+(** The requested width from the parameter block: [merge_jobs] itself,
+    or for [merge_jobs = 0] (auto) [min host_cores cost.merge_threads] —
+    as many real domains as the modeled node's merge-thread count, when
+    the host has them. *)
+
+val clamp_jobs : int -> int
+(** Largest power of two [<=] the request that divides
+    {!Gg_storage.Table.temp_shard_count}; 1 for requests [<= 1]. *)

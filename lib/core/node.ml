@@ -8,7 +8,6 @@ module Table = Gg_storage.Table
 module Csn = Gg_storage.Csn
 module Row_header = Gg_storage.Row_header
 module Writeset = Gg_crdt.Writeset
-module Merge = Gg_crdt.Merge
 module Meta = Gg_crdt.Meta
 module Executor = Gg_sql.Executor
 
@@ -23,23 +22,12 @@ module Itbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-module Stbl = Hashtbl.Make (struct
-  type t = string
-
-  let equal = String.equal
-  let hash = Hashtbl.hash
-end)
-
 (* Peer / csn-node ids fit in 10 bits (<= 1024 replicas); csn timestamps
    are sim microseconds, far below the remaining 53 bits. *)
 let node_bits = 10
 let pack_cp ~cen ~peer = (cen lsl node_bits) lor peer
 let cen_of_cp k = k lsr node_bits
 let pack_csn (c : Csn.t) = (c.Csn.ts lsl node_bits) lor c.Csn.node
-
-(* (table, encoded-key) pair flattened to one string key; table names
-   never contain NUL so the encoding is unambiguous. *)
-let pack_row ~table ~key_str = String.concat "\x00" [ table; key_str ]
 
 type msg =
   | Batch_msg of Writeset.Batch.t
@@ -277,6 +265,22 @@ let seal_epoch t e =
         ~count:(List.length txns) ()
     else batch
   in
+  (* Encode+compress of a large outgoing batch is the other hot kernel
+     of the epoch boundary: shard the per-transaction encodes across the
+     merge domains when the batch is big enough to pay for the spawns.
+     [to_wire_par] is byte-identical to [to_wire] at any width, so the
+     wire size (and every simulated byte count) never depends on it. *)
+  let enc_jobs = Epoch_merge.resolve_jobs t.env.params in
+  (if enc_jobs > 1 then
+     let batch_records =
+       List.fold_left
+         (fun n (ws : Writeset.t) -> n + List.length ws.Writeset.records)
+         0 wire_batch.Writeset.Batch.txns
+     in
+     if batch_records >= max 1 t.env.params.Params.merge_par_threshold then
+       ignore
+         (Writeset.Batch.to_wire_par ~jobs:(Epoch_merge.clamp_jobs enc_jobs)
+            wire_batch));
   let bytes = Writeset.Batch.wire_size wire_batch in
   if Obs.tracing t.obs then begin
     Obs.emit t.obs ~node:t.id ~epoch:e ~cat:"epoch" "seal"
@@ -373,180 +377,25 @@ and try_advance t =
   end
 
 and do_merge t e txns ~merge_started ~duration =
-  (* Phase A: pre-write every record of every update (DeltaCRDTMerge).
-     We deliberately keep pre-writing a transaction's remaining records
-     after one of them loses: each row's final header must be the
-     per-row Lemma 2 winner independent of processing order. *)
-  let dead : Txn.abort_reason Itbl.t = Itbl.create 64 in
-  let csn_key (ws : Writeset.t) = pack_csn ws.Writeset.meta.Meta.csn in
-  let mark ws reason =
-    let k = csn_key ws in
-    if not (Itbl.mem dead k) then Itbl.replace dead k reason
-  in
-  let n_records = ref 0 in
-  List.iter
-    (fun (ws : Writeset.t) ->
-      let meta = ws.Writeset.meta in
-      List.iter
-        (fun (r : Writeset.record) ->
-          incr n_records;
-          match Db.get_table t.db r.Writeset.table with
-          | None -> mark ws (Txn.Constraint_violation "unknown table")
-          | Some table -> (
-            let key_str = Writeset.key_str r in
-            match r.Writeset.op with
-            | Writeset.Insert -> (
-              match Table.find_live table key_str with
-              | Some _ ->
-                mark ws (Txn.Constraint_violation "duplicate key")
-              | None -> (
-                let temp = Table.temp_add table ~key:r.Writeset.key ~key_str in
-                match Merge.merge_header temp.Table.header ~meta with
-                | Merge.Win | Merge.Already -> ()
-                | Merge.Lose -> mark ws Txn.Write_conflict))
-            | Writeset.Update | Writeset.Delete -> (
-              match Table.find table key_str with
-              | None -> mark ws Txn.Row_deleted
-              | Some entry when entry.Table.header.Row_header.deleted ->
-                mark ws Txn.Row_deleted
-              | Some entry -> (
-                match Merge.merge_header entry.Table.header ~meta with
-                | Merge.Win ->
-                  (* In-place stamp of a committed row's header: the
-                     digest changes even if this transaction later fails
-                     validation and Phase C never rewrites the row. *)
-                  Table.touch table
-                | Merge.Already -> ()
-                | Merge.Lose -> mark ws Txn.Write_conflict))))
-        ws.Writeset.records)
-    txns;
-  Metrics.record_merged_records t.metrics !n_records;
-  (* Phase B: validation — a transaction commits iff it still holds the
-     header of every row it wrote. *)
-  let committed_set : unit Itbl.t = Itbl.create 64 in
-  List.iter
-    (fun (ws : Writeset.t) ->
-      let k = csn_key ws in
-      if not (Itbl.mem dead k) then begin
-        let meta = ws.Writeset.meta in
-        let holds_all =
-          List.for_all
-            (fun (r : Writeset.record) ->
-              match Db.get_table t.db r.Writeset.table with
-              | None -> false
-              | Some table -> (
-                let key_str = Writeset.key_str r in
-                let header =
-                  match r.Writeset.op with
-                  | Writeset.Insert ->
-                    Option.map
-                      (fun e -> e.Table.header)
-                      (Table.temp_find table key_str)
-                  | Writeset.Update | Writeset.Delete ->
-                    Option.map (fun e -> e.Table.header) (Table.find table key_str)
-                in
-                match header with
-                | Some h -> Csn.equal h.Row_header.csn meta.Meta.csn
-                | None -> false))
-            ws.Writeset.records
-        in
-        if holds_all then Itbl.replace committed_set k ()
-        else mark ws Txn.Write_conflict
-      end)
-    txns;
-  (* SSI extension: among the write-write survivors, abort pivots — a
-     transaction with both an outgoing rw-antidependency (it read a row
-     another survivor wrote this epoch) and an incoming one (it wrote a
-     row another survivor read). Decisions are taken against the
-     pre-filter survivor set, so they are order-independent and identical
-     on every replica. *)
-  if t.env.params.Params.isolation = Params.SSI then begin
-    let writes_of : int list Stbl.t = Stbl.create 64 in
-    let reads_of : int list Stbl.t = Stbl.create 64 in
-    let add tbl key v =
-      Stbl.replace tbl key (v :: Option.value ~default:[] (Stbl.find_opt tbl key))
-    in
-    List.iter
-      (fun (ws : Writeset.t) ->
-        let k = csn_key ws in
-        if Itbl.mem committed_set k then begin
-          List.iter
-            (fun (r : Writeset.record) ->
-              add writes_of
-                (pack_row ~table:r.Writeset.table ~key_str:(Writeset.key_str r))
-                k)
-            ws.Writeset.records;
-          List.iter
-            (fun (table, key_str) -> add reads_of (pack_row ~table ~key_str) k)
-            ws.Writeset.read_keys
-        end)
-      txns;
-    let others tbl key k =
-      List.exists (fun k' -> k' <> k) (Option.value ~default:[] (Stbl.find_opt tbl key))
-    in
-    List.iter
-      (fun (ws : Writeset.t) ->
-        let k = csn_key ws in
-        if Itbl.mem committed_set k then begin
-          let outgoing =
-            List.exists
-              (fun (table, key_str) -> others writes_of (pack_row ~table ~key_str) k)
-              ws.Writeset.read_keys
-          in
-          let incoming =
-            List.exists
-              (fun (r : Writeset.record) ->
-                others reads_of
-                  (pack_row ~table:r.Writeset.table
-                     ~key_str:(Writeset.key_str r))
-                  k)
-              ws.Writeset.records
-          in
-          if outgoing && incoming then begin
-            Itbl.remove committed_set k;
-            Itbl.replace dead k Txn.Ssi_conflict
-          end
-        end)
+  (* Phases A–C (DeltaCRDTMerge pre-write, validation, SSI, write-back)
+     live in {!Epoch_merge}; [merge_jobs] shards them across host
+     domains with byte-identical results (DESIGN.md §10). *)
+  let m =
+    Epoch_merge.run ~threshold:t.env.params.Params.merge_par_threshold
+      ~db:t.db
+      ~jobs:(Epoch_merge.resolve_jobs t.env.params)
+      ~ssi:(t.env.params.Params.isolation = Params.SSI)
       txns
-  end;
-  (* Phase C: write-back for the winners. *)
-  List.iter
-    (fun (ws : Writeset.t) ->
-      if Itbl.mem committed_set (csn_key ws) then begin
-        let meta = ws.Writeset.meta in
-        List.iter
-          (fun (r : Writeset.record) ->
-            let table = Db.get_table_exn t.db r.Writeset.table in
-            let key_str = Writeset.key_str r in
-            match r.Writeset.op with
-            | Writeset.Insert -> (
-              match Table.find table key_str with
-              | Some entry ->
-                (* tombstone revival *)
-                Row_header.stamp entry.Table.header ~sen:meta.Meta.sen
-                  ~csn:meta.Meta.csn ~cen:meta.Meta.cen;
-                Table.revive table entry r.Writeset.data
-              | None ->
-                let temp = Option.get (Table.temp_find table key_str) in
-                Table.insert_committed table ~key:r.Writeset.key
-                  ~data:r.Writeset.data ~header:temp.Table.header)
-            | Writeset.Update ->
-              let entry = Option.get (Table.find table key_str) in
-              Table.write table entry r.Writeset.data
-            | Writeset.Delete ->
-              let entry = Option.get (Table.find table key_str) in
-              Table.delete table entry)
-          ws.Writeset.records
-      end)
-    txns;
-  Db.temp_clear_all t.db;
+  in
+  Metrics.record_merged_records t.metrics (Epoch_merge.n_records m);
   t.lsn <- e;
   t.last_advance <- now t;
   if Obs.tracing t.obs then
     Obs.emit t.obs ~node:t.id ~epoch:e ~dur:duration ~cat:"epoch" "merge.commit"
       ~detail:
         (Printf.sprintf "committed=%d dead=%d records=%d"
-           (Itbl.length committed_set) (Itbl.length dead) !n_records);
+           (Epoch_merge.n_committed m) (Epoch_merge.n_dead m)
+           (Epoch_merge.n_records m));
   (* Tombstone GC: Algorithm 2 only needs tombstones for "the past few
      epochs"; keep a generous window and reclaim the rest. *)
   if e mod 100 = 0 then ignore (Db.purge_tombstones t.db ~before_cen:(e - 100));
@@ -555,11 +404,6 @@ and do_merge t e txns ~merge_started ~duration =
   let gate = Option.value ~default:0 (Itbl.find_opt t.notify_gate e) in
   List.iter
     (fun (txn : Txn.t) ->
-      let k =
-        match txn.Txn.writeset with
-        | Some ws -> csn_key ws
-        | None -> 0
-      in
       txn.Txn.phases.wait_us <-
         txn.Txn.phases.wait_us + (merge_started - txn.Txn.commit_point);
       txn.Txn.phases.merge_us <- duration;
@@ -572,16 +416,13 @@ and do_merge t e txns ~merge_started ~duration =
       txn.Txn.phases.log_us <- log_us;
       let extra_gate = max 0 (gate - now t) in
       Sim.schedule t.env.sim ~after:(extra_gate + log_us) (fun () ->
-          if Itbl.mem committed_set k then begin
+          match txn.Txn.writeset with
+          | Some ws when Epoch_merge.committed m ws ->
             Metrics.record_epoch_commit t.metrics ~cen:e
               ~latency_us:(now t - txn.Txn.submit_time);
             finish_committed t txn
-          end
-          else
-            let reason =
-              Option.value ~default:Txn.Write_conflict (Itbl.find_opt dead k)
-            in
-            finish_aborted t txn reason))
+          | Some ws -> finish_aborted t txn (Epoch_merge.abort_reason m ws)
+          | None -> finish_aborted t txn Txn.Write_conflict))
     locals;
   (* Bounded memory: drop per-epoch bookkeeping. *)
   Itbl.remove t.waiting e;

@@ -26,6 +26,8 @@ type t = {
   membership_timeout_us : int;
   client_retry_us : int;
   repair_after_us : int;
+  merge_jobs : int;
+  merge_par_threshold : int;
 }
 
 let default_cost =
@@ -52,6 +54,8 @@ let default =
     membership_timeout_us = 500_000;
     client_retry_us = 2_000_000;
     repair_after_us = 250_000;
+    merge_jobs = 1;
+    merge_par_threshold = 4_096;
   }
 
 let with_epoch_ms t ms = { t with epoch_us = ms * 1_000 }

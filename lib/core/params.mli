@@ -30,7 +30,11 @@ type cost = {
   exec_op_us : int;  (** execution cost per key-level operation *)
   sql_stmt_us : int;  (** execution cost per SQL statement *)
   merge_record_us : int;  (** merge cost per write-set record *)
-  merge_threads : int;  (** merge-thread parallelism on a node *)
+  merge_threads : int;
+      (** merge-thread parallelism of the {e modeled} node: divides the
+          simulated per-record merge cost. The host-side counterpart is
+          {!t.merge_jobs} — [merge_jobs = 0] links the two by running
+          [min host_cores merge_threads] real domains *)
   merge_base_us : int;  (** fixed per-epoch merge overhead *)
   notify_us : int;
       (** per blocked transaction thread, per epoch: the cost of the
@@ -54,6 +58,20 @@ type t = {
       (** how long a node lets the next merge stall before re-fetching
           missing peer batches from their backup servers (§5.2 repair —
           what makes epochs survive message loss), 250 ms *)
+  merge_jobs : int;
+      (** {e host} domains the intra-node merge shards across
+          (DESIGN.md §10). Purely a wall-clock knob: the merged state,
+          commit/abort decisions, wire bytes and simulated timings are
+          byte-identical at any value. [1] (default) is the sequential
+          path; [0] = auto, [min (host cores) cost.merge_threads] — the
+          modeled node runs [cost.merge_threads] merge threads
+          ({!cost}), and auto gives it as many real domains as this
+          host can back. Widths round down to a power of two dividing
+          {!Gg_storage.Table.temp_shard_count}. *)
+  merge_par_threshold : int;
+      (** minimum records in an epoch before the merge fans out
+          (domain spawn costs ~tens of µs; tiny epochs stay
+          sequential). Default 4096; [0] forces sharding on (tests). *)
 }
 
 val default_cost : cost

@@ -126,10 +126,10 @@ module Batch = struct
      on a Domain pool, and each task resets then reads the counter for
      the whole simulation it owns. A shared ref would mix concurrent
      scenarios' counts (and race). *)
-  let encodes_key = Domain.DLS.new_key (fun () -> ref 0)
-  let encode_count () = !(Domain.DLS.get encodes_key)
-  let reset_encode_count () = Domain.DLS.get encodes_key := 0
-  let count_encode () = incr (Domain.DLS.get encodes_key)
+  let encodes = Gg_par.Pool.Local_counter.create ()
+  let encode_count () = Gg_par.Pool.Local_counter.get encodes
+  let reset_encode_count () = Gg_par.Pool.Local_counter.reset encodes
+  let count_encode () = Gg_par.Pool.Local_counter.incr encodes
 
   let make ~node ~cen ~txns ~eof ?count () =
     {
@@ -141,21 +141,40 @@ module Batch = struct
       wire = None;
     }
 
-  let to_wire t =
+  (* Parallel encode produces the exact sequential byte stream: the
+     transaction list is split into contiguous chunks, each chunk is
+     encoded into its own buffer on its own domain, and the buffers are
+     concatenated in chunk order — the same bytes a left-to-right pass
+     writes. Compression stays single-stream over the concatenation, so
+     the compressed wire form (and thus every simulated byte count
+     derived from it) is unchanged at any [jobs]. *)
+  let encode_wire ~jobs t =
+    count_encode ();
+    let enc = Enc.create () in
+    Enc.varint enc t.node;
+    Enc.varint enc t.cen;
+    Enc.bool enc t.eof;
+    Enc.varint enc t.count;
+    Enc.varint enc (List.length t.txns);
+    if jobs <= 1 then List.iter (encode enc) t.txns
+    else
+      Gg_par.Pool.map_chunks ~jobs t.txns ~f:(fun chunk ->
+          let e = Enc.create () in
+          List.iter (encode e) chunk;
+          Enc.to_bytes e)
+      |> List.iter (fun b -> Enc.raw enc (Bytes.unsafe_to_string b));
+    Gg_util.Compress.compress (Enc.to_bytes enc)
+
+  let to_wire_jobs ~jobs t =
     match t.wire with
     | Some bytes -> bytes
     | None ->
-      count_encode ();
-      let enc = Enc.create () in
-      Enc.varint enc t.node;
-      Enc.varint enc t.cen;
-      Enc.bool enc t.eof;
-      Enc.varint enc t.count;
-      Enc.varint enc (List.length t.txns);
-      List.iter (encode enc) t.txns;
-      let bytes = Gg_util.Compress.compress (Enc.to_bytes enc) in
+      let bytes = encode_wire ~jobs t in
       t.wire <- Some bytes;
       bytes
+
+  let to_wire t = to_wire_jobs ~jobs:1 t
+  let to_wire_par ~jobs t = to_wire_jobs ~jobs t
 
   let of_wire bytes =
     let raw = Gg_util.Compress.decompress bytes in

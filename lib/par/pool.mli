@@ -53,3 +53,50 @@ val shutdown : t -> unit
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run the function, always [shutdown]. *)
+
+(** {1 Sharded fan-out inside one shared computation}
+
+    The pool above fans out {e independent} simulations; the helpers
+    below parallelise {e one} computation over shared mutable state
+    (the intra-node merge). They spawn [jobs - 1] fresh domains per
+    call, run part 0 on the calling domain, and join all domains before
+    returning — so they are safe to call from inside a pool task (no
+    shared queue to deadlock on) and nothing outlives the call. *)
+
+val map_shards :
+  jobs:int -> key:('a -> int) -> 'a list -> f:('a list -> 'b) -> 'b list
+(** [map_shards ~jobs ~key xs ~f] partitions [xs] into [jobs] shards by
+    [key x land max_int mod jobs] (items keep their relative order
+    within a shard), runs [f] on every shard concurrently, and returns
+    the results in shard order — a deterministic function of [xs] and
+    [key] alone, independent of scheduling. [jobs <= 1] runs [f xs] on
+    the calling domain and returns a single-element list. Shards may be
+    empty. If several shards raise, the lowest shard's exception is
+    re-raised after all domains have joined.
+
+    Determinism contract: [f] must touch only state owned by its shard
+    (plus read-only shared state) — the shard partition is what makes
+    that disjointness hold, so [key] must agree with how the shared
+    structure is sharded (e.g. {!val:key} = the [Table] temp-shard hash
+    when temp entries are created). *)
+
+val map_chunks : jobs:int -> 'a list -> f:('a list -> 'b) -> 'b list
+(** [map_chunks ~jobs xs ~f] splits [xs] into at most [jobs] contiguous
+    chunks (order-preserving, sizes within one of each other), runs [f]
+    on each concurrently, and returns results in chunk order —
+    concatenating them reproduces a sequential left-to-right pass. *)
+
+(** Domain-local counters: the sanctioned form of cross-call counting
+    state in [lib/] (a plain global [ref] would race and mix counts
+    across concurrent pool tasks). Each domain sees its own counter;
+    reset and read from the same task. *)
+module Local_counter : sig
+  type t
+
+  val create : unit -> t
+  (** Create the key (itself immutable; safe at module level). *)
+
+  val incr : t -> unit
+  val get : t -> int
+  val reset : t -> unit
+end

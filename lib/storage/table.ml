@@ -28,11 +28,21 @@ type sec_index = {
   mutable idx_map : entry list Key_map.t;
 }
 
+(* The per-epoch temp area is split into a fixed number of hash shards
+   so the parallel merge can create temp entries from several domains at
+   once: merge shard counts divide [temp_shard_count], and a record's
+   merge shard is derived from the same key hash, so two merge shards
+   never touch the same temp shard. *)
+let temp_shard_count = 16
+
+let key_hash key_str = Hashtbl.hash key_str land max_int
+let key_shard ~shards key_str = key_hash key_str mod shards
+
 type t = {
   schema : Schema.t;
   index : (string, entry) Hashtbl.t;
   mutable ordered : entry Key_map.t;
-  temp : (string, entry) Hashtbl.t;
+  temp : (string, entry) Hashtbl.t array;  (* [temp_shard_count] shards *)
   indexes : (string, sec_index) Hashtbl.t;
   mutable live : int;
   mutable version : int;
@@ -40,12 +50,14 @@ type t = {
   mutable digest_cache : (int * string) option;
 }
 
+let fresh_temp () = Array.init temp_shard_count (fun _ -> Hashtbl.create 8)
+
 let create schema =
   {
     schema;
     index = Hashtbl.create 1024;
     ordered = Key_map.empty;
-    temp = Hashtbl.create 64;
+    temp = fresh_temp ();
     indexes = Hashtbl.create 4;
     live = 0;
     version = 0;
@@ -145,17 +157,19 @@ let insert_committed t ~key ~data ~header =
   t.live <- t.live + 1;
   touch t
 
-let temp_find t key_str = Hashtbl.find_opt t.temp key_str
+let temp_tbl t key_str = t.temp.(key_shard ~shards:temp_shard_count key_str)
+let temp_find t key_str = Hashtbl.find_opt (temp_tbl t key_str) key_str
 
 let temp_add t ~key ~key_str =
-  match Hashtbl.find_opt t.temp key_str with
+  let tbl = temp_tbl t key_str in
+  match Hashtbl.find_opt tbl key_str with
   | Some e -> e
   | None ->
     let entry = { key; key_str; data = [||]; header = Row_header.create () } in
-    Hashtbl.replace t.temp key_str entry;
+    Hashtbl.replace tbl key_str entry;
     entry
 
-let temp_clear t = Hashtbl.reset t.temp
+let temp_clear t = Array.iter Hashtbl.reset t.temp
 
 let scan t ~f = Key_map.iter (fun _ e -> f e) t.ordered
 
@@ -268,7 +282,7 @@ let copy t =
       schema = t.schema;
       index = Hashtbl.create (Hashtbl.length t.index);
       ordered = Key_map.empty;
-      temp = Hashtbl.create 64;
+      temp = fresh_temp ();
       indexes = Hashtbl.create 4;
       live = t.live;
       version = 0;
@@ -301,19 +315,39 @@ let copy t =
     Key_map.iter (fun _ e -> indexes_add fresh e) fresh.ordered;
   fresh
 
+let digest_entry enc k e =
+  let module E = Gg_util.Codec.Enc in
+  E.string enc k;
+  E.bool enc e.header.Row_header.deleted;
+  E.zigzag enc e.header.Row_header.sen;
+  E.zigzag enc e.header.Row_header.cen;
+  Csn.encode enc e.header.Row_header.csn;
+  if not e.header.Row_header.deleted then
+    Array.iter (Value.encode enc) e.data
+
 let digest_into t enc =
   let module E = Gg_util.Codec.Enc in
   E.string enc t.schema.Schema.table_name;
   Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.index []
   |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
-  |> List.iter (fun (k, e) ->
-         E.string enc k;
-         E.bool enc e.header.Row_header.deleted;
-         E.zigzag enc e.header.Row_header.sen;
-         E.zigzag enc e.header.Row_header.cen;
-         Csn.encode enc e.header.Row_header.csn;
-         if not e.header.Row_header.deleted then
-           Array.iter (Value.encode enc) e.data)
+  |> List.iter (fun (k, e) -> digest_entry enc k e)
+
+(* Canonical digest of the key-shard slice of the table: the rows whose
+   [key_shard] is [shard]. The shard digests jointly cover every entry
+   exactly once, so comparing them pair-wise localises a divergence to a
+   key range — and each slice can be digested on its own domain (pure
+   reads over [index]). Not cached: callers are tests and benches. *)
+let digest_shard t ~shards ~shard =
+  let module E = Gg_util.Codec.Enc in
+  let enc = E.create () in
+  E.string enc t.schema.Schema.table_name;
+  E.varint enc shard;
+  Hashtbl.fold
+    (fun k e acc -> if key_shard ~shards k = shard then (k, e) :: acc else acc)
+    t.index []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.iter (fun (k, e) -> digest_entry enc k e);
+  Digest.to_hex (Digest.bytes (E.to_bytes enc))
 
 (* The convergence oracle digests every node's whole database once per
    epoch; tables the epoch never wrote (most of TPC-C's nine) hit the

@@ -11,8 +11,12 @@
      from [Gg_sim.Sim]; wall timing belongs to bench/ and bin/);
    - module-level mutable state ([ref]/[Hashtbl.create]/... at
      structure level): shared across concurrent pool tasks, it breaks
-     run-to-run isolation. Per-domain state via [Domain.DLS] is the
-     sanctioned escape hatch ([Writeset.Batch]'s encode counter). *)
+     run-to-run isolation. Per-domain state must go through
+     [Gg_par.Pool.Local_counter] ([Writeset.Batch]'s encode counter);
+   - raw [Domain.spawn]/[Domain.DLS] (any [Domain.] use) outside
+     lib/par: all parallelism must flow through the deterministic pool
+     and shard helpers, whose submission/shard-order reduction is what
+     keeps every output byte-identical at any width. *)
 
 let src_root () =
   (* dune runs tests from _build/default/test with sources copied in *)
@@ -79,7 +83,12 @@ let is_module_level_mutable line =
     && not (contains (" " ^ t ^ " ") " in ")
   | _ -> false
 
+(* lib/par is the one place allowed to talk to [Domain] directly; its
+   path is detected from the source tree layout. *)
+let in_par_lib path = contains path "/par/"
+
 let lint_file path =
+  let allow_domain = in_par_lib path in
   List.concat
     (List.mapi
        (fun i line ->
@@ -93,12 +102,17 @@ let lint_file path =
                else None)
              ambient_banned
          in
+         let domain =
+           if (not allow_domain) && contains line "Domain." then
+             [ where "raw `Domain.` outside lib/par" ]
+           else []
+         in
          let mutable_ =
            if is_module_level_mutable line then
              [ where "module-level mutable state" ]
            else []
          in
-         ambient @ mutable_)
+         ambient @ domain @ mutable_)
        (read_lines path))
 
 let test_no_hazards () =
@@ -114,13 +128,18 @@ let test_no_hazards () =
 
 let test_dls_is_sanctioned () =
   (* The one piece of cross-call state lib/ keeps — the bench encode
-     counter — must stay domain-local, not a plain global ref. *)
+     counter — must stay domain-local, and reach Domain.DLS only
+     through the pool's Local_counter (the `Domain.` ban above already
+     guarantees the "only through" half for all of lib/). *)
   match src_root () with
   | None -> Alcotest.fail "cannot locate lib/ sources from test cwd"
   | Some root ->
     let ws = read_lines (Filename.concat root "crdt/writeset.ml") in
-    Alcotest.(check bool) "encode counter uses Domain.DLS" true
-      (List.exists (fun l -> contains l "Domain.DLS.new_key") ws)
+    Alcotest.(check bool) "encode counter uses Pool.Local_counter" true
+      (List.exists (fun l -> contains l "Local_counter") ws);
+    let pool = read_lines (Filename.concat root "par/pool.ml") in
+    Alcotest.(check bool) "Local_counter is DLS-backed" true
+      (List.exists (fun l -> contains l "Domain.DLS.new_key") pool)
 
 let () =
   Alcotest.run "lint"
