@@ -1,4 +1,4 @@
-.PHONY: all build test fmt ci bench wallclock parallel merge check clean
+.PHONY: all build test fmt ci bench wallclock parallel merge check trace-demo clean
 
 # Domain fan-out for the harness (check sweeps, experiment grids, bench
 # scenarios). 0 = one worker per core; output is byte-identical at any
@@ -49,6 +49,13 @@ ci: fmt
 	tail -1 /tmp/gg_ci_mj.out; \
 	echo "ci: merge-jobs=4 sweep ran clean (results are byte-identical to -j1 by construction; dune runtest asserts it)"
 	dune exec bin/geogauss_cli.exe -- check --canary
+# Perf-regression accounting: fresh fast wallclock run vs the committed
+# baseline. Fast mode uses shrunk populations, so rates differ
+# legitimately; the wide threshold + warn-only keeps this a tripwire for
+# order-of-magnitude regressions (and the absolute 5% tracing-overhead
+# gate), not a flaky blocker.
+	dune exec bench/main.exe -- wallclock --fast --out /tmp/gg_wc_fast.json --jobs $(JOBS)
+	dune exec bin/geogauss_cli.exe -- bench diff BENCH_wallclock.json /tmp/gg_wc_fast.json --warn-only --threshold 0.5
 
 bench:
 	dune exec bench/main.exe -- --jobs $(JOBS)
@@ -61,6 +68,15 @@ parallel:
 
 merge:
 	dune exec bench/main.exe -- merge
+
+# End-to-end tracing walkthrough: a seeded fig5-style run with tracing
+# on, then the causal critical-path attribution and per-region-pair WAN
+# report over the written trace. All three outputs are deterministic
+# functions of the seed.
+trace-demo:
+	dune exec bin/geogauss_cli.exe -- run -w ycsb-mc -n 3 -t 2 --seed 7 --trace /tmp/gg_demo_trace.jsonl
+	dune exec bin/geogauss_cli.exe -- trace critical-path /tmp/gg_demo_trace.jsonl --json /tmp/gg_demo_cp.json
+	dune exec bin/geogauss_cli.exe -- trace wan /tmp/gg_demo_trace.jsonl --json /tmp/gg_demo_wan.json
 
 clean:
 	dune clean

@@ -13,6 +13,9 @@
      main.exe --fast [...]    shrunk populations/windows (smoke mode)
      main.exe -j N [...]      fan independent simulations over N domains
                               (0 = auto; deterministic output at any N)
+     main.exe --out FILE      wallclock JSON output path (default
+                              BENCH_wallclock.json; `make ci` writes a
+                              fast run to /tmp for `bench diff`)
 
    Experiments regenerate the rows/series of every table and figure in
    the paper's evaluation (§7); see DESIGN.md for the index and
@@ -206,7 +209,7 @@ let run_scenarios pool specs =
 
 let per_sec count wall_s = float_of_int count /. max 1e-9 wall_s
 
-let run_wallclock ~fast ~pool () =
+let run_wallclock ~fast ~pool ~out () =
   let specs =
     List.map (fun s -> (s, false)) (W.scenarios ~fast)
     @ [ (W.traced_scenario ~fast, true) ]
@@ -242,7 +245,13 @@ let run_wallclock ~fast ~pool () =
      of %d)\n\
      %!"
     off on_ (100.0 *. overhead_frac) reps;
-  let oc = open_out "BENCH_wallclock.json" in
+  if overhead_frac > 0.05 then
+    Printf.eprintf
+      "  WARNING: tracing overhead %.1f%% exceeds the 5%% budget (`geogauss \
+       bench diff' gates on this)\n\
+       %!"
+      (100.0 *. overhead_frac);
+  let oc = open_out out in
   let row_json r =
     let med = median r.wc_walls and mn = minimum r.wc_walls in
     Printf.sprintf
@@ -274,7 +283,7 @@ let run_wallclock ~fast ~pool () =
     (String.concat ",\n" (List.map row_json rows))
     off on_ overhead_frac;
   close_out oc;
-  print_endline "  wrote BENCH_wallclock.json"
+  Printf.printf "  wrote %s\n" out
 
 (* --- Parallel-harness speedup suite ---
 
@@ -546,14 +555,22 @@ let () =
   let fast = List.mem "--fast" args in
   let args = List.filter (fun a -> a <> "--fast") args in
   let jobs = ref 1 in
-  let rec strip_jobs = function
+  let out = ref "BENCH_wallclock.json" in
+  let rec strip_opts = function
     | [] -> []
     | ("-j" | "--jobs") :: n :: rest ->
       jobs := int_of_string n;
-      strip_jobs rest
-    | a :: rest -> a :: strip_jobs rest
+      strip_opts rest
+    | "--out" :: path :: rest ->
+      (* wallclock output path; lets `make ci` write a throwaway fast run
+         for `geogauss bench diff' without clobbering the committed
+         baseline *)
+      out := path;
+      strip_opts rest
+    | a :: rest -> a :: strip_opts rest
   in
-  let args = strip_jobs args in
+  let args = strip_opts args in
+  let out = !out in
   Gg_par.Pool.with_pool ~jobs:!jobs @@ fun pool ->
   let run_experiment name =
     if not (Gg_harness.Experiments.run ~fast ~pool name) then begin
@@ -571,14 +588,14 @@ let () =
         run_experiment name)
       Gg_harness.Experiments.all;
     run_micro ();
-    run_wallclock ~fast ~pool ()
+    run_wallclock ~fast ~pool ~out ()
   | [ "micro" ] -> run_micro ()
   | names ->
     List.iter
       (fun name ->
         match name with
         | "micro" -> run_micro ()
-        | "wallclock" -> run_wallclock ~fast ~pool ()
+        | "wallclock" -> run_wallclock ~fast ~pool ~out ()
         | "parallel" -> run_parallel ()
         | "merge" -> run_merge ~fast ()
         | _ -> run_experiment name)

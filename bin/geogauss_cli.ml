@@ -34,7 +34,7 @@ let bench_names =
         ~doc:"Experiments to run (fig5 table2 fig6 fig7 table3 fig8 fig9 \
               fig10 fig11 fig12 fig13 ablations). Default: all.")
 
-let bench_cmd =
+let bench_run_term =
   let run fast jobs names =
     let names =
       if names = [] then List.map fst Gg_harness.Experiments.all else names
@@ -49,9 +49,69 @@ let bench_cmd =
     in
     if ok then `Ok () else `Error (false, "unknown experiment")
   in
+  Term.(ret (const run $ fast_arg $ jobs_arg $ bench_names))
+
+(* `bench diff`: compare two BENCH_*.json reports of the same suite and
+   flag throughput drops beyond a noise threshold. Wired into `make ci`
+   (committed baseline vs a fresh --fast run, --warn-only) so perf
+   regressions surface on every CI pass without ever gating on a noisy
+   fast run. *)
+let bench_diff_cmd =
+  let old_path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline bench report.")
+  in
+  let new_path =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Fresh bench report of the same suite.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Relative drop that counts as a regression (half of it flags a \
+             warning). The tracing-overhead row always gates on the absolute \
+             5% ceiling instead.")
+  in
+  let warn_only =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:"Report regressions but exit zero anyway (for noisy hosts).")
+  in
+  let run old_path new_path threshold warn_only =
+    match Gg_harness.Bench_diff.diff_files ~threshold ~old_path ~new_path () with
+    | Error msg -> `Error (false, msg)
+    | Ok rows ->
+      print_string (Gg_harness.Bench_diff.render rows);
+      print_newline ();
+      if Gg_harness.Bench_diff.has_regression rows then
+        if warn_only then begin
+          Printf.printf "regressions found (ignored: --warn-only)\n";
+          `Ok ()
+        end
+        else `Error (false, "bench regression beyond threshold")
+      else `Ok ()
+  in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(ret (const run $ fast_arg $ jobs_arg $ bench_names))
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two bench JSON reports (wallclock, merge or parallel \
+          suite) and fail on throughput drops beyond the noise threshold.")
+    Term.(ret (const run $ old_path $ new_path $ threshold $ warn_only))
+
+let bench_cmd =
+  Cmd.group ~default:bench_run_term
+    (Cmd.info "bench"
+       ~doc:
+         "Regenerate the paper's tables and figures, or diff two bench \
+          reports.")
+    [ bench_diff_cmd ]
 
 (* --- `run` subcommand: ad-hoc simulation --- *)
 
@@ -324,14 +384,38 @@ let check_cmd =
 
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 
-let trace_cmd =
-  let file =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"TRACE.jsonl"
-          ~doc:"Trace file written by `geogauss run --trace'.")
-  in
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl"
+        ~doc:"Trace file written by `geogauss run --trace'.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the machine-readable JSON report to $(docv).")
+
+(* Load a trace, print a rendered report, optionally dump the JSON form.
+   Both outputs are byte-deterministic functions of the trace file. *)
+let trace_report ~render ~json file json_out =
+  match Gg_obs.Trace_view.load_file file with
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+  | Ok t ->
+    print_string (render t);
+    print_newline ();
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Gg_obs.Jsonl.write_line oc (json t);
+      close_out oc;
+      Printf.printf "json report written to %s\n" path);
+    `Ok ()
+
+let trace_summary_term =
   let epochs =
     Arg.(
       value & opt int 40
@@ -350,12 +434,42 @@ let trace_cmd =
       print_newline ();
       `Ok ()
   in
+  Term.(ret (const run $ trace_file_arg $ epochs $ top))
+
+let trace_critical_path_cmd =
+  let run file json_out =
+    trace_report ~render:Gg_obs.Trace_view.render_critical_path
+      ~json:Gg_obs.Trace_view.critical_path_json file json_out
+  in
   Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:
+         "Reconstruct each committed transaction's cross-node causal chain \
+          and attribute its end-to-end latency to Algorithm 1 phases \
+          (execute, seal wait, WAN hop, merge wait, validate, commit). The \
+          six phases sum exactly to the commit latency.")
+    Term.(ret (const run $ trace_file_arg $ trace_json_arg))
+
+let trace_wan_cmd =
+  let run file json_out =
+    trace_report ~render:Gg_obs.Trace_view.render_wan
+      ~json:Gg_obs.Trace_view.wan_json file json_out
+  in
+  Cmd.v
+    (Cmd.info "wan"
+       ~doc:
+         "Per-region-pair WAN traffic for the measurement window: bytes per \
+          directed region pair and bytes per committed transaction.")
+    Term.(ret (const run $ trace_file_arg $ trace_json_arg))
+
+let trace_cmd =
+  Cmd.group ~default:trace_summary_term
     (Cmd.info "trace"
        ~doc:
          "Analyze a JSONL trace: epoch timelines, per-phase latency \
-          breakdowns, slowest-epoch drill-downs, cross-node epoch skew.")
-    Term.(ret (const run $ file $ epochs $ top))
+          breakdowns, slowest-epoch drill-downs, cross-node skew, causal \
+          critical paths and WAN accounting.")
+    [ trace_critical_path_cmd; trace_wan_cmd ]
 
 let main =
   Cmd.group

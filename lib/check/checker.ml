@@ -122,8 +122,9 @@ let run ?trace (s : Scenario.t) =
   in
   (match trace with
   | Some path ->
-    Driver.write_trace ~path ~label:(Scenario.to_string s) ~params
-      ~nodes:s.nodes ~warmup_ms:0 ~measure_ms:s.duration_ms obs []
+    Driver.write_trace ~path ~label:(Scenario.to_string s) ~params ~topology
+      ~nodes:s.nodes ~warmup_ms:0 ~measure_ms:s.duration_ms ~window_start_us:0
+      obs []
   | None -> ());
   {
     scenario = s;

@@ -29,11 +29,15 @@ let pack_cp ~cen ~peer = (cen lsl node_bits) lor peer
 let cen_of_cp k = k lsr node_bits
 let pack_csn (c : Csn.t) = (c.Csn.ts lsl node_bits) lor c.Csn.node
 
+(* Every message kind carries the sender's causal span id (0 when
+   tracing is off) so receive-side trace events can reference their
+   cross-node parent; the modeled byte counts include a fixed 8-byte
+   trace-context header, mirroring the Batch wire form. *)
 type msg =
   | Batch_msg of Writeset.Batch.t
-  | Ft_ack of { cen : int; from : int }
-  | Ft_commit of { cen : int; origin : int }
-  | State_snapshot of { lsn : int; ckpt : bytes }
+  | Ft_ack of { cen : int; from : int; span : int }
+  | Ft_commit of { cen : int; origin : int; span : int }
+  | State_snapshot of { lsn : int; ckpt : bytes; span : int }
 
 type env = {
   sim : Sim.t;
@@ -197,12 +201,15 @@ let lww_apply t (ws : Writeset.t) =
 (* --- finishing transactions --- *)
 
 (* Per-transaction span: five Algorithm-1 phase events back-dated
-   cumulatively from the submit time, then the commit/abort terminator.
-   The span id is the per-node transaction sequence number, so (node,
-   span) identifies a transaction globally. *)
+   cumulatively from the submit time, a commit-point marker when the
+   transaction entered an epoch, then the commit/abort terminator. The
+   span id is the node-tagged causal span allocated at submit; the
+   commit event's parent is the span of the deciding epoch merge, which
+   links the transaction into the cross-node causal DAG. *)
 let emit_txn_span t (txn : Txn.t) outcome =
   let p = txn.Txn.phases in
-  let span = txn.Txn.id in
+  if txn.Txn.span = 0 then txn.Txn.span <- Obs.new_span t.obs ~node:t.id;
+  let span = txn.Txn.span in
   (* cen defaults to 0; only transactions that reached the commit point
      with a write set actually belong to an epoch. *)
   let epoch = if txn.Txn.commit_point > 0 then txn.Txn.cen else -1 in
@@ -216,11 +223,17 @@ let emit_txn_span t (txn : Txn.t) outcome =
   phase "phase.wait" p.Txn.wait_us;
   phase "phase.merge" p.Txn.merge_us;
   phase "phase.log" p.Txn.log_us;
+  if txn.Txn.commit_point > 0 then
+    Obs.emit t.obs ~at:txn.Txn.commit_point ~node:t.id ~epoch ~span ~cat:"txn"
+      "commit.point";
+  let parent = if txn.Txn.merge_span > 0 then txn.Txn.merge_span else -1 in
   match outcome with
   | Txn.Committed { latency_us; _ } ->
-    Obs.emit t.obs ~node:t.id ~epoch ~span ~dur:latency_us ~cat:"txn" "commit"
+    Obs.emit t.obs ~node:t.id ~epoch ~span ~parent ~dur:latency_us ~cat:"txn"
+      "commit"
   | Txn.Aborted { latency_us; reason } ->
-    Obs.emit t.obs ~node:t.id ~epoch ~span ~dur:latency_us ~cat:"txn" "abort"
+    Obs.emit t.obs ~node:t.id ~epoch ~span ~parent ~dur:latency_us ~cat:"txn"
+      "abort"
       ~detail:(Txn.abort_reason_to_string reason)
 
 let finish t (txn : Txn.t) outcome =
@@ -255,14 +268,19 @@ let seal_epoch t e =
   t.current_send <- rest;
   let txns = List.rev_map snd mine in
   Itbl.replace t.local_sealed e txns;
-  let batch = Writeset.Batch.make ~node:t.id ~cen:e ~txns ~eof:true () in
+  (* One span per sealed epoch batch: the EOF's wire header carries it to
+     every peer, whose batch.recv events become its causal children. *)
+  let bspan = Obs.new_span t.obs ~node:t.id in
+  let batch =
+    Writeset.Batch.make ~node:t.id ~cen:e ~txns ~eof:true ~span:bspan ()
+  in
   Backup.put t.env.backup batch;
   (* With pipelining the write sets already went out in mini-batches;
      only the EOF marker (carrying the expected count) travels now. *)
   let wire_batch =
     if t.env.params.Params.pipeline then
       Writeset.Batch.make ~node:t.id ~cen:e ~txns:[] ~eof:true
-        ~count:(List.length txns) ()
+        ~count:(List.length txns) ~span:bspan ()
     else batch
   in
   (* Encode+compress of a large outgoing batch is the other hot kernel
@@ -283,9 +301,9 @@ let seal_epoch t e =
             wire_batch));
   let bytes = Writeset.Batch.wire_size wire_batch in
   if Obs.tracing t.obs then begin
-    Obs.emit t.obs ~node:t.id ~epoch:e ~cat:"epoch" "seal"
+    Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "seal"
       ~detail:(Printf.sprintf "txns=%d" (List.length txns));
-    Obs.emit t.obs ~node:t.id ~epoch:e ~cat:"epoch" "batch.send"
+    Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "batch.send"
       ~detail:(Printf.sprintf "bytes=%d" bytes)
   end;
   broadcast t ~bytes (Batch_msg wire_batch);
@@ -365,18 +383,19 @@ and try_advance t =
         + (n_records * cost.merge_record_us / max 1 cost.merge_threads)
       in
       let merge_started = now t in
+      let mspan = Obs.new_span t.obs ~node:t.id in
       if Obs.tracing t.obs then
-        Obs.emit t.obs ~node:t.id ~epoch:e ~dur:duration ~cat:"epoch"
+        Obs.emit t.obs ~node:t.id ~epoch:e ~span:mspan ~dur:duration ~cat:"epoch"
           "merge.start"
           ~detail:(Printf.sprintf "txns=%d records=%d" (List.length txns) n_records);
       Sim.schedule t.env.sim ~after:duration (fun () ->
-          do_merge t e txns ~merge_started ~duration;
+          do_merge t e txns ~merge_started ~duration ~span:mspan;
           t.merging <- false;
           try_advance t)
     end
   end
 
-and do_merge t e txns ~merge_started ~duration =
+and do_merge t e txns ~merge_started ~duration ~span =
   (* Phases A–C (DeltaCRDTMerge pre-write, validation, SSI, write-back)
      live in {!Epoch_merge}; [merge_jobs] shards them across host
      domains with byte-identical results (DESIGN.md §10). *)
@@ -391,7 +410,8 @@ and do_merge t e txns ~merge_started ~duration =
   t.lsn <- e;
   t.last_advance <- now t;
   if Obs.tracing t.obs then
-    Obs.emit t.obs ~node:t.id ~epoch:e ~dur:duration ~cat:"epoch" "merge.commit"
+    Obs.emit t.obs ~node:t.id ~epoch:e ~span ~dur:duration ~cat:"epoch"
+      "merge.commit"
       ~detail:
         (Printf.sprintf "committed=%d dead=%d records=%d"
            (Epoch_merge.n_committed m) (Epoch_merge.n_dead m)
@@ -404,6 +424,7 @@ and do_merge t e txns ~merge_started ~duration =
   let gate = Option.value ~default:0 (Itbl.find_opt t.notify_gate e) in
   List.iter
     (fun (txn : Txn.t) ->
+      txn.Txn.merge_span <- span;
       txn.Txn.phases.wait_us <-
         txn.Txn.phases.wait_us + (merge_started - txn.Txn.commit_point);
       txn.Txn.phases.merge_us <- duration;
@@ -450,6 +471,7 @@ and submit t request callback =
     Txn.create ~id:t.txn_seq ~node:t.id ~request ~submit_time:(now t) ~callback
   in
   t.txn_seq <- t.txn_seq + 1;
+  txn.Txn.span <- Obs.new_span t.obs ~node:t.id;
   Metrics.record_start t.metrics;
   if (not t.active) || Net.is_down t.env.net t.id then
     finish_aborted t txn Txn.Node_failure
@@ -592,7 +614,10 @@ and commit_point t (txn : Txn.t) =
         | Params.Async_merge ->
           (* GeoG-A: merge locally now, gossip, reply immediately. *)
           lww_apply t ws;
-          let mini = Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false () in
+          let mini =
+            Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false
+              ~span:txn.Txn.span ()
+          in
           broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini);
           let cost = t.env.params.Params.cost in
           txn.Txn.phases.merge_us <-
@@ -606,7 +631,8 @@ and commit_point t (txn : Txn.t) =
           t.current_send <- (cen, ws) :: t.current_send;
           if t.env.params.Params.pipeline then begin
             let mini =
-              Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false ()
+              Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false
+                ~span:txn.Txn.span ()
             in
             broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini)
           end;
@@ -654,21 +680,28 @@ and receive t msg =
           bs.eof <- true;
           bs.expected <- max bs.expected b.Writeset.Batch.count;
           t.last_eof.(b.Writeset.Batch.node) <- now t;
+          (* The recv span becomes the parent of any Ft_ack we send back,
+             continuing the causal chain across the acknowledgement. *)
+          let rspan = Obs.new_span t.obs ~node:t.id in
           if Obs.tracing t.obs then
             Obs.emit t.obs ~node:t.id ~epoch:b.Writeset.Batch.cen ~cat:"epoch"
-              "batch.recv"
+              "batch.recv" ~span:rspan
+              ~parent:
+                (if b.Writeset.Batch.span > 0 then b.Writeset.Batch.span else -1)
               ~detail:
                 (Printf.sprintf "from=%d txns=%d" b.Writeset.Batch.node
                    (Itbl.length bs.txn_keys));
           if t.env.params.Params.ft = Params.Ft_raft then
-            send_msg t ~dst:b.Writeset.Batch.node ~bytes:32
-              (Ft_ack { cen = b.Writeset.Batch.cen; from = t.id })
+            send_msg t ~dst:b.Writeset.Batch.node ~bytes:40
+              (Ft_ack { cen = b.Writeset.Batch.cen; from = t.id; span = rspan })
         end;
         try_advance t
       end
-    | Ft_ack { cen; from } ->
+    | Ft_ack { cen; from; span = pspan } ->
+      let aspan = Obs.new_span t.obs ~node:t.id in
       if Obs.tracing t.obs then
-        Obs.emit t.obs ~node:t.id ~epoch:cen ~cat:"epoch" "ft.ack"
+        Obs.emit t.obs ~node:t.id ~epoch:cen ~cat:"epoch" "ft.ack" ~span:aspan
+          ~parent:(if pspan > 0 then pspan else -1)
           ~detail:(Printf.sprintf "from=%d" from);
       let acks =
         match Itbl.find_opt t.ft_acks cen with
@@ -683,11 +716,12 @@ and receive t msg =
         let n = List.length (t.env.members_at cen) in
         (* self + acks form the majority *)
         if (List.length !acks + 1) * 2 > n then
-          broadcast t ~bytes:32 (Ft_commit { cen; origin = t.id })
+          broadcast t ~bytes:40 (Ft_commit { cen; origin = t.id; span = aspan })
       end
-    | Ft_commit { cen; origin } ->
+    | Ft_commit { cen; origin; span = pspan } ->
       if Obs.tracing t.obs then
         Obs.emit t.obs ~node:t.id ~epoch:cen ~cat:"epoch" "ft.commit"
+          ~parent:(if pspan > 0 then pspan else -1)
           ~detail:(Printf.sprintf "origin=%d" origin);
       let bs = batch_state t ~cen ~peer:origin in
       bs.committed <- true;
@@ -785,8 +819,8 @@ let missing_sealed_epochs t ~peer ~upto =
   done;
   !missing
 
-let make_state_snapshot t =
-  State_snapshot { lsn = t.lsn; ckpt = Gg_storage.Checkpoint.encode t.db }
+let make_state_snapshot ?(span = 0) t =
+  State_snapshot { lsn = t.lsn; ckpt = Gg_storage.Checkpoint.encode t.db; span }
 
 let install_state t ~rejoin ~lsn ~db =
   (* Guard against duplicated or stale snapshots: the transfer travels

@@ -16,13 +16,17 @@
     {!Params.cost}. State changes (reads, merges, write-backs) happen at
     the simulated instants where the real system would perform them. *)
 
+(** Every message carries the sender's causal span id ([0] when tracing
+    is off) so receive-side trace events can name their cross-node
+    parent; modeled byte counts include a fixed 8-byte trace-context
+    header, matching the Batch wire form. *)
 type msg =
   | Batch_msg of Gg_crdt.Writeset.Batch.t
-  | Ft_ack of { cen : int; from : int }
+  | Ft_ack of { cen : int; from : int; span : int }
       (** Raft-FT: receiver acknowledges an epoch batch *)
-  | Ft_commit of { cen : int; origin : int }
+  | Ft_commit of { cen : int; origin : int; span : int }
       (** Raft-FT: origin saw a majority; batch may be merged *)
-  | State_snapshot of { lsn : int; ckpt : bytes }
+  | State_snapshot of { lsn : int; ckpt : bytes; span : int }
       (** recovery: serialized checkpoint of the state at snapshot [lsn]
           (see {!Gg_storage.Checkpoint}) *)
 
@@ -87,8 +91,9 @@ val missing_sealed_epochs : t -> peer:int -> upto:int -> int list
 (** Epochs in (lsn, upto] with no EOF from [peer] — to be recovered from
     the peer's backup server. *)
 
-val make_state_snapshot : t -> msg
-(** Donor side of recovery: deep copy of the current snapshot state. *)
+val make_state_snapshot : ?span:int -> t -> msg
+(** Donor side of recovery: deep copy of the current snapshot state.
+    [span] (default [0] = untraced) is the transfer's causal span id. *)
 
 val install_state : t -> rejoin:int -> lsn:int -> db:Gg_storage.Db.t -> unit
 (** Recovering side: adopt a transferred snapshot and resume, sealing

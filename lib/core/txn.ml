@@ -41,6 +41,8 @@ type t = {
   mutable sql_results : Gg_sql.Executor.result list;
   mutable commit_point : int;
   mutable finished : bool;
+  mutable span : int;  (* causal span id (Obs.new_span); 0 when untraced *)
+  mutable merge_span : int;  (* span of the merge that decided this txn *)
 }
 
 let create ~id ~node ~request ~submit_time ~callback =
@@ -60,6 +62,8 @@ let create ~id ~node ~request ~submit_time ~callback =
     sql_results = [];
     commit_point = 0;
     finished = false;
+    span = 0;
+    merge_span = 0;
   }
 
 let label t =

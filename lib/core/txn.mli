@@ -53,6 +53,14 @@ type t = {
   mutable sql_results : Gg_sql.Executor.result list;
   mutable commit_point : int;  (** time the send-buffer append happened *)
   mutable finished : bool;
+  mutable span : int;
+      (** causal span id ({!Gg_obs.Obs.new_span}); [0] while tracing is
+          off. Allocated at submit, carried by the transaction's
+          mini-batches, and stamped on its trace events. *)
+  mutable merge_span : int;
+      (** span of the epoch merge that decided this transaction; [0]
+          until then. Becomes the parent of the commit/abort event,
+          linking the transaction into the cross-node causal DAG. *)
 }
 
 val create :

@@ -119,6 +119,7 @@ module Batch = struct
     txns : ws list;
     eof : bool;
     count : int;
+    span : int;  (* origin causal span; 0 = untraced *)
     mutable wire : bytes option;  (* memoized [to_wire] result *)
   }
 
@@ -131,15 +132,24 @@ module Batch = struct
   let reset_encode_count () = Gg_par.Pool.Local_counter.reset encodes
   let count_encode () = Gg_par.Pool.Local_counter.incr encodes
 
-  let make ~node ~cen ~txns ~eof ?count () =
+  let make ~node ~cen ~txns ~eof ?count ?(span = 0) () =
     {
       node;
       cen;
       txns;
       eof;
       count = Option.value count ~default:(List.length txns);
+      span;
       wire = None;
     }
+
+  (* The trace context travels as a fixed-width header OUTSIDE the
+     compressed payload: compression output length depends on content,
+     so an in-payload span would make the wire size (and thus every
+     simulated byte count) vary with the span value — tracing could then
+     perturb the simulation it observes. Eight header bytes are always
+     present, span 0 meaning "untraced". *)
+  let span_header_bytes = 8
 
   (* Parallel encode produces the exact sequential byte stream: the
      transaction list is split into contiguous chunks, each chunk is
@@ -163,7 +173,11 @@ module Batch = struct
           List.iter (encode e) chunk;
           Enc.to_bytes e)
       |> List.iter (fun b -> Enc.raw enc (Bytes.unsafe_to_string b));
-    Gg_util.Compress.compress (Enc.to_bytes enc)
+    let payload = Gg_util.Compress.compress (Enc.to_bytes enc) in
+    let out = Bytes.create (span_header_bytes + Bytes.length payload) in
+    Bytes.set_int64_le out 0 (Int64.of_int t.span);
+    Bytes.blit payload 0 out span_header_bytes (Bytes.length payload);
+    out
 
   let to_wire_jobs ~jobs t =
     match t.wire with
@@ -177,7 +191,14 @@ module Batch = struct
   let to_wire_par ~jobs t = to_wire_jobs ~jobs t
 
   let of_wire bytes =
-    let raw = Gg_util.Compress.decompress bytes in
+    if Bytes.length bytes < span_header_bytes then
+      invalid_arg "Writeset.Batch.of_wire: truncated";
+    let span = Int64.to_int (Bytes.get_int64_le bytes 0) in
+    let raw =
+      Gg_util.Compress.decompress
+        (Bytes.sub bytes span_header_bytes
+           (Bytes.length bytes - span_header_bytes))
+    in
     let dec = Dec.of_bytes raw in
     try
       let node = Dec.varint dec in
@@ -188,7 +209,7 @@ module Batch = struct
       let txns = List.init n (fun _ -> decode dec) in
       (* The input is this batch's wire form: keep it so re-forwarding or
          sizing the batch never re-encodes. *)
-      { node; cen; txns; eof; count; wire = Some bytes }
+      { node; cen; txns; eof; count; span; wire = Some bytes }
     with Dec.Truncated -> invalid_arg "Writeset.Batch.of_wire: truncated"
 
   let wire_size t = Bytes.length (to_wire t)

@@ -91,13 +91,26 @@ module Batch : sig
             this epoch, across all mini-batches. Receivers use it to
             verify completeness even when the network reorders
             mini-batches after the EOF marker. *)
+    span : int;
+        (** origin causal span id ({!Gg_obs.Obs.new_span} of the sender);
+            [0] when tracing was off. Carried in a fixed 8-byte header
+            outside the compressed payload, so the wire size never
+            depends on whether tracing is enabled. *)
     mutable wire : bytes option;
         (** memoized {!to_wire} result; use the functions, not the
             field *)
   }
 
-  val make : node:int -> cen:int -> txns:ws list -> eof:bool -> ?count:int -> unit -> t
-  (** [count] defaults to [List.length txns]. *)
+  val make :
+    node:int ->
+    cen:int ->
+    txns:ws list ->
+    eof:bool ->
+    ?count:int ->
+    ?span:int ->
+    unit ->
+    t
+  (** [count] defaults to [List.length txns]; [span] to [0]. *)
 
   val to_wire : t -> bytes
   (** Encode then compress (the paper pipes write sets through protobuf +

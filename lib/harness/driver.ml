@@ -80,8 +80,8 @@ type geo_extra = {
    first), then the periodic counter snapshots. Field order is fixed and
    every timestamp is simulated time, so identical seeded runs produce
    byte-identical files. *)
-let write_trace ~path ~label ~params ~nodes ~warmup_ms ~measure_ms obs snapshots
-    =
+let write_trace ~path ~label ~params ~topology ~nodes ~warmup_ms ~measure_ms
+    ~window_start_us obs snapshots =
   let events = Obs.events obs in
   let oc = open_out path in
   Jsonl.write_line oc
@@ -90,10 +90,17 @@ let write_trace ~path ~label ~params ~nodes ~warmup_ms ~measure_ms obs snapshots
          ("type", Jsonl.Str "meta");
          ("label", Jsonl.Str label);
          ("nodes", Jsonl.Int nodes);
+         ( "regions",
+           (* node -> region name, for cross-node WAN-hop attribution *)
+           Jsonl.List
+             (List.init nodes (fun i ->
+                  Jsonl.Str (Topology.region_name topology i)))
+         );
          ("epoch_us", Jsonl.Int params.Geogauss.Params.epoch_us);
          ("seed", Jsonl.Int params.Geogauss.Params.seed);
          ("warmup_ms", Jsonl.Int warmup_ms);
          ("measure_ms", Jsonl.Int measure_ms);
+         ("window_start_us", Jsonl.Int window_start_us);
          ("events", Jsonl.Int (List.length events));
          ("dropped", Jsonl.Int (Obs.dropped_events obs));
        ]);
@@ -109,6 +116,7 @@ let write_trace ~path ~label ~params ~nodes ~warmup_ms ~measure_ms obs snapshots
              ("name", Jsonl.Str e.Obs.Trace.name);
              ("epoch", Jsonl.Int e.Obs.Trace.epoch);
              ("span", Jsonl.Int e.Obs.Trace.span);
+             ("parent", Jsonl.Int e.Obs.Trace.parent);
              ("dur", Jsonl.Int e.Obs.Trace.dur);
              ("detail", Jsonl.Str e.Obs.Trace.detail);
            ]))
@@ -147,6 +155,7 @@ let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
   (* One call clears every instrument, per-epoch table, client-side stat
      and the trace buffer — warm-up never leaks into the window. *)
   Obs.reset_all obs;
+  let window_start_us = Sim.now (Geogauss.Cluster.sim cluster) in
   let snapshots = ref [] in
   (match trace_file with
   | Some _ when snapshot_every_ms > 0 ->
@@ -160,6 +169,13 @@ let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
     Sim.schedule sim ~after:(Sim.ms snapshot_every_ms) snap
   | _ -> ());
   Geogauss.Cluster.run_for_ms cluster measure_ms;
+  (* Final snapshot at the window end: the WAN report reads the closing
+     counter values from here. *)
+  (match trace_file with
+  | Some _ ->
+    let sim = Geogauss.Cluster.sim cluster in
+    snapshots := (Sim.now sim, Obs.counter_values obs) :: !snapshots
+  | None -> ());
   let committed = List.fold_left (fun a c -> a + Geogauss.Client.committed c) 0 clients in
   let aborted = List.fold_left (fun a c -> a + Geogauss.Client.aborted c) 0 clients in
   let latency =
@@ -185,7 +201,7 @@ let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
   in
   (match trace_file with
   | Some path ->
-    write_trace ~path ~label ~params ~nodes:n ~warmup_ms ~measure_ms obs
-      (List.rev !snapshots)
+    write_trace ~path ~label ~params ~topology ~nodes:n ~warmup_ms ~measure_ms
+      ~window_start_us obs (List.rev !snapshots)
   | None -> ());
   (result, extra)

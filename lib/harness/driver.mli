@@ -62,16 +62,19 @@ val write_trace :
   path:string ->
   label:string ->
   params:Geogauss.Params.t ->
+  topology:Gg_sim.Topology.t ->
   nodes:int ->
   warmup_ms:int ->
   measure_ms:int ->
+  window_start_us:int ->
   Gg_obs.Obs.t ->
   (int * (string * int) list) list ->
   unit
 (** Dump the observability buffer as a JSONL trace file (one [meta]
-    record, the buffered events, then the given [(at, counters)]
-    snapshots — pass [[]] for none). Also used by the chaos checker to
-    export a trace of a failing scenario. *)
+    record — including the node→region name list and the measurement
+    window's start instant — the buffered events, then the given
+    [(at, counters)] snapshots — pass [[]] for none). Also used by the
+    chaos checker to export a trace of a failing scenario. *)
 
 val run_geogauss :
   ?params:Geogauss.Params.t ->

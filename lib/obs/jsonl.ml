@@ -30,7 +30,15 @@ let rec write buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-    if Float.is_integer f && Float.abs f < 1e15 then
+    (* JSON has no literals for non-finite floats; emit them
+       deterministically instead of producing invalid output: NaN
+       degrades to null, infinities to the overflow literal 1e999
+       (which [float_of_string] reads back as infinity, so finite-free
+       round-trips survive). *)
+    if Float.is_nan f then Buffer.add_string buf "null"
+    else if f = Float.infinity then Buffer.add_string buf "1e999"
+    else if f = Float.neg_infinity then Buffer.add_string buf "-1e999"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Buffer.add_string buf (Printf.sprintf "%.1f" f)
     else Buffer.add_string buf (Printf.sprintf "%.12g" f)
   | Str s -> escape_to buf s

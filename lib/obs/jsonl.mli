@@ -16,7 +16,10 @@ type t =
 
 val to_string : t -> string
 (** Compact (single-line) rendering with deterministic field order —
-    two identical values always produce identical bytes. *)
+    two identical values always produce identical bytes. Control
+    characters are [\u00xx]-escaped; non-finite floats render as [null]
+    (NaN) or [±1e999] (infinities, which parse back as [Float
+    infinity]). *)
 
 val write_line : out_channel -> t -> unit
 (** [to_string] plus a trailing newline, buffered. *)

@@ -46,6 +46,7 @@ module Trace = struct
     name : string;
     epoch : int;
     span : int;
+    parent : int;
     dur : int;
     detail : string;
   }
@@ -58,6 +59,7 @@ module Trace = struct
       name = "";
       epoch = -1;
       span = -1;
+      parent = -1;
       dur = -1;
       detail = "";
     }
@@ -103,6 +105,7 @@ type t = {
   by_name : (string, instrument) Hashtbl.t;
   mutable order : instrument list;  (* reverse registration order *)
   mutable reset_hooks : (unit -> unit) list;  (* reverse registration order *)
+  mutable span_seq : int;  (* causal span allocator; never reset *)
 }
 
 let create ?(trace_capacity = 1 lsl 18) () =
@@ -113,6 +116,7 @@ let create ?(trace_capacity = 1 lsl 18) () =
     by_name = Hashtbl.create 64;
     order = [];
     reset_hooks = [];
+    span_seq = 0;
   }
 
 let set_clock t f = t.clock <- f
@@ -175,11 +179,32 @@ let set_tracing t v =
   if v then Trace.ensure_buf t.trace;
   t.tracing <- v
 
-let emit t ?at ?(node = -1) ?(epoch = -1) ?(span = -1) ?(dur = -1)
-    ?(detail = "") ~cat name =
+(* Causal span ids: a process-unique sequence number with the allocating
+   node packed into the low bits, so an id decodes back to its origin
+   without a lookup. Allocation rides the (single-threaded) simulation
+   event loop, never the merge/encode domain pools, so the id stream is
+   deterministic at any --jobs/--merge-jobs width. The sequence is
+   deliberately NOT cleared by [reset_all]: spans allocated before the
+   warm-up reset may still be referenced by in-flight wire messages, and
+   re-using their ids would fabricate causal edges. *)
+let span_node_bits = 10
+let span_node_mask = (1 lsl span_node_bits) - 1
+
+let new_span t ~node =
+  if not t.tracing then 0
+  else begin
+    t.span_seq <- t.span_seq + 1;
+    (t.span_seq lsl span_node_bits) lor ((node + 1) land span_node_mask)
+  end
+
+let span_node span = (span land span_node_mask) - 1
+
+let emit t ?at ?(node = -1) ?(epoch = -1) ?(span = -1) ?(parent = -1)
+    ?(dur = -1) ?(detail = "") ~cat name =
   if t.tracing then
     let at = match at with Some a -> a | None -> t.clock () in
-    Trace.record t.trace { Trace.at; node; cat; name; epoch; span; dur; detail }
+    Trace.record t.trace
+      { Trace.at; node; cat; name; epoch; span; parent; dur; detail }
 
 let events t = Trace.events t.trace
 let events_total t = Trace.total t.trace

@@ -59,7 +59,10 @@ module Trace : sig
     cat : string;  (** category: "txn", "epoch", "net", "raft", "cluster" *)
     name : string;  (** event name within the category *)
     epoch : int;  (** epoch number (cen), [-1] when not epoch-scoped *)
-    span : int;  (** span id (per-node transaction id), [-1] for instants *)
+    span : int;  (** causal span id ({!new_span}), [-1]/[0] for instants *)
+    parent : int;
+        (** span id of the causal parent (for receive-side events, the
+            sender's span carried on the wire); [-1]/[0] when none *)
     dur : int;  (** duration in µs, [-1] for instant events *)
     detail : string;  (** free-form ["k=v k=v"] payload, [""] if none *)
   }
@@ -106,12 +109,26 @@ val reset_all : t -> unit
 val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 
+val new_span : t -> node:int -> int
+(** Allocate a causal span id: a process-unique positive integer with
+    [node] packed into the low bits (decode with {!span_node}). Returns
+    [0] — the "no span" wire value — without consuming a sequence number
+    while tracing is disabled, so traced and untraced runs behave
+    identically on the wire. Allocation happens on the simulation thread
+    only, keeping the id stream byte-deterministic at any
+    [--jobs]/[--merge-jobs] width. The sequence survives {!reset_all}
+    (in-flight messages may still carry pre-reset spans). *)
+
+val span_node : int -> int
+(** The node id packed into a span by {!new_span} ([-1] for span 0). *)
+
 val emit :
   t ->
   ?at:int ->
   ?node:int ->
   ?epoch:int ->
   ?span:int ->
+  ?parent:int ->
   ?dur:int ->
   ?detail:string ->
   cat:string ->

@@ -55,6 +55,68 @@ val skew_stats : t -> float * int
 val epoch_events : t -> int -> Obs.Trace.event list
 (** All events scoped to one epoch, in file order. *)
 
+(** {1 Causal DAG} *)
+
+val meta_regions : t -> string array
+(** Node → region name, from the meta record's [regions] list
+    ([[||]] for traces written before the field existed). *)
+
+val unresolved_parents : t -> int * int
+(** [(with_parent, unresolved)]: receive-side events carrying a parent
+    span, and how many of those parents no event in the file emits
+    (sender predates the measurement window or the ring buffer
+    wrapped). *)
+
+(** {1 Critical-path attribution}
+
+    The committed latency [T4 - T0] of each fully traced write
+    transaction is cut at the causally ordered instants of Algorithm 1
+    into six phases — execute (submit → commit point), seal wait (commit
+    point → own epoch seal), wan (seal → last peer EOF, the binding WAN
+    hop), merge wait, validate (the merge itself) and commit (write-back
+    → client notify). Intermediate instants are clamped into
+    [commit point, merge start], so the six phases always sum to exactly
+    the commit event's latency. Transactions without full lineage
+    (read-only, GeoG-A, ring-buffer wrap) are excluded and reported in
+    {!cp_report.cpr_committed} vs the sampled count. *)
+
+type cp_txn = {
+  cp_node : int;
+  cp_span : int;
+  cp_epoch : int;
+  cp_submit_at : int;
+  cp_latency_us : int;
+  cp_execute : int;
+  cp_seal_wait : int;
+  cp_wan : int;
+  cp_merge_wait : int;
+  cp_validate : int;
+  cp_commit : int;
+  cp_wan_from : int;  (** binding sender node, [-1] when no WAN hop bound *)
+  cp_wan_pair : string;  (** ["SenderRegion>MyRegion"], [""] when none *)
+}
+
+type cp_report = {
+  cpr_txns : cp_txn list;  (** sorted by (submit_at, node, span) *)
+  cpr_committed : int;  (** commit events seen in the trace *)
+  cpr_parent_events : int;
+  cpr_unresolved : int;
+}
+
+val critical_path : t -> cp_report
+
+(** {1 Per-region-pair WAN accounting} *)
+
+type wan_report = {
+  wr_pairs : (string * int) list;
+      (** ["A>B"] → bytes, in counter-registry (row-major region)
+          order, read from the window-closing snapshot *)
+  wr_total_bytes : int;
+  wr_commits : int;  (** committed transactions in the window *)
+}
+
+val wan_report : t -> wan_report
+
 (** {1 Rendering} *)
 
 val meta_line : t -> string
@@ -65,3 +127,16 @@ val render_slowest : ?top:int -> t -> string
 val render_report : ?epoch_limit:int -> ?top:int -> t -> string
 (** Full report: meta line, epoch timeline, phase breakdown,
     slowest-epoch drill-down, skew summary. *)
+
+val render_critical_path : t -> string
+(** Per-node mean phase table, binding-WAN-hop pair table, sampling and
+    parent-resolution summary. Byte-deterministic for a given trace. *)
+
+val critical_path_json : t -> Jsonl.t
+(** Machine-readable critical-path report: aggregate means plus one
+    entry per sampled transaction, in the same deterministic order. *)
+
+val render_wan : t -> string
+val wan_json : t -> Jsonl.t
+(** Per-region-pair WAN bytes and bytes/committed-txn for the
+    measurement window. *)

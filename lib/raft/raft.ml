@@ -45,10 +45,18 @@ type t = {
   apply : node:int -> index:int -> string -> unit;
 }
 
+(* 64 bytes of fixed header per message plus an 8-byte trace-context
+   header (span id), matching the framing of the epoch-batch wire form. *)
 let msg_size = function
-  | Request_vote _ | Vote _ | Append_ack _ -> 64
+  | Request_vote _ | Vote _ | Append_ack _ -> 72
   | Append { entries; _ } ->
-    64 + List.fold_left (fun n e -> n + 16 + String.length e.data) 0 entries
+    72 + List.fold_left (fun n e -> n + 16 + String.length e.data) 0 entries
+
+let msg_kind = function
+  | Request_vote _ -> "vote.req"
+  | Vote _ -> "vote"
+  | Append _ -> "append"
+  | Append_ack _ -> "append.ack"
 
 let create net ~rng ?(heartbeat_us = 50_000) ?(election_timeout_us = 300_000)
     ~apply () =
@@ -87,10 +95,25 @@ let fresh_timeout t =
 
 let is_down t id = Net.is_down t.net id
 
+(* Each send allocates a causal span carried (conceptually) in the
+   message's trace-context header; the delivery-side recv event names it
+   as parent, so Raft hops appear in the cross-node causal DAG. Span
+   allocation is a no-op (returns 0) when tracing is off. *)
 let rec send t ~src ~dst msg =
-  Net.send t.net ~src ~dst ~bytes:(msg_size msg) (fun () -> dispatch t dst msg)
+  let obs = Sim.obs t.sim in
+  let span = Obs.new_span obs ~node:src in
+  if Obs.tracing obs then
+    Obs.emit obs ~node:src ~span ~cat:"raft" "send" ~detail:(msg_kind msg);
+  Net.send t.net ~src ~dst ~bytes:(msg_size msg) (fun () ->
+      dispatch t dst ~parent:span msg)
 
-and dispatch t dst msg = handle t t.nodes.(dst) msg
+and dispatch t dst ~parent msg =
+  let obs = Sim.obs t.sim in
+  if Obs.tracing obs then
+    Obs.emit obs ~node:dst ~cat:"raft" "recv"
+      ~parent:(if parent > 0 then parent else -1)
+      ~detail:(msg_kind msg);
+  handle t t.nodes.(dst) msg
 
 and become_follower t nd term =
   nd.term <- term;

@@ -17,12 +17,30 @@ type t = {
   wan_bytes : Obs.Counter.t;
   dropped : Obs.Counter.t;
   wan_bytes_from : int array;
+  wan_pair : Obs.Counter.t array array;
+      (* [src_region].(dst_region) WAN bytes; diagonal entries are
+         unregistered dummies (intra-region traffic is not WAN) *)
 }
 
 let create sim ~rng ~topology ?(jitter_frac = 0.05) ?(loss = 0.0) ?(dup = 0.0)
     ?(reorder = 0.0) ?(bandwidth_bps = 100_000_000) () =
   let n = Topology.n_nodes topology in
   let obs = Sim.obs sim in
+  (* Every cross-region pair is registered eagerly, in row-major region
+     order, so the counter registry's order (and thus every snapshot
+     line) is a function of the topology alone, never of which pairs
+     happened to see traffic first. *)
+  let nr = Topology.n_regions topology in
+  let wan_pair =
+    Array.init nr (fun a ->
+        Array.init nr (fun b ->
+            let name =
+              Printf.sprintf "net.wan.bytes.%s>%s"
+                (Topology.name_of_region topology a)
+                (Topology.name_of_region topology b)
+            in
+            if a = b then Obs.Counter.make name else Obs.counter obs name))
+  in
   let t =
     {
       sim;
@@ -41,6 +59,7 @@ let create sim ~rng ~topology ?(jitter_frac = 0.05) ?(loss = 0.0) ?(dup = 0.0)
       wan_bytes = Obs.counter obs "net.wan.bytes";
       dropped = Obs.counter obs "net.dropped.messages";
       wan_bytes_from = Array.make n 0;
+      wan_pair;
     }
   in
   Obs.on_reset obs (fun () ->
@@ -98,9 +117,11 @@ let send t ~src ~dst ~bytes k =
   if not (t.down.(src) || t.down.(dst)) then begin
     Obs.Counter.incr t.sent_messages;
     Obs.Counter.add t.sent_bytes bytes;
-    if Topology.region_of t.topology src <> Topology.region_of t.topology dst
-    then begin
+    let sr = Topology.region_of t.topology src
+    and dr = Topology.region_of t.topology dst in
+    if sr <> dr then begin
       Obs.Counter.add t.wan_bytes bytes;
+      Obs.Counter.add t.wan_pair.(sr).(dr) bytes;
       t.wan_bytes_from.(src) <- t.wan_bytes_from.(src) + bytes
     end;
     if t.loss > 0.0 && Gg_util.Rng.chance t.rng t.loss then begin
@@ -129,9 +150,13 @@ let sent_bytes t = Obs.Counter.value t.sent_bytes
 let wan_bytes t = Obs.Counter.value t.wan_bytes
 let wan_bytes_from t node = t.wan_bytes_from.(node)
 
+let wan_pair_bytes t ~src_region ~dst_region =
+  Obs.Counter.value t.wan_pair.(src_region).(dst_region)
+
 let reset_accounting t =
   Obs.Counter.reset t.sent_messages;
   Obs.Counter.reset t.sent_bytes;
   Obs.Counter.reset t.wan_bytes;
   Obs.Counter.reset t.dropped;
+  Array.iter (Array.iter Obs.Counter.reset) t.wan_pair;
   Array.fill t.wan_bytes_from 0 (Array.length t.wan_bytes_from) 0

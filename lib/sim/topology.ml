@@ -9,6 +9,7 @@ let n_nodes t = Array.length t.node_region
 let n_regions t = Array.length t.regions
 let region_of t node = t.node_region.(node)
 let region_name t node = t.regions.(t.node_region.(node))
+let name_of_region t r = t.regions.(r)
 
 let latency t a b =
   t.region_latency_us.(t.node_region.(a)).(t.node_region.(b))

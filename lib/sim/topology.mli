@@ -22,6 +22,9 @@ val region_of : t -> int -> int
 val region_name : t -> int -> string
 (** Region name of a node. *)
 
+val name_of_region : t -> int -> string
+(** Name of a region by region index (not node id). *)
+
 val latency : t -> int -> int -> int
 (** One-way node-to-node latency in µs. *)
 

@@ -96,6 +96,12 @@ module Hist = struct
   let count t = t.count
   let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 
+  (* Linear interpolation between the crossing bucket's bounds: returning
+     the bucket's upper bound alone overstates tails by up to one growth
+     step (4%), which is visible on p95/p99 of tight distributions. The
+     target rank is placed proportionally between the bucket's lower and
+     upper bound by how far into the bucket's population it falls, then
+     clamped to the observed maximum. *)
   let percentile t p =
     if t.count = 0 then 0.0
     else begin
@@ -103,9 +109,18 @@ module Hist = struct
       let rec loop b seen =
         if b >= n_buckets then t.max
         else
-          let seen = seen + t.buckets.(b) in
-          if float_of_int seen >= target then Stdlib.min (value_of b) t.max
-          else loop (b + 1) seen
+          let in_bucket = t.buckets.(b) in
+          let seen' = seen + in_bucket in
+          if float_of_int seen' >= target && in_bucket > 0 then begin
+            let lo = if b = 0 then 0.0 else value_of (b - 1) in
+            let hi = value_of b in
+            let frac =
+              (target -. float_of_int seen) /. float_of_int in_bucket
+            in
+            let frac = Stdlib.max 0.0 (Stdlib.min 1.0 frac) in
+            Stdlib.min (lo +. ((hi -. lo) *. frac)) t.max
+          end
+          else loop (b + 1) seen'
       in
       loop 0 0
     end

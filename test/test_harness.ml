@@ -69,6 +69,85 @@ let test_experiment_table3_fast () =
   Alcotest.(check bool) "table3 runs" true
     (Gg_harness.Experiments.run ~fast:true "table3")
 
+(* --- bench diff: perf-regression accounting --- *)
+
+module Bd = Gg_harness.Bench_diff
+
+(* A minimal wallclock report; [scale] multiplies every throughput
+   metric, so 1.0 is the baseline and 0.5 is a synthetic 2x regression. *)
+let wallclock_report ?(overhead = 0.03) ~scale () =
+  Printf.sprintf
+    {|{"suite": "wallclock", "reps": 3,
+       "scenarios": [
+         {"label": "ycsb/china3", "events_per_s": %.1f,
+          "merged_records_per_s": %.1f, "batches_encoded_per_s": %.1f}
+       ],
+       "tracing_overhead": {"scenario": "ycsb/china3",
+         "wall_s_tracing_off": 1.0, "wall_s_tracing_on": %.4f,
+         "overhead_frac": %.4f}}|}
+    (30_000.0 *. scale) (25_000.0 *. scale) (4_000.0 *. scale)
+    (1.0 +. overhead) overhead
+
+let diff_ok ?threshold old_json new_json =
+  match Bd.diff ?threshold ~old_json ~new_json () with
+  | Ok rows -> rows
+  | Error m -> Alcotest.failf "diff failed: %s" m
+
+let test_bench_diff_identical () =
+  let r = wallclock_report ~scale:1.0 () in
+  let rows = diff_ok r r in
+  Alcotest.(check bool) "rows produced" true (List.length rows >= 4);
+  Alcotest.(check bool) "no regression" false (Bd.has_regression rows);
+  Alcotest.(check bool) "no warning" false (Bd.has_warning rows)
+
+let test_bench_diff_detects_regression () =
+  let rows =
+    diff_ok (wallclock_report ~scale:1.0 ()) (wallclock_report ~scale:0.5 ())
+  in
+  Alcotest.(check bool) "2x slowdown flagged" true (Bd.has_regression rows);
+  (* the renderer marks the offending rows *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "REGRESS visible in table" true
+    (contains (Bd.render rows) "REGRESS")
+
+let test_bench_diff_noise_tolerated () =
+  (* 5% wobble is well inside the default 25% threshold *)
+  let rows =
+    diff_ok (wallclock_report ~scale:1.0 ()) (wallclock_report ~scale:0.95 ())
+  in
+  Alcotest.(check bool) "no regression" false (Bd.has_regression rows);
+  Alcotest.(check bool) "no warning" false (Bd.has_warning rows)
+
+let test_bench_diff_overhead_gate () =
+  (* tracing overhead gates on the absolute 5% ceiling even when the
+     throughputs are untouched and the old report was also over *)
+  let rows =
+    diff_ok
+      (wallclock_report ~overhead:0.06 ~scale:1.0 ())
+      (wallclock_report ~overhead:0.08 ~scale:1.0 ())
+  in
+  Alcotest.(check bool) "overhead > 5% is a regression" true (Bd.has_regression rows);
+  let rows =
+    diff_ok
+      (wallclock_report ~overhead:0.06 ~scale:1.0 ())
+      (wallclock_report ~overhead:0.04 ~scale:1.0 ())
+  in
+  Alcotest.(check bool) "back under the ceiling passes" false (Bd.has_regression rows)
+
+let test_bench_diff_suite_mismatch () =
+  match
+    Bd.diff
+      ~old_json:{|{"suite": "merge", "kernels": []}|}
+      ~new_json:(wallclock_report ~scale:1.0 ())
+      ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "suite mismatch accepted"
+
 let () =
   Alcotest.run "gg_harness"
     [
@@ -82,5 +161,14 @@ let () =
         [
           Alcotest.test_case "registry" `Quick test_experiment_registry;
           Alcotest.test_case "table3 fast" `Slow test_experiment_table3_fast;
+        ] );
+      ( "bench_diff",
+        [
+          Alcotest.test_case "identical reports pass" `Quick test_bench_diff_identical;
+          Alcotest.test_case "synthetic regression flagged" `Quick
+            test_bench_diff_detects_regression;
+          Alcotest.test_case "small wobble tolerated" `Quick test_bench_diff_noise_tolerated;
+          Alcotest.test_case "overhead ceiling absolute" `Quick test_bench_diff_overhead_gate;
+          Alcotest.test_case "suite mismatch rejected" `Quick test_bench_diff_suite_mismatch;
         ] );
     ]

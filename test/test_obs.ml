@@ -124,6 +124,85 @@ let test_jsonl_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad value accepted"
 
+let test_jsonl_control_chars () =
+  let s = Jsonl.to_string (Jsonl.Str "a\x01b\x1fc\x00") in
+  Alcotest.(check string) "control chars \\u-escaped"
+    "\"a\\u0001b\\u001fc\\u0000\"" s;
+  (* a trace line must never contain a raw newline or control byte *)
+  String.iter
+    (fun c -> Alcotest.(check bool) "no raw control byte" true (Char.code c >= 0x20))
+    s;
+  match Jsonl.parse s with
+  | Ok (Jsonl.Str s') -> Alcotest.(check string) "parses back" "a\x01b\x1fc\x00" s'
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_jsonl_non_finite_floats () =
+  Alcotest.(check string) "nan renders null" "null"
+    (Jsonl.to_string (Jsonl.Float Float.nan));
+  Alcotest.(check string) "+inf renders 1e999" "1e999"
+    (Jsonl.to_string (Jsonl.Float Float.infinity));
+  Alcotest.(check string) "-inf renders -1e999" "-1e999"
+    (Jsonl.to_string (Jsonl.Float Float.neg_infinity));
+  (match Jsonl.parse "1e999" with
+  | Ok (Jsonl.Float f) ->
+    Alcotest.(check bool) "1e999 parses to +inf" true (f = Float.infinity)
+  | _ -> Alcotest.fail "1e999 did not parse as a float");
+  match Jsonl.parse "-1e999" with
+  | Ok (Jsonl.Float f) ->
+    Alcotest.(check bool) "-1e999 parses to -inf" true (f = Float.neg_infinity)
+  | _ -> Alcotest.fail "-1e999 did not parse as a float"
+
+(* Round-trip property over arbitrary values, including non-finite
+   floats and control-character strings. NaN renders as [null], so
+   value-level equality cannot hold in general; what the exporter needs
+   is byte-level idempotence: once rendered, re-parsing and re-rendering
+   reproduces the exact bytes. *)
+let jsonl_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Jsonl.Null;
+        map (fun b -> Jsonl.Bool b) bool;
+        map (fun i -> Jsonl.Int i) int;
+        map (fun f -> Jsonl.Float f)
+          (oneof
+             [
+               float;
+               oneofl [ Float.nan; Float.infinity; Float.neg_infinity; 0.0; -0.0 ];
+             ]);
+        map (fun s -> Jsonl.Str s) (string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 20));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> Jsonl.List l) (list_size (0 -- 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> Jsonl.Obj kvs)
+                (list_size (0 -- 4)
+                   (pair (string_size ~gen:printable (0 -- 8)) (self (depth - 1)))) );
+          ])
+    2
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"jsonl render/parse/render is byte-stable"
+    (QCheck.make jsonl_gen) (fun v ->
+      let s = Jsonl.to_string v in
+      (* every rendered line is newline- and control-free *)
+      String.iter
+        (fun c -> if Char.code c < 0x20 then QCheck.Test.fail_report "raw control byte")
+        s;
+      match Jsonl.parse s with
+      | Error m -> QCheck.Test.fail_reportf "did not parse back: %s (%s)" m s
+      | Ok v' -> String.equal s (Jsonl.to_string v'))
+
 (* --- trace analysis --- *)
 
 let ev ?(node = 0) ?(epoch = -1) ?(span = -1) ?(dur = -1) ?(detail = "") ~at cat
@@ -262,6 +341,127 @@ let test_traced_run_loads_and_analyzes () =
       (List.length (Trace_view.epoch_rows t) > 0));
   Sys.remove path
 
+(* --- causal propagation + critical-path attribution --- *)
+
+let traced_run_custom ?(merge_jobs = 1) ?(warmup_ms = 200) path =
+  let profile =
+    Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 2_000
+  in
+  let params = { Geogauss.Params.default with Geogauss.Params.merge_jobs } in
+  let r, _ =
+    Gg_harness.Driver.run_geogauss ~params ~connections:8 ~trace_file:path
+      ~snapshot_every_ms:100
+      ~topology:(Gg_sim.Topology.china3 ())
+      ~load:(Gg_workload.Ycsb.load profile)
+      ~gen:(Gg_harness.Driver.ycsb_gens profile ~seed:11)
+      ~warmup_ms ~measure_ms:400 ~label:"trace-test" ()
+  in
+  r
+
+let load_trace path =
+  match Trace_view.load_file path with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "trace unreadable: %s" m
+
+(* With no warm-up the buffer covers the whole run, so every
+   receive-side span's parent (batch EOFs, ft acks/commits, txn commit
+   merges) must resolve to an emitted event — zero orphans. (With a
+   warm-up, sends predating the reset legitimately dangle near the
+   window start; that case is covered by the sampling counters in the
+   critical-path report instead.) *)
+let test_no_orphan_parents () =
+  let path = Filename.temp_file "ggorphan" ".jsonl" in
+  ignore (traced_run_custom ~warmup_ms:0 path);
+  let t = load_trace path in
+  Sys.remove path;
+  let with_parent, unresolved = Trace_view.unresolved_parents t in
+  Alcotest.(check bool) "receive-side events present" true (with_parent > 100);
+  Alcotest.(check int) "every parent span resolves" 0 unresolved
+
+let test_critical_path_sums_to_latency () =
+  let path = Filename.temp_file "ggcp" ".jsonl" in
+  let r = traced_run_custom path in
+  let t = load_trace path in
+  Sys.remove path;
+  let rep = Trace_view.critical_path t in
+  Alcotest.(check int) "commit count matches result"
+    r.Gg_harness.Result.committed rep.Trace_view.cpr_committed;
+  Alcotest.(check bool) "sampled a meaningful fraction" true
+    (List.length rep.Trace_view.cpr_txns > rep.Trace_view.cpr_committed / 2);
+  List.iter
+    (fun (c : Trace_view.cp_txn) ->
+      let sum =
+        c.Trace_view.cp_execute + c.Trace_view.cp_seal_wait + c.Trace_view.cp_wan
+        + c.Trace_view.cp_merge_wait + c.Trace_view.cp_validate
+        + c.Trace_view.cp_commit
+      in
+      if sum <> c.Trace_view.cp_latency_us then
+        Alcotest.failf
+          "node %d span %d: phases sum to %d but latency is %d"
+          c.Trace_view.cp_node c.Trace_view.cp_span sum c.Trace_view.cp_latency_us;
+      List.iter
+        (fun (label, v) -> if v < 0 then Alcotest.failf "%s negative: %d" label v)
+        [
+          ("execute", c.Trace_view.cp_execute);
+          ("seal_wait", c.Trace_view.cp_seal_wait);
+          ("wan", c.Trace_view.cp_wan);
+          ("merge_wait", c.Trace_view.cp_merge_wait);
+          ("validate", c.Trace_view.cp_validate);
+          ("commit", c.Trace_view.cp_commit);
+        ])
+    rep.Trace_view.cpr_txns;
+  (* cross-region traffic flowed and was attributed to region pairs *)
+  let wan = Trace_view.wan_report t in
+  Alcotest.(check bool) "wan bytes flowed" true (wan.Trace_view.wr_total_bytes > 0);
+  Alcotest.(check bool) "region pairs attributed" true
+    (List.exists (fun (_, b) -> b > 0) wan.Trace_view.wr_pairs);
+  (* rendering and the JSON reports are pure functions of the trace *)
+  Alcotest.(check string) "render deterministic"
+    (Trace_view.render_critical_path t)
+    (Trace_view.render_critical_path t);
+  Alcotest.(check string) "json deterministic"
+    (Jsonl.to_string (Trace_view.critical_path_json t))
+    (Jsonl.to_string (Trace_view.critical_path_json t));
+  Alcotest.(check string) "wan json deterministic"
+    (Jsonl.to_string (Trace_view.wan_json t))
+    (Jsonl.to_string (Trace_view.wan_json t))
+
+let test_trace_bytes_identical_across_merge_jobs () =
+  let p1 = Filename.temp_file "ggmj1" ".jsonl" in
+  let p4 = Filename.temp_file "ggmj4" ".jsonl" in
+  ignore (traced_run_custom ~merge_jobs:1 p1);
+  ignore (traced_run_custom ~merge_jobs:4 p4);
+  let s1 = read_file p1 and s4 = read_file p4 in
+  Sys.remove p1;
+  Sys.remove p4;
+  Alcotest.(check bool) "trace nonempty" true (String.length s1 > 1_000);
+  Alcotest.(check bool) "--merge-jobs 1 vs 4: byte-identical traces" true
+    (String.equal s1 s4)
+
+(* The harness pool fans whole simulations out over domains; a traced
+   run must produce the same bytes whether it runs on the calling domain
+   or inside a worker at any -j width. *)
+let test_trace_bytes_identical_across_pool_jobs () =
+  let run_in_pool jobs =
+    let paths =
+      List.init 2 (fun i -> Filename.temp_file (Printf.sprintf "ggpool%d_%d" jobs i) ".jsonl")
+    in
+    Gg_par.Pool.with_pool ~jobs (fun pool ->
+        ignore
+          (Gg_par.Pool.run pool
+             (List.map (fun p () -> traced_run_custom p) paths)));
+    let contents = List.map read_file paths in
+    List.iter Sys.remove paths;
+    contents
+  in
+  let seq = run_in_pool 1 and par = run_in_pool 4 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d: -j1 vs -j4 byte-identical" i)
+        true (String.equal a b))
+    (List.combine seq par)
+
 let test_untraced_run_buffers_nothing () =
   let profile =
     Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 1_000
@@ -296,9 +496,22 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
+          Alcotest.test_case "control chars" `Quick test_jsonl_control_chars;
+          Alcotest.test_case "non-finite floats" `Quick test_jsonl_non_finite_floats;
+          QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
         ] );
       ( "trace_view",
         [ Alcotest.test_case "analyses" `Quick test_trace_view_analyses ] );
+      ( "causal",
+        [
+          Alcotest.test_case "no orphan parents (warmup 0)" `Slow test_no_orphan_parents;
+          Alcotest.test_case "critical path sums to latency" `Slow
+            test_critical_path_sums_to_latency;
+          Alcotest.test_case "byte-identical across --merge-jobs" `Slow
+            test_trace_bytes_identical_across_merge_jobs;
+          Alcotest.test_case "byte-identical across pool -j" `Slow
+            test_trace_bytes_identical_across_pool_jobs;
+        ] );
       ( "end_to_end",
         [
           Alcotest.test_case "byte-identical traces" `Slow test_traced_run_deterministic;

@@ -187,6 +187,38 @@ let test_hist_percentiles () =
     (p99 > 930.0 && p99 <= 1000.0);
   check_float "max" 1000.0 (Stats.Hist.max h)
 
+(* Pin the linear interpolation inside the crossing bucket on known
+   distributions. Values <= 1.0 all land in bucket 0, whose bounds are
+   [0, 1], so the interpolated percentile is exactly rank/count there. *)
+let test_hist_percentile_interpolation () =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) [ 0.2; 0.4; 0.6; 0.8 ];
+  check_float "p25 interpolates to 0.25" 0.25 (Stats.Hist.percentile h 25.0);
+  check_float "p50 interpolates to 0.5" 0.5 (Stats.Hist.percentile h 50.0);
+  check_float "p75 interpolates to 0.75" 0.75 (Stats.Hist.percentile h 75.0);
+  (* the bucket's upper bound (1.0) exceeds the observed max: clamp *)
+  check_float "p100 clamped to observed max" 0.8
+    (Stats.Hist.percentile h 100.0);
+  let one = Stats.Hist.create () in
+  Stats.Hist.add one 50.0;
+  check_float "single value, p100 = the value" 50.0
+    (Stats.Hist.percentile one 100.0);
+  Alcotest.(check bool) "single value, p50 <= the value" true
+    (Stats.Hist.percentile one 50.0 <= 50.0);
+  check_float "empty hist = 0" 0.0 (Stats.Hist.percentile (Stats.Hist.create ()) 99.0);
+  (* percentiles are monotone in p *)
+  let u = Stats.Hist.create () in
+  for i = 1 to 1000 do
+    Stats.Hist.add u (float_of_int i)
+  done;
+  let prev = ref 0.0 in
+  List.iter
+    (fun p ->
+      let v = Stats.Hist.percentile u p in
+      Alcotest.(check bool) (Printf.sprintf "monotone at p%.0f" p) true (v >= !prev);
+      prev := v)
+    [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 100.0 ]
+
 let test_hist_mean () =
   let h = Stats.Hist.create () in
   List.iter (Stats.Hist.add h) [ 10.0; 20.0; 30.0 ];
@@ -372,6 +404,8 @@ let () =
           Alcotest.test_case "acc empty" `Quick test_acc_empty;
           Alcotest.test_case "acc merge" `Quick test_acc_merge;
           Alcotest.test_case "hist percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "hist percentile interpolation" `Quick
+            test_hist_percentile_interpolation;
           Alcotest.test_case "hist mean" `Quick test_hist_mean;
           Alcotest.test_case "hist merge" `Quick test_hist_merge;
           Alcotest.test_case "series" `Quick test_series;
