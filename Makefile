@@ -48,6 +48,15 @@ ci: fmt
 	dune exec bin/geogauss_cli.exe -- check --seeds 3 --fast --merge-jobs 4 > /tmp/gg_ci_mj.out; \
 	tail -1 /tmp/gg_ci_mj.out; \
 	echo "ci: merge-jobs=4 sweep ran clean (results are byte-identical to -j1 by construction; dune runtest asserts it)"
+# Partial replication (DESIGN.md §12): a short partitioned sweep per
+# partition map, plus a corrupted-frame sweep exercising the
+# decode-failure -> stall-repair path.
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --partitioning hash:2 --jobs $(JOBS) > /tmp/gg_ci_ph.out; \
+	tail -1 /tmp/gg_ci_ph.out
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --partitioning region --jobs $(JOBS) > /tmp/gg_ci_pr.out; \
+	tail -1 /tmp/gg_ci_pr.out
+	dune exec bin/geogauss_cli.exe -- check --seeds 3 --fast --corrupt 0.05 --jobs $(JOBS) > /tmp/gg_ci_cf.out; \
+	tail -1 /tmp/gg_ci_cf.out
 	dune exec bin/geogauss_cli.exe -- check --canary
 # Perf-regression accounting: fresh fast wallclock run vs the committed
 # baseline. Fast mode uses shrunk populations, so rates differ
@@ -56,6 +65,15 @@ ci: fmt
 # gate), not a flaky blocker.
 	dune exec bench/main.exe -- wallclock --fast --out /tmp/gg_wc_fast.json --jobs $(JOBS)
 	dune exec bin/geogauss_cli.exe -- bench diff BENCH_wallclock.json /tmp/gg_wc_fast.json --warn-only --threshold 0.5
+# Same tripwire for the partial-replication sweep: fresh fast fig_scale
+# vs the committed 25-200 replica baseline (fast mode only runs the
+# 25/50 widths; the 100/200 rows report as missing, which warn-only
+# tolerates). The fresh JSON lands in cwd, so park the baseline first.
+	cp BENCH_scale.json /tmp/gg_scale_base.json; \
+	dune exec bench/main.exe -- fig_scale --fast --jobs $(JOBS) > /dev/null; \
+	mv BENCH_scale.json /tmp/gg_scale_fast.json; \
+	cp /tmp/gg_scale_base.json BENCH_scale.json; \
+	dune exec bin/geogauss_cli.exe -- bench diff /tmp/gg_scale_base.json /tmp/gg_scale_fast.json --warn-only --threshold 0.5
 
 bench:
 	dune exec bench/main.exe -- --jobs $(JOBS)

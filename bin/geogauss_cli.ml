@@ -25,6 +25,28 @@ let merge_jobs_arg =
            widths round down to a power of two <= 16). Results are \
            byte-identical at any value — this is purely a wall-clock knob.")
 
+let partitioning_conv =
+  let parse s =
+    match Geogauss.Params.partitioning_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p ->
+      Format.pp_print_string ppf (Geogauss.Params.partitioning_to_string p))
+
+let partitioning_arg =
+  Arg.(
+    value
+    & opt partitioning_conv Geogauss.Params.P_none
+    & info [ "partitioning" ] ~docv:"MODE"
+        ~doc:
+          "Replica-group map for partial replication: none (full \
+           replication), region (one group per topology region) or hash:$(i,K) \
+           ($(i,K) groups, node i -> i mod K). Write-set batches are \
+           disseminated to interested replicas only; cross-group \
+           transactions commit once every touched group's epoch merge \
+           validates them (DESIGN.md \xC2\xA712).")
+
 (* --- `bench` subcommand: run paper experiments --- *)
 
 let bench_names =
@@ -32,7 +54,7 @@ let bench_names =
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiments to run (fig5 table2 fig6 fig7 table3 fig8 fig9 \
-              fig10 fig11 fig12 fig13 ablations). Default: all.")
+              fig10 fig11 fig12 fig13 ablations fig_scale). Default: all.")
 
 let bench_run_term =
   let run fast jobs names =
@@ -101,8 +123,10 @@ let bench_diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:
-         "Compare two bench JSON reports (wallclock, merge or parallel \
-          suite) and fail on throughput drops beyond the noise threshold.")
+         "Compare two bench JSON reports (wallclock, merge, parallel or \
+          scale suite) and fail on throughput drops beyond the noise \
+          threshold (the scale suite's WAN-per-txn column gates \
+          lower-is-better).")
     Term.(ret (const run $ old_path $ new_path $ threshold $ warn_only))
 
 let bench_cmd =
@@ -192,7 +216,7 @@ let run_cmd =
                 measurement window to $(docv) (replay with `geogauss trace').")
   in
   let run workload nodes world epoch_ms isolation variant ft seconds connections
-      theta records seed trace merge_jobs =
+      theta records seed trace merge_jobs partitioning =
     let topology =
       if world then Gg_sim.Topology.worldwide nodes else Gg_sim.Topology.china nodes
     in
@@ -205,6 +229,7 @@ let run_cmd =
         ft;
         seed;
         merge_jobs;
+        partitioning;
       }
     in
     let gen, load =
@@ -243,11 +268,16 @@ let run_cmd =
     let table =
       Gg_util.Tablefmt.create
         ~title:
-          (Printf.sprintf "%s on %s (%d replicas, epoch %d ms, %s, ft=%s)"
+          (Printf.sprintf "%s on %s (%d replicas, epoch %d ms, %s, ft=%s%s)"
              (Geogauss.Params.variant_to_string variant)
              topology.Gg_sim.Topology.name nodes epoch_ms
              (Geogauss.Params.isolation_to_string isolation)
-             (Geogauss.Params.ft_to_string ft))
+             (Geogauss.Params.ft_to_string ft)
+             (match partitioning with
+             | Geogauss.Params.P_none -> ""
+             | m ->
+               ", partitioning="
+               ^ Geogauss.Params.partitioning_to_string m))
         ~headers:Gg_harness.Result.headers
     in
     Gg_util.Tablefmt.add_row table (Gg_harness.Result.row r);
@@ -267,7 +297,7 @@ let run_cmd =
     Term.(
       const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
       $ ft $ seconds $ connections $ theta $ records $ seed $ trace
-      $ merge_jobs_arg)
+      $ merge_jobs_arg $ partitioning_arg)
 
 (* --- `check` subcommand: seeded chaos checking --- *)
 
@@ -324,7 +354,18 @@ let check_cmd =
           ~doc:"Self-test: inject a deliberate replica corruption and verify \
                 the oracles detect it (exits non-zero if they do not).")
   in
-  let run seeds base engine ft fast jobs trace canary merge_jobs =
+  let corrupt =
+    Arg.(
+      value & opt float 0.0
+      & info [ "corrupt" ] ~docv:"FRAC"
+          ~doc:
+            "Pin a binary-frame corruption probability on every scenario: \
+             each batch frame is truncated in flight with probability \
+             $(docv); decode failures must be recovered by the stall-repair \
+             path under the same oracles.")
+  in
+  let run seeds base engine ft fast jobs trace canary merge_jobs partitioning
+      corrupt =
     let log = print_endline in
     if canary then begin
       let s =
@@ -351,7 +392,7 @@ let check_cmd =
       let report =
         Gg_par.Pool.with_pool ~jobs @@ fun pool ->
         Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~pool
-          ~merge_jobs ~seeds ()
+          ~merge_jobs ~partitioning ~corrupt_frac:corrupt ~seeds ()
       in
       Printf.printf "%d seeds, %d commits, %d violation(s)\n"
         report.Gg_check.Checker.seeds_run
@@ -380,7 +421,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ seeds $ base $ engine $ ft $ fast_arg $ jobs_arg $ trace
-       $ canary $ merge_jobs_arg))
+       $ canary $ merge_jobs_arg $ partitioning_arg $ corrupt))
 
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 

@@ -50,6 +50,8 @@ val check :
   ?base:int ->
   ?pool:Gg_par.Pool.t ->
   ?merge_jobs:int ->
+  ?partitioning:Geogauss.Params.partitioning ->
+  ?corrupt_frac:float ->
   seeds:int ->
   unit ->
   report
@@ -65,4 +67,15 @@ val check :
     1). It is applied after seed generation, so the drawn scenarios are
     the same ones the default sweep runs — and since the parallel merge
     is result-identical, commits/aborts/violations must match the
-    [merge_jobs = 1] sweep exactly (the tests assert this). *)
+    [merge_jobs = 1] sweep exactly (the tests assert this).
+
+    [?partitioning] pins a replica-group map on every scenario (default
+    [P_none]), via {!Scenario.with_partitioning} — crash/recover faults
+    are scrubbed and GeoG-A coerced to the full engine; the oracles
+    scope convergence/durability to each key's replica group.
+    [?corrupt_frac] pins a binary-frame corruption probability (default
+    [0.0]); corrupted batches must be recovered by the stall-repair
+    path, so the same oracles apply — except on GeoG-A scenarios, which
+    the pin skips (a corrupted frame is a dropped frame, and the gossip
+    engine makes no promises under drops). Both are applied after seed
+    generation like [merge_jobs]. *)

@@ -18,7 +18,14 @@
       winner per row, §4.3).
 
     GeoG-A ([Async_merge]) runs skip the epoch-based checks; the checker
-    applies an eventual-convergence check instead. *)
+    applies an eventual-convergence check instead.
+
+    Under partial replication ([Params.partitioning <> P_none],
+    DESIGN.md §12) replicas of different groups hold different fragments
+    by design, so convergence is scoped to same-group pairs and
+    durability consults the most advanced live member of each row's
+    owning group. With partitioning off every node is in group 0 and the
+    checks reduce to the full-cluster ones above. *)
 
 type invariant = Convergence | Monotonicity | Durability | Aci | Isolation
 

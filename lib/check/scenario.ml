@@ -29,6 +29,14 @@ type t = {
       (* host domains for the intra-node merge; 1 = sequential. Not
          drawn from the seed (it must not perturb existing
          reproducers) — sweeps pin it via Checker.check ?merge_jobs. *)
+  partitioning : Params.partitioning;
+      (* replica-group map for partial replication. Like merge_jobs,
+         never drawn from the seed — pinned via Checker.check
+         ?partitioning / with_partitioning. *)
+  corrupt_frac : float;
+      (* probability a binary batch frame is truncated in flight.
+         Pinned, not drawn: probability 0 means the network takes no
+         corruption coin-flips, so existing seeds are unperturbed. *)
 }
 
 (* Crash/recover timing must respect the protocol's own clocks: the
@@ -153,6 +161,8 @@ let generate ?variant ?isolation ?ft ~fast seed =
       faults = [];
       corruption = None;
       merge_jobs = 1;
+      partitioning = Params.P_none;
+      corrupt_frac = 0.0;
     }
   | Params.Optimistic | Params.Sync_exec ->
     let faults = gen_faults rng ~nodes ~duration_ms in
@@ -173,6 +183,35 @@ let generate ?variant ?isolation ?ft ~fast seed =
       faults;
       corruption = None;
       merge_jobs = 1;
+      partitioning = Params.P_none;
+      corrupt_frac = 0.0;
+    }
+
+(* Pin partial replication onto a drawn scenario. Two coercions keep the
+   result inside what the engine supports (DESIGN.md §12, Caveats):
+   recovery installs a whole-db snapshot from the nearest live donor,
+   which under partial replication holds a different group's fragment —
+   so crash/recover faults are scrubbed; and GeoG-A's coordination-free
+   gossip has no epoch merge to scope, so it is coerced to the full
+   engine. Everything else (network knobs, workload, epochs) is the
+   seed's own draw. *)
+let with_partitioning s mode =
+  if mode = Params.P_none then s
+  else
+    {
+      s with
+      partitioning = mode;
+      variant =
+        (match s.variant with
+        | Params.Async_merge -> Params.Optimistic
+        | v -> v);
+      faults =
+        List.filter
+          (fun e ->
+            match e.Fault.action with
+            | Fault.Crash _ | Fault.Recover _ -> false
+            | _ -> true)
+          s.faults;
     }
 
 let params s =
@@ -186,6 +225,7 @@ let params s =
     (* Faulty runs stall for up to a detection window; clients should
        re-route well before the run ends. *)
     client_retry_us = 900_000;
+    partitioning = s.partitioning;
     merge_jobs = s.merge_jobs;
     (* A sharded sweep must actually shard: small checker epochs never
        reach the default record threshold. *)
@@ -208,6 +248,11 @@ let to_string s =
     (match s.corruption with
     | None -> ""
     | Some (node, at_ms) -> Printf.sprintf " corrupt=%d@%dms" node at_ms)
-  (* printed only when sharded so every existing reproducer line is
-     byte-identical *)
+  (* the non-default suffixes print only when set, so every existing
+     reproducer line is byte-identical *)
   ^ (if s.merge_jobs = 1 then "" else Printf.sprintf " merge_jobs=%d" s.merge_jobs)
+  ^ (match s.partitioning with
+    | Params.P_none -> ""
+    | m -> Printf.sprintf " partitioning=%s" (Params.partitioning_to_string m))
+  ^ (if s.corrupt_frac = 0.0 then ""
+     else Printf.sprintf " corrupt_frac=%.3f" s.corrupt_frac)

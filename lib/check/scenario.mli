@@ -33,6 +33,15 @@ type t = {
           reproducer lines stay stable — and merge results are
           byte-identical at any value, so a sweep with [merge_jobs > 1]
           checks the parallel merge against the same five oracles. *)
+  partitioning : Geogauss.Params.partitioning;
+      (** replica-group map for partial replication (DESIGN.md §12).
+          Like [merge_jobs], never drawn from the seed — pinned through
+          {!with_partitioning}. *)
+  corrupt_frac : float;
+      (** probability each binary batch frame is truncated in flight
+          (the decode failure routes to the batch-loss repair path).
+          Pinned, never drawn: at [0.0] the network takes no corruption
+          coin-flips, so existing seeds replay unchanged. *)
 }
 
 val generate :
@@ -47,6 +56,13 @@ val generate :
     run length for test-suite use. GeoG-A ([Async_merge]) scenarios are
     automatically restricted to the faults eventual consistency
     tolerates (no loss, no crashes). *)
+
+val with_partitioning : t -> Geogauss.Params.partitioning -> t
+(** Pin a replica-group map onto a drawn scenario (identity for
+    [P_none]). Scrubs crash/recover faults — recovery state transfer
+    installs whole-db snapshots, which partial replication invalidates —
+    and coerces GeoG-A to the full engine (gossip has no epoch merge to
+    scope). All seed-drawn knobs are otherwise untouched. *)
 
 val params : t -> Geogauss.Params.t
 (** The cluster parameter block this scenario runs under. *)

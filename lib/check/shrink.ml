@@ -62,6 +62,7 @@ let minimize ~run (s : Scenario.t) (v : Oracle.violation) =
       (fun s -> { s with Scenario.dup = 0.0 });
       (fun s -> { s with Scenario.reorder = 0.0 });
       (fun s -> { s with Scenario.jitter = 0.0 });
+      (fun s -> { s with Scenario.corrupt_frac = 0.0 });
     ];
   (* 4. Thin the workload. *)
   let rec fewer_connections () =

@@ -228,11 +228,16 @@ let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
   let net = Net.create sim ~rng ~topology ~jitter_frac ~loss ~dup ~reorder () in
   let n = Topology.n_nodes topology in
   let backup = Backup.create ~n in
+  let part =
+    Partitioning.make ~topology ~epoch_us:params.Params.epoch_us
+      params.Params.partitioning
+  in
   let env =
     {
       Node.sim;
       net;
       params;
+      part;
       backup;
       members_at = (fun _ -> List.init n (fun i -> i));
       deliver = (fun ~dst:_ _ -> ());
@@ -296,6 +301,7 @@ let sim t = t.sim
 let obs t = Sim.obs t.sim
 let net t = t.net
 let params t = t.params
+let partitioning t = t.env.Node.part
 let n_nodes t = Array.length t.nodes
 let node t i = t.nodes.(i)
 let metrics t i = Node.metrics t.nodes.(i)

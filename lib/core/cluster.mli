@@ -25,6 +25,12 @@ val obs : t -> Gg_obs.Obs.t
 
 val net : t -> Gg_sim.Net.t
 val params : t -> Params.t
+
+val partitioning : t -> Partitioning.t
+(** The deployment's replica-group map (from
+    [params.Params.partitioning]); partition-aware oracles use it to
+    scope convergence and durability to each key's replica group. *)
+
 val n_nodes : t -> int
 val node : t -> int -> Node.t
 val metrics : t -> int -> Metrics.t

@@ -246,10 +246,10 @@ let ssi_pass ~dead ~committed_set txns =
       end)
     txns
 
-let phase_c ~db txns committed_set =
+let phase_c ~db ~defer txns committed_set =
   List.iter
     (fun (ws : Writeset.t) ->
-      if Itbl.mem committed_set (csn_key ws) then begin
+      if Itbl.mem committed_set (csn_key ws) && not (defer ws) then begin
         let meta = ws.Writeset.meta in
         List.iter
           (fun (r : Writeset.record) ->
@@ -277,8 +277,8 @@ let phase_c ~db txns committed_set =
       end)
     txns
 
-let run ?(threshold = Params.default.Params.merge_par_threshold) ~db ~jobs ~ssi
-    txns =
+let run ?(threshold = Params.default.Params.merge_par_threshold)
+    ?(defer = fun _ -> false) ~db ~jobs ~ssi txns =
   (* Flatten to (global index, ws, record) in the sequential iteration
      order — the order every determinism argument above is stated in. *)
   let items =
@@ -309,6 +309,6 @@ let run ?(threshold = Params.default.Params.merge_par_threshold) ~db ~jobs ~ssi
         else Itbl.replace dead k (max_int, Txn.Write_conflict))
     txns_arr;
   if ssi then ssi_pass ~dead ~committed_set txns;
-  phase_c ~db txns committed_set;
+  phase_c ~db ~defer txns committed_set;
   Db.temp_clear_all db;
   { dead; committed_set; n_records; jobs_used = jobs }

@@ -13,7 +13,8 @@ type t
     [jobs]. *)
 
 val run :
-  ?threshold:int -> db:Gg_storage.Db.t -> jobs:int -> ssi:bool ->
+  ?threshold:int -> ?defer:(Gg_crdt.Writeset.t -> bool) ->
+  db:Gg_storage.Db.t -> jobs:int -> ssi:bool ->
   Gg_crdt.Writeset.t list -> t
 (** Merge one epoch's deduplicated write sets into [db] (mutating it:
     header stamps, write-back, temp-area use and final clear — exactly
@@ -22,7 +23,12 @@ val run :
     {!Gg_storage.Table.temp_shard_count}, and forced to 1 when the epoch
     has fewer than [threshold] records (default
     [Params.default.merge_par_threshold]; pass [~threshold:0] to force
-    sharding on). [ssi] enables the SSI pivot-abort pass. *)
+    sharding on). [ssi] enables the SSI pivot-abort pass. [defer]
+    (default: never) marks write sets that participate fully in
+    validation — they can win rows in phases A/B and enter the committed
+    set — but whose phase-C write-back is withheld; the partial-
+    replication engine uses this for cross-group transactions whose
+    global verdict arrives epochs later (DESIGN.md §12). *)
 
 val committed : t -> Gg_crdt.Writeset.t -> bool
 (** Did this write set's transaction commit? (Keyed by its csn.) *)

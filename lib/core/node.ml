@@ -35,6 +35,15 @@ let pack_csn (c : Csn.t) = (c.Csn.ts lsl node_bits) lor c.Csn.node
    trace-context header, mirroring the Batch wire form. *)
 type msg =
   | Batch_msg of Writeset.Batch.t
+  | Batch_wire of bytes
+      (* a batch frame as raw wire bytes — what actually crosses a
+         corrupting network; decode failure degrades to a lost frame *)
+  | Part_vote of {
+      cen : int;
+      group : int;
+      verdicts : (int * bool) list;  (* (packed csn, validated), sorted *)
+      span : int;
+    }
   | Ft_ack of { cen : int; from : int; span : int }
   | Ft_commit of { cen : int; origin : int; span : int }
   | State_snapshot of { lsn : int; ckpt : bytes; span : int }
@@ -43,6 +52,7 @@ type env = {
   sim : Sim.t;
   net : Net.t;
   params : Params.t;
+  part : Partitioning.t;
   backup : Backup.t;
   mutable members_at : int -> int list;
   mutable deliver : dst:int -> msg -> unit;
@@ -56,6 +66,22 @@ type batch_state = {
   mutable eof : bool;
   mutable expected : int;  (* txn count announced by the EOF; -1 until then *)
   mutable committed : bool;  (* Ft_raft gate; true otherwise *)
+}
+
+(* A cross-group transaction tracked between its merge epoch [k] and its
+   resolution at merge [k + vote_depth] (DESIGN.md §12): the local
+   group's fragment and verdict, plus — on the origin node — the client
+   transaction to answer once the global decision is known. *)
+type cross_entry = {
+  ce_key : int;  (* packed csn *)
+  ce_origin : int;
+  ce_groups : int list;  (* touched groups, sorted *)
+  ce_frag : Writeset.t;  (* this node's group fragment *)
+  mutable ce_local_ok : bool;
+  mutable ce_reason : Txn.abort_reason;
+      (* the local abort reason when [ce_local_ok] is false; [Cross_abort]
+         otherwise (used when a foreign group's vote rejects) *)
+  mutable ce_txn : Txn.t option;
 }
 
 type t = {
@@ -76,6 +102,9 @@ type t = {
   notify_gate : int Itbl.t;  (* cen -> earliest client-notify time *)
   ft_acks : int list ref Itbl.t;  (* cen *)
   sync_queue : Txn.t Queue.t;  (* GeoG-S: held until a fresh snapshot *)
+  cross_pending : cross_entry list Itbl.t;  (* cen -> unresolved cross txns *)
+  votes : bool Itbl.t Itbl.t;
+      (* packed (cen, group) -> packed csn -> foreign group's verdict *)
   last_eof : int array;
   mutable merging : bool;
   mutable csn_last : int;
@@ -104,6 +133,8 @@ let create env ~id ~db =
     notify_gate = Itbl.create 64;
     ft_acks = Itbl.create 16;
     sync_queue = Queue.create ();
+    cross_pending = Itbl.create 16;
+    votes = Itbl.create 32;
     last_eof = Array.make n 0;
     merging = false;
     csn_last = 0;
@@ -142,6 +173,94 @@ let broadcast t ~bytes msg =
   for dst = 0 to Net.n_nodes t.env.net - 1 do
     if dst <> t.id then send_msg t ~dst ~bytes msg
   done
+
+(* --- partial replication (DESIGN.md §12) --- *)
+
+let my_group t = Partitioning.group_of_node t.env.part t.id
+
+(* Foreign group [group]'s verdict on cross transaction [key] of epoch
+   [cen]: [Some v] once known, [None] while still awaited. For a group
+   with no member left in the resolution epoch's view, the durable
+   backup votes are adopted (first-write-wins and written before the
+   crash, so every survivor reads the same value); a group that died
+   before voting counts as a rejection — the conservative default that
+   keeps survivors agreed. *)
+let vote_status t ~cen ~group key =
+  let direct =
+    match Itbl.find_opt t.votes (pack_cp ~cen ~peer:group) with
+    | Some tbl -> Itbl.find_opt tbl key
+    | None -> None
+  in
+  match direct with
+  | Some _ as s -> s
+  | None ->
+    let part = t.env.part in
+    let alive =
+      List.exists
+        (fun m -> Partitioning.group_of_node part m = group)
+        (t.env.members_at (cen + Partitioning.vote_depth part))
+    in
+    if alive then None
+    else
+      Some
+        (match Backup.get_votes t.env.backup ~group ~cen with
+        | Some vs -> (
+          match List.assoc_opt key vs with Some v -> v | None -> false)
+        | None -> false)
+
+let store_votes t ~cen ~group verdicts =
+  let key = pack_cp ~cen ~peer:group in
+  let tbl =
+    match Itbl.find_opt t.votes key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Itbl.create 8 in
+      Itbl.replace t.votes key tbl;
+      tbl
+  in
+  List.iter
+    (fun (k, ok) -> if not (Itbl.mem tbl k) then Itbl.replace tbl k ok)
+    verdicts
+
+(* Batch frames pass through [send_batch] so the chaos checker's
+   corruption fault can mangle them: a corrupted frame travels as raw
+   wire bytes truncated to half (which guarantees the decoder trips) and
+   is billed at the ORIGINAL frame size — corruption does not discount
+   the WAN bill. With [corrupt_frac] at its default 0.0 no RNG draw
+   happens and the frame goes out as a structured message, exactly as
+   before. *)
+let send_batch t ~dst ~bytes (b : Writeset.Batch.t) =
+  let env = t.env in
+  if Net.corrupt_frac env.net > 0.0 && Net.draw_corrupt env.net then begin
+    let wire = Writeset.Batch.to_wire b in
+    let mangled = Bytes.sub wire 0 (Bytes.length wire / 2) in
+    Net.send env.net ~src:t.id ~dst ~bytes (fun () ->
+        env.deliver ~dst (Batch_wire mangled))
+  end
+  else
+    Net.send env.net ~src:t.id ~dst ~bytes (fun () ->
+        env.deliver ~dst (Batch_msg b))
+
+let broadcast_batch t ~bytes b =
+  for dst = 0 to Net.n_nodes t.env.net - 1 do
+    if dst <> t.id then send_batch t ~dst ~bytes b
+  done
+
+(* Nodes interested in a write set: the members of every touched group. *)
+let interest_targets t (ws : Writeset.t) =
+  let part = t.env.part in
+  let n = Net.n_nodes t.env.net in
+  let want = Array.make n false in
+  List.iter
+    (fun g ->
+      List.iter (fun m -> want.(m) <- true) (Partitioning.members part g))
+    (Partitioning.touched_groups part ws);
+  want.(t.id) <- false;
+  let acc = ref [] in
+  for dst = n - 1 downto 0 do
+    if want.(dst) then acc := dst :: !acc
+  done;
+  !acc
 
 (* --- fault-tolerance notification gates (§5.2) --- *)
 
@@ -261,6 +380,119 @@ let finish_committed t txn =
 let finish_aborted t txn reason =
   finish t txn (Txn.Aborted { latency_us = now t - txn.Txn.submit_time; reason })
 
+(* --- deferred cross-group write-back (DESIGN.md §12) --- *)
+
+(* Write back this group's fragment of a globally committed cross-group
+   transaction, deferred from its merge epoch [k] to its resolution.
+   Phase A of merge [k] already stamped the headers of the live rows
+   this transaction won (Update/Delete), so the data lands only where
+   the header still carries this transaction's stamp — anywhere else a
+   later epoch's winner has already superseded it. Inserts went to the
+   (since cleared) temporary list, so they materialise here unless a
+   newer row or tombstone appeared in the vote window. *)
+let apply_deferred t ce =
+  let ws = ce.ce_frag in
+  let meta = ws.Writeset.meta in
+  List.iter
+    (fun (r : Writeset.record) ->
+      match Db.get_table t.db r.Writeset.table with
+      | None -> ()
+      | Some table -> (
+        let key_str = Writeset.key_str r in
+        let mine (entry : Table.entry) =
+          entry.Table.header.Row_header.cen = meta.Meta.cen
+          && Csn.equal entry.Table.header.Row_header.csn meta.Meta.csn
+        in
+        match r.Writeset.op with
+        | Writeset.Insert -> (
+          match Table.find table key_str with
+          | None ->
+            let header = Row_header.create () in
+            Row_header.stamp header ~sen:meta.Meta.sen ~csn:meta.Meta.csn
+              ~cen:meta.Meta.cen;
+            Table.insert_committed table ~key:r.Writeset.key
+              ~data:r.Writeset.data ~header
+          | Some entry ->
+            (* an older tombstone: revive it; any stamp from epoch >= k
+               means a later writer superseded this insert *)
+            if entry.Table.header.Row_header.cen < meta.Meta.cen then begin
+              Row_header.stamp entry.Table.header ~sen:meta.Meta.sen
+                ~csn:meta.Meta.csn ~cen:meta.Meta.cen;
+              Table.touch table;
+              Table.revive table entry r.Writeset.data
+            end)
+        | Writeset.Update -> (
+          match Table.find table key_str with
+          | None -> ()
+          | Some entry ->
+            if mine entry && not entry.Table.header.Row_header.deleted then
+              Table.write table entry r.Writeset.data)
+        | Writeset.Delete -> (
+          match Table.find table key_str with
+          | None -> ()
+          | Some entry ->
+            if mine entry && not entry.Table.header.Row_header.deleted then
+              Table.delete table entry)))
+    ws.Writeset.records
+
+(* Resolve the cross-group transactions of epoch [rk] = e - vote_depth:
+   merge-readiness demanded every touched group's verdict before the
+   merge of [e] could start, so the global decision is now a pure
+   function of agreed state. Entries are processed in packed-csn order,
+   so every member of the group applies the same fragments in the same
+   sequence. *)
+let resolve_cross t e ~span =
+  let part = t.env.part in
+  let rk = e - Partitioning.vote_depth part in
+  if Partitioning.enabled part && rk >= 0 then begin
+    (match Itbl.find_opt t.cross_pending rk with
+    | None -> ()
+    | Some entries ->
+      let entries = List.sort (fun a b -> compare a.ce_key b.ce_key) entries in
+      let my = my_group t in
+      List.iter
+        (fun ce ->
+          let ok =
+            ce.ce_local_ok
+            && List.for_all
+                 (fun g ->
+                   g = my || vote_status t ~cen:rk ~group:g ce.ce_key = Some true)
+                 ce.ce_groups
+          in
+          if ok then apply_deferred t ce;
+          if Obs.tracing t.obs then
+            Obs.emit t.obs ~node:t.id ~epoch:rk ~span ~cat:"epoch"
+              "cross.resolve"
+              ~detail:
+                (Printf.sprintf "csn=%d ok=%b groups=%d" ce.ce_key ok
+                   (List.length ce.ce_groups));
+          match ce.ce_txn with
+          | None -> ()
+          | Some txn ->
+            txn.Txn.merge_span <- span;
+            txn.Txn.phases.wait_us <-
+              txn.Txn.phases.wait_us + (now t - txn.Txn.commit_point);
+            if ok then begin
+              let ws_bytes =
+                match txn.Txn.writeset with
+                | Some ws -> Writeset.encoded_size ws
+                | None -> 0
+              in
+              let log_us = Gg_storage.Wal.append t.wal ~bytes:ws_bytes in
+              txn.Txn.phases.log_us <- log_us;
+              Sim.schedule t.env.sim ~after:log_us (fun () ->
+                  Metrics.record_epoch_commit t.metrics ~cen:rk
+                    ~latency_us:(now t - txn.Txn.submit_time);
+                  finish_committed t txn)
+            end
+            else finish_aborted t txn ce.ce_reason)
+        entries);
+    Itbl.remove t.cross_pending rk;
+    for g = 0 to Partitioning.n_groups part - 1 do
+      Itbl.remove t.votes (pack_cp ~cen:rk ~peer:g)
+    done
+  end
+
 (* --- epoch sealing --- *)
 
 let seal_epoch t e =
@@ -275,38 +507,72 @@ let seal_epoch t e =
     Writeset.Batch.make ~node:t.id ~cen:e ~txns ~eof:true ~span:bspan ()
   in
   Backup.put t.env.backup batch;
-  (* With pipelining the write sets already went out in mini-batches;
-     only the EOF marker (carrying the expected count) travels now. *)
-  let wire_batch =
-    if t.env.params.Params.pipeline then
-      Writeset.Batch.make ~node:t.id ~cen:e ~txns:[] ~eof:true
-        ~count:(List.length txns) ~span:bspan ()
-    else batch
-  in
-  (* Encode+compress of a large outgoing batch is the other hot kernel
-     of the epoch boundary: shard the per-transaction encodes across the
-     merge domains when the batch is big enough to pay for the spawns.
-     [to_wire_par] is byte-identical to [to_wire] at any width, so the
-     wire size (and every simulated byte count) never depends on it. *)
-  let enc_jobs = Epoch_merge.resolve_jobs t.env.params in
-  (if enc_jobs > 1 then
-     let batch_records =
-       List.fold_left
-         (fun n (ws : Writeset.t) -> n + List.length ws.Writeset.records)
-         0 wire_batch.Writeset.Batch.txns
-     in
-     if batch_records >= max 1 t.env.params.Params.merge_par_threshold then
-       ignore
-         (Writeset.Batch.to_wire_par ~jobs:(Epoch_merge.clamp_jobs enc_jobs)
-            wire_batch));
-  let bytes = Writeset.Batch.wire_size wire_batch in
-  if Obs.tracing t.obs then begin
-    Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "seal"
-      ~detail:(Printf.sprintf "txns=%d" (List.length txns));
-    Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "batch.send"
-      ~detail:(Printf.sprintf "bytes=%d" bytes)
+  let part = t.env.part in
+  if Partitioning.enabled part then begin
+    (* Interest-scoped dissemination: each replica group receives one
+       EOF frame per epoch carrying (or, with pipelining, counting) only
+       the transactions that touch its keys. Every node still hears an
+       EOF from every peer every epoch, so the failure detector and the
+       merge-readiness rule are unchanged; the backup above keeps the
+       full batch for stall repair and view changes. *)
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "seal"
+        ~detail:(Printf.sprintf "txns=%d" (List.length txns));
+    for g = 0 to Partitioning.n_groups part - 1 do
+      let gtxns = List.filter (Partitioning.touches part ~group:g) txns in
+      let wire_batch =
+        if t.env.params.Params.pipeline then
+          Writeset.Batch.make ~node:t.id ~cen:e ~txns:[] ~eof:true
+            ~count:(List.length gtxns) ~span:bspan ()
+        else
+          Writeset.Batch.make ~node:t.id ~cen:e ~txns:gtxns ~eof:true
+            ~span:bspan ()
+      in
+      let bytes = Writeset.Batch.wire_size wire_batch in
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch"
+          "batch.send"
+          ~detail:(Printf.sprintf "group=%d bytes=%d" g bytes);
+      List.iter
+        (fun dst -> if dst <> t.id then send_batch t ~dst ~bytes wire_batch)
+        (Partitioning.members part g)
+    done
+  end
+  else begin
+    (* With pipelining the write sets already went out in mini-batches;
+       only the EOF marker (carrying the expected count) travels now. *)
+    let wire_batch =
+      if t.env.params.Params.pipeline then
+        Writeset.Batch.make ~node:t.id ~cen:e ~txns:[] ~eof:true
+          ~count:(List.length txns) ~span:bspan ()
+      else batch
+    in
+    (* Encode+compress of a large outgoing batch is the other hot kernel
+       of the epoch boundary: shard the per-transaction encodes across
+       the merge domains when the batch is big enough to pay for the
+       spawns. [to_wire_par] is byte-identical to [to_wire] at any
+       width, so the wire size (and every simulated byte count) never
+       depends on it. *)
+    let enc_jobs = Epoch_merge.resolve_jobs t.env.params in
+    (if enc_jobs > 1 then
+       let batch_records =
+         List.fold_left
+           (fun n (ws : Writeset.t) -> n + List.length ws.Writeset.records)
+           0 wire_batch.Writeset.Batch.txns
+       in
+       if batch_records >= max 1 t.env.params.Params.merge_par_threshold then
+         ignore
+           (Writeset.Batch.to_wire_par ~jobs:(Epoch_merge.clamp_jobs enc_jobs)
+              wire_batch));
+    let bytes = Writeset.Batch.wire_size wire_batch in
+    if Obs.tracing t.obs then begin
+      Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "seal"
+        ~detail:(Printf.sprintf "txns=%d" (List.length txns));
+      Obs.emit t.obs ~node:t.id ~epoch:e ~span:bspan ~cat:"epoch" "batch.send"
+        ~detail:(Printf.sprintf "bytes=%d" bytes)
+    end;
+    broadcast_batch t ~bytes wire_batch
   end;
-  broadcast t ~bytes (Batch_msg wire_batch);
   Itbl.replace t.notify_gate e (now t + ft_gate_delay t);
   t.sealed_epoch <- e
 
@@ -323,7 +589,17 @@ let rec schedule_boundary t e =
 
 and collect_epoch_txns t e =
   (* Local + all remote updates of epoch e, deduplicated by csn (the
-     network may duplicate; merge must stay idempotent). *)
+     network may duplicate; merge must stay idempotent). Under partial
+     replication a remote write set is kept only if it touches this
+     node's group: normal dissemination never delivers others, but a
+     stall repair fetches the sender's FULL backup batch — dropping the
+     foreign-only entries here keeps both paths equivalent. Local
+     transactions always stay (their outcome is owed to the client). *)
+  let part = t.env.part in
+  let keep (ws : Writeset.t) =
+    (not (Partitioning.enabled part))
+    || Partitioning.touches part ~group:(my_group t) ws
+  in
   let seen = Itbl.create 64 in
   let add acc (ws : Writeset.t) =
     let k = pack_csn ws.Writeset.meta.Meta.csn in
@@ -344,14 +620,35 @@ and collect_epoch_txns t e =
         else
           match Itbl.find_opt t.remote (pack_cp ~cen:e ~peer) with
           | None -> acc
-          | Some bs -> List.fold_left add acc (List.rev bs.txns))
+          | Some bs ->
+            List.fold_left
+              (fun acc ws -> if keep ws then add acc ws else acc)
+              acc (List.rev bs.txns))
       acc
       (t.env.members_at e)
   in
   List.rev acc
 
+and cross_ready t e =
+  (* All foreign verdicts for the cross transactions merged at epoch [e]
+     are in (or synthesisable from a dead group's backup record). *)
+  e < 0
+  || (not (Partitioning.enabled t.env.part))
+  ||
+  match Itbl.find_opt t.cross_pending e with
+  | None -> true
+  | Some entries ->
+    let my = my_group t in
+    List.for_all
+      (fun ce ->
+        List.for_all
+          (fun g -> g = my || vote_status t ~cen:e ~group:g ce.ce_key <> None)
+          ce.ce_groups)
+      entries
+
 and merge_ready t e =
   t.sealed_epoch >= e
+  && cross_ready t (e - Partitioning.vote_depth t.env.part)
   && List.for_all
        (fun peer ->
          peer = t.id
@@ -370,8 +667,36 @@ and try_advance t =
     if merge_ready t e then begin
       t.merging <- true;
       let txns = collect_epoch_txns t e in
+      let part = t.env.part in
+      (* Simulated merge work under partial replication counts only the
+         records this group actually merges (its fragments) plus the
+         deferred cross-group fragments resolving at this merge. *)
       let n_records =
-        List.fold_left (fun n ws -> n + List.length ws.Writeset.records) 0 txns
+        if Partitioning.enabled part then
+          let my = my_group t in
+          List.fold_left
+            (fun n (ws : Writeset.t) ->
+              List.fold_left
+                (fun n r ->
+                  if Partitioning.group_of_record part r = my then n + 1 else n)
+                n ws.Writeset.records)
+            0 txns
+        else
+          List.fold_left
+            (fun n ws -> n + List.length ws.Writeset.records)
+            0 txns
+      in
+      let resolve_records =
+        if not (Partitioning.enabled part) then 0
+        else
+          match
+            Itbl.find_opt t.cross_pending (e - Partitioning.vote_depth part)
+          with
+          | None -> 0
+          | Some entries ->
+            List.fold_left
+              (fun n ce -> n + List.length ce.ce_frag.Writeset.records)
+              0 entries
       in
       let cost = t.env.params.Params.cost in
       (* Every blocked transaction thread is checked/notified around each
@@ -380,7 +705,8 @@ and try_advance t =
       let duration =
         cost.merge_base_us
         + (pending_waiting t * cost.notify_us)
-        + (n_records * cost.merge_record_us / max 1 cost.merge_threads)
+        + ((n_records + resolve_records) * cost.merge_record_us
+          / max 1 cost.merge_threads)
       in
       let merge_started = now t in
       let mspan = Obs.new_span t.obs ~node:t.id in
@@ -395,7 +721,47 @@ and try_advance t =
     end
   end
 
-and do_merge t e txns ~merge_started ~duration ~span =
+and do_merge t e full ~merge_started ~duration ~span =
+  let part = t.env.part in
+  let enabled = Partitioning.enabled part in
+  (* Settle the cross-group transactions whose vote window ends here,
+     before this epoch's own merge reads the database. *)
+  resolve_cross t e ~span;
+  let my = my_group t in
+  (* Under partial replication each node merges its group's FRAGMENT of
+     every write set. Cross-group transactions (touching several groups,
+     or a local transaction writing only foreign groups) are merged
+     normally but their write-back is deferred until every touched
+     group's verdict arrives, [vote_depth] epochs later. *)
+  let cross : cross_entry Itbl.t = Itbl.create 16 in
+  let txns =
+    if not enabled then full
+    else
+      List.map
+        (fun (ws : Writeset.t) ->
+          let frag = Partitioning.fragment part ~group:my ws in
+          let gs = Partitioning.touched_groups part ws in
+          let deferred =
+            match gs with
+            | [] -> false
+            | [ g ] -> g <> my (* local txn writing only a foreign group *)
+            | _ :: _ :: _ -> true
+          in
+          (if deferred then
+             let key = pack_csn ws.Writeset.meta.Meta.csn in
+             Itbl.replace cross key
+               {
+                 ce_key = key;
+                 ce_origin = ws.Writeset.meta.Meta.csn.Csn.node;
+                 ce_groups = gs;
+                 ce_frag = frag;
+                 ce_local_ok = false;
+                 ce_reason = Txn.Cross_abort;
+                 ce_txn = None;
+               });
+          frag)
+        full
+  in
   (* Phases A–C (DeltaCRDTMerge pre-write, validation, SSI, write-back)
      live in {!Epoch_merge}; [merge_jobs] shards them across host
      domains with byte-identical results (DESIGN.md §10). *)
@@ -404,8 +770,21 @@ and do_merge t e txns ~merge_started ~duration ~span =
       ~db:t.db
       ~jobs:(Epoch_merge.resolve_jobs t.env.params)
       ~ssi:(t.env.params.Params.isolation = Params.SSI)
+      ~defer:(fun ws -> Itbl.mem cross (pack_csn ws.Writeset.meta.Meta.csn))
       txns
   in
+  let entries =
+    if not enabled then []
+    else
+      Itbl.fold
+        (fun _ ce acc ->
+          ce.ce_local_ok <- Epoch_merge.committed m ce.ce_frag;
+          if not ce.ce_local_ok then
+            ce.ce_reason <- Epoch_merge.abort_reason m ce.ce_frag;
+          ce :: acc)
+        cross []
+  in
+  if entries <> [] then Itbl.replace t.cross_pending e entries;
   Metrics.record_merged_records t.metrics (Epoch_merge.n_records m);
   t.lsn <- e;
   t.last_advance <- now t;
@@ -424,27 +803,104 @@ and do_merge t e txns ~merge_started ~duration ~span =
   let gate = Option.value ~default:0 (Itbl.find_opt t.notify_gate e) in
   List.iter
     (fun (txn : Txn.t) ->
-      txn.Txn.merge_span <- span;
-      txn.Txn.phases.wait_us <-
-        txn.Txn.phases.wait_us + (merge_started - txn.Txn.commit_point);
-      txn.Txn.phases.merge_us <- duration;
-      let ws_bytes =
-        match txn.Txn.writeset with
-        | Some ws -> Writeset.encoded_size ws
-        | None -> 0
-      in
-      let log_us = Gg_storage.Wal.append t.wal ~bytes:ws_bytes in
-      txn.Txn.phases.log_us <- log_us;
-      let extra_gate = max 0 (gate - now t) in
-      Sim.schedule t.env.sim ~after:(extra_gate + log_us) (fun () ->
+      match
+        if enabled then Itbl.find_opt cross (pack_csn txn.Txn.csn) else None
+      with
+      | Some ce ->
+        (* Cross-group: the client is answered at resolution, after the
+           foreign groups' votes are in. *)
+        ce.ce_txn <- Some txn;
+        txn.Txn.phases.merge_us <- duration
+      | None ->
+        txn.Txn.merge_span <- span;
+        txn.Txn.phases.wait_us <-
+          txn.Txn.phases.wait_us + (merge_started - txn.Txn.commit_point);
+        txn.Txn.phases.merge_us <- duration;
+        let ws_bytes =
           match txn.Txn.writeset with
-          | Some ws when Epoch_merge.committed m ws ->
-            Metrics.record_epoch_commit t.metrics ~cen:e
-              ~latency_us:(now t - txn.Txn.submit_time);
-            finish_committed t txn
-          | Some ws -> finish_aborted t txn (Epoch_merge.abort_reason m ws)
-          | None -> finish_aborted t txn Txn.Write_conflict))
+          | Some ws -> Writeset.encoded_size ws
+          | None -> 0
+        in
+        let log_us = Gg_storage.Wal.append t.wal ~bytes:ws_bytes in
+        txn.Txn.phases.log_us <- log_us;
+        let extra_gate = max 0 (gate - now t) in
+        Sim.schedule t.env.sim ~after:(extra_gate + log_us) (fun () ->
+            match txn.Txn.writeset with
+            | Some ws when Epoch_merge.committed m ws ->
+              Metrics.record_epoch_commit t.metrics ~cen:e
+                ~latency_us:(now t - txn.Txn.submit_time);
+              finish_committed t txn
+            | Some ws -> finish_aborted t txn (Epoch_merge.abort_reason m ws)
+            | None -> finish_aborted t txn Txn.Write_conflict))
     locals;
+  (* Vote dissemination: after merging epoch [e], this group's members
+     each send the (identical, csn-sorted) verdict list for the cross
+     transactions that touched the group — to the members of the other
+     touched groups and to the origin nodes — and record it durably so
+     a lost vote (or a dead group) can be repaired from the backup. *)
+  (if enabled then
+     let mine_entries = List.filter (fun ce -> List.mem my ce.ce_groups) entries in
+     (* A transaction that touches ONLY this group but originated outside
+        it merges on the fast path here (no deferral), yet its origin
+        deferred it and waits for this group's verdict — so it must
+        appear in the vote even though it has no cross entry locally. *)
+     let vote_only =
+       List.filter_map
+         (fun (ws : Writeset.t) ->
+           let key = pack_csn ws.Writeset.meta.Meta.csn in
+           if Itbl.mem cross key then None
+           else
+             let origin = ws.Writeset.meta.Meta.csn.Csn.node in
+             if Partitioning.group_of_node part origin = my then None
+             else
+               match Partitioning.touched_groups part ws with
+               | [ g ] when g = my ->
+                 Some (key, Epoch_merge.committed m ws, origin)
+               | _ -> None)
+         full
+     in
+     let verdicts =
+       List.sort compare
+         (List.map (fun ce -> (ce.ce_key, ce.ce_local_ok)) mine_entries
+         @ List.map (fun (key, ok, _) -> (key, ok)) vote_only)
+     in
+     if verdicts <> [] then begin
+       Backup.put_votes t.env.backup ~group:my ~cen:e verdicts;
+       (* Every member records the (identical) verdict list durably, but
+          only the group's first member — its speaker — puts it on the
+          wire: the list is a deterministic function of the group's
+          merge, so N-1 of the N copies are redundant, and at 200
+          replicas that redundancy is what would dominate the WAN bill.
+          A dead or lagging speaker is covered by the stall-repair
+          refetch from the backup. *)
+       let speaker =
+         match Partitioning.members part my with m0 :: _ -> m0 | [] -> t.id
+       in
+       if t.id = speaker then begin
+       let nn = Net.n_nodes t.env.net in
+       let want = Array.make nn false in
+       List.iter
+         (fun ce ->
+           List.iter
+             (fun g ->
+               if g <> my then
+                 List.iter
+                   (fun m' -> want.(m') <- true)
+                   (Partitioning.members part g))
+             ce.ce_groups;
+           want.(ce.ce_origin) <- true)
+         mine_entries;
+       List.iter (fun (_, _, origin) -> want.(origin) <- true) vote_only;
+       want.(t.id) <- false;
+       (* header + epoch/group ids + 9 bytes per (csn, verdict) pair *)
+       let bytes = 8 + 16 + (9 * List.length verdicts) in
+       for dst = 0 to nn - 1 do
+         if want.(dst) then
+           send_msg t ~dst ~bytes
+             (Part_vote { cen = e; group = my; verdicts; span })
+       done
+       end
+     end);
   (* Bounded memory: drop per-epoch bookkeeping. *)
   Itbl.remove t.waiting e;
   Itbl.remove t.local_sealed e;
@@ -618,7 +1074,7 @@ and commit_point t (txn : Txn.t) =
             Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false
               ~span:txn.Txn.span ()
           in
-          broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini);
+          broadcast_batch t ~bytes:(Writeset.Batch.wire_size mini) mini;
           let cost = t.env.params.Params.cost in
           txn.Txn.phases.merge_us <-
             List.length ws.Writeset.records * cost.merge_record_us;
@@ -634,7 +1090,14 @@ and commit_point t (txn : Txn.t) =
               Writeset.Batch.make ~node:t.id ~cen ~txns:[ ws ] ~eof:false
                 ~span:txn.Txn.span ()
             in
-            broadcast t ~bytes:(Writeset.Batch.wire_size mini) (Batch_msg mini)
+            let bytes = Writeset.Batch.wire_size mini in
+            (* Interest-scoped pipelining: only members of the touched
+               groups hear the mini-batch. *)
+            if Partitioning.enabled t.env.part then
+              List.iter
+                (fun dst -> send_batch t ~dst ~bytes mini)
+                (interest_targets t ws)
+            else broadcast_batch t ~bytes mini
           end;
           let q = Option.value ~default:[] (Itbl.find_opt t.waiting cen) in
           Itbl.replace t.waiting cen (txn :: q)))
@@ -697,6 +1160,27 @@ and receive t msg =
         end;
         try_advance t
       end
+    | Batch_wire bytes -> (
+      match Writeset.Batch.of_wire_opt bytes with
+      | Some b -> receive t (Batch_msg b)
+      | None ->
+        (* Corrupted frame: indistinguishable from a lost one once the
+           decoder trips; drop it and let the stall-repair path refetch
+           the epoch from the sender's backup if the loss blocks. *)
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~node:t.id ~cat:"epoch" "batch.corrupt"
+            ~detail:(Printf.sprintf "bytes=%d" (Bytes.length bytes)))
+    | Part_vote { cen; group; verdicts; span = pspan } ->
+      if cen + Partitioning.vote_depth t.env.part > t.lsn then begin
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~node:t.id ~epoch:cen ~cat:"epoch" "vote.recv"
+            ~parent:(if pspan > 0 then pspan else -1)
+            ~detail:
+              (Printf.sprintf "group=%d verdicts=%d" group
+                 (List.length verdicts));
+        store_votes t ~cen ~group verdicts;
+        try_advance t
+      end
     | Ft_ack { cen; from; span = pspan } ->
       let aspan = Obs.new_span t.obs ~node:t.id in
       if Obs.tracing t.obs then
@@ -748,7 +1232,7 @@ let repair t =
     && (not t.merging)
     && t.sealed_epoch >= e
     && now t - t.last_advance > t.env.params.Params.repair_after_us
-  then
+  then begin
     List.iter
       (fun peer ->
         if peer <> t.id then begin
@@ -780,7 +1264,53 @@ let repair t =
                     receive t (Batch_msg batch)
                   end)
         end)
-      (t.env.members_at e)
+      (t.env.members_at e);
+    (* Missing cross-group votes stall the merge the same way a missing
+       batch does: refetch them from the voting group's durable backup
+       record (one round trip to its nearest member). A group that has
+       not merged the epoch yet has nothing in the backup — keep
+       waiting; a dead group is handled by [vote_status] directly. *)
+    let part = t.env.part in
+    if Partitioning.enabled part then begin
+      let rk = e - Partitioning.vote_depth part in
+      if rk >= 0 then
+        match Itbl.find_opt t.cross_pending rk with
+        | None -> ()
+        | Some entries ->
+          let my = my_group t in
+          for g = 0 to Partitioning.n_groups part - 1 do
+            let missing =
+              g <> my
+              && List.exists
+                   (fun ce ->
+                     List.mem g ce.ce_groups
+                     && vote_status t ~cen:rk ~group:g ce.ce_key = None)
+                   entries
+            in
+            if missing then
+              match Backup.get_votes t.env.backup ~group:g ~cen:rk with
+              | None -> ()
+              | Some vs ->
+                let topo = Net.topology t.env.net in
+                let best =
+                  List.fold_left
+                    (fun a m -> min a (Topology.latency topo t.id m))
+                    max_int
+                    (Partitioning.members part g)
+                in
+                let delay = if best = max_int then 0 else 2 * best in
+                if Obs.tracing t.obs then
+                  Obs.emit t.obs ~node:t.id ~epoch:rk ~cat:"epoch"
+                    "repair.votes"
+                    ~detail:(Printf.sprintf "group=%d" g);
+                Sim.schedule t.env.sim ~after:delay (fun () ->
+                    if t.active && not (Net.is_down t.env.net t.id) then begin
+                      store_votes t ~cen:rk ~group:g vs;
+                      try_advance t
+                    end)
+          done
+    end
+  end
 
 let rec schedule_repair t =
   Sim.schedule t.env.sim ~after:100_000 (fun () ->
@@ -801,6 +1331,8 @@ let set_active t v =
     Itbl.reset t.waiting;
     Itbl.reset t.notify_gate;
     Itbl.reset t.ft_acks;
+    Itbl.reset t.cross_pending;
+    Itbl.reset t.votes;
     Queue.clear t.sync_queue;
     t.current_send <- [];
     t.merging <- false
@@ -838,6 +1370,8 @@ let install_state t ~rejoin ~lsn ~db =
     List.iter (Itbl.remove t.remote) stale;
     Itbl.reset t.local_sealed;
     Itbl.reset t.waiting;
+    Itbl.reset t.cross_pending;
+    Itbl.reset t.votes;
     Db.replace_contents t.db ~from:db;
     t.lsn <- lsn;
     t.last_advance <- Sim.now t.env.sim;

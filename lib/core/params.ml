@@ -4,6 +4,8 @@ type variant = Optimistic | Sync_exec | Async_merge
 
 type ft_mode = Ft_none | Ft_local_backup | Ft_remote_backup | Ft_raft
 
+type partitioning = P_none | P_region | P_hash of int
+
 type cost = {
   exec_op_us : int;
   sql_stmt_us : int;
@@ -28,6 +30,7 @@ type t = {
   repair_after_us : int;
   merge_jobs : int;
   merge_par_threshold : int;
+  partitioning : partitioning;
 }
 
 let default_cost =
@@ -56,6 +59,7 @@ let default =
     repair_after_us = 250_000;
     merge_jobs = 1;
     merge_par_threshold = 4_096;
+    partitioning = P_none;
   }
 
 let with_epoch_ms t ms = { t with epoch_us = ms * 1_000 }
@@ -79,3 +83,24 @@ let ft_to_string = function
   | Ft_local_backup -> "local-backup"
   | Ft_remote_backup -> "remote-backup"
   | Ft_raft -> "raft"
+
+let partitioning_to_string = function
+  | P_none -> "none"
+  | P_region -> "region"
+  | P_hash k -> Printf.sprintf "hash:%d" k
+
+let partitioning_of_string s =
+  match s with
+  | "none" -> Ok P_none
+  | "region" -> Ok P_region
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "hash"
+           && i + 1 < String.length s -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some k when k >= 1 -> Ok (P_hash k)
+      | _ -> Error (Printf.sprintf "bad group count in %S (want hash:<k>, k >= 1)" s))
+    | _ ->
+      Error
+        (Printf.sprintf "unknown partitioning %S (expected none, region or hash:<k>)" s))

@@ -24,6 +24,15 @@ type ft_mode =
   | Ft_remote_backup  (** ~1 RTT *)
   | Ft_raft  (** write sets applied remotely only after majority ack, ~1.5 RTT *)
 
+(** Partial-replication mode (DESIGN.md §12). [P_none] is classic
+    GeoGauss full replication. [P_region] assigns one replica group per
+    populated topology region; [P_hash k] hashes nodes into [k] groups
+    (clamped to the node count). Keys hash onto groups; write-set
+    dissemination is scoped to the groups a transaction touches, and
+    cross-group transactions commit only when every touched group's
+    merge validates them. *)
+type partitioning = P_none | P_region | P_hash of int
+
 (** CPU / phase cost model, calibrated against the paper's Table 2
     per-phase breakdown. *)
 type cost = {
@@ -72,6 +81,9 @@ type t = {
       (** minimum records in an epoch before the merge fans out
           (domain spawn costs ~tens of µs; tiny epochs stay
           sequential). Default 4096; [0] forces sharding on (tests). *)
+  partitioning : partitioning;
+      (** partial-replication mode, default [P_none] (full replication;
+          byte-identical to the pre-partitioning engine) *)
 }
 
 val default_cost : cost
@@ -85,3 +97,9 @@ val with_ft : t -> ft_mode -> t
 val isolation_to_string : isolation -> string
 val variant_to_string : variant -> string
 val ft_to_string : ft_mode -> string
+
+val partitioning_to_string : partitioning -> string
+(** ["none"], ["region"] or ["hash:<k>"]. *)
+
+val partitioning_of_string : string -> (partitioning, string) result
+(** Inverse of {!partitioning_to_string}; [Error] carries a usage hint. *)

@@ -1,0 +1,50 @@
+(** Partition map for partial replication (DESIGN.md §12).
+
+    Nodes are assigned to replica {e groups} as a pure function of the
+    topology and the {!Params.partitioning} mode — every node computes
+    the identical map, so interest-scoped dissemination and per-group
+    merging stay deterministic. Keys hash onto groups with the storage
+    layer's {!Gg_storage.Table.key_hash}. *)
+
+type t
+
+val make : topology:Gg_sim.Topology.t -> epoch_us:int -> Params.partitioning -> t
+(** [P_region] ranks the regions that actually contain nodes; [P_hash k]
+    clamps to [max 1 (min k n)] groups ([node i -> i mod groups]);
+    [P_none] is a single group covering everyone. *)
+
+val mode : t -> Params.partitioning
+val n_groups : t -> int
+
+val enabled : t -> bool
+(** [n_groups > 1]. When false, every partition-aware code path must
+    reduce to the full-replication engine byte-for-byte. *)
+
+val vote_depth : t -> int
+(** Cross-group commit pipeline depth [D]: a cross-group transaction of
+    epoch [k] resolves at merge [k + D]. [D = 2 + ceil(2·maxlat/epoch)]
+    where [maxlat] is the largest one-way latency between nodes of
+    different groups — deep enough that steady-state merging never
+    blocks on vote propagation. [0] when partitioning is off. *)
+
+val group_of_node : t -> int -> int
+val members : t -> int -> int list
+(** Node ids of a group, ascending. Every group is non-empty by
+    construction. *)
+
+val group_of_key : t -> string -> int
+(** Owning group of an encoded primary key. *)
+
+val group_of_record : t -> Gg_crdt.Writeset.record -> int
+
+val touched_groups : t -> Gg_crdt.Writeset.t -> int list
+(** Sorted, deduplicated groups owning any written record or (SSI)
+    read key of the transaction. Empty for read-only transactions
+    outside SSI. *)
+
+val touches : t -> group:int -> Gg_crdt.Writeset.t -> bool
+
+val fragment : t -> group:int -> Gg_crdt.Writeset.t -> Gg_crdt.Writeset.t
+(** Restriction of a write set to the records/read keys one group owns.
+    Returns the write set itself (caches intact) when nothing filters
+    out, and always when {!enabled} is false. *)

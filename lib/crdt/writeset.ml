@@ -213,4 +213,13 @@ module Batch = struct
     with Dec.Truncated -> invalid_arg "Writeset.Batch.of_wire: truncated"
 
   let wire_size t = Bytes.length (to_wire t)
+
+  (* Total decode surface for frames off the (possibly corrupted) wire:
+     the compressor and the codec both signal damage with
+     [Invalid_argument], which must never escape into the simulation —
+     a corrupt frame is a dropped frame (the repair path re-fetches). *)
+  let of_wire_opt bytes =
+    match of_wire bytes with
+    | b -> Some b
+    | exception Invalid_argument _ -> None
 end

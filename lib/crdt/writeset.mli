@@ -128,6 +128,12 @@ module Batch : sig
   (** Raises [Invalid_argument] on corrupt input. The decoded batch
       retains [bytes] as its cached wire form. *)
 
+  val of_wire_opt : bytes -> t option
+  (** [None] on truncated or corrupt input instead of raising — the form
+      receivers use on frames that crossed the (faulty) network, so a
+      mangled payload degrades to a lost message handled by the
+      batch-loss repair path rather than a crash. *)
+
   val wire_size : t -> int
   (** [Bytes.length (to_wire t)], via the cache. *)
 

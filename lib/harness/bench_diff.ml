@@ -117,6 +117,32 @@ let diff_merge ~threshold old_j new_j =
       | Some n -> metric_row ~threshold ~key ~metric:"cold_records_per_s" o n)
     olds
 
+(* Scale suite (BENCH_scale.json): per-(mode, replicas) points. tput is
+   higher-is-better as usual; wan_kb_per_txn is the partial-replication
+   acceptance metric and LOWER is better, so its delta is inverted
+   before judging (the rendered delta still shows the raw change). *)
+let diff_scale ~threshold old_j new_j =
+  let olds = obj_list old_j "points" and news = obj_list new_j "points" in
+  let find_point mode replicas l =
+    List.find_opt
+      (fun j ->
+        Jsonl.to_str (Jsonl.member "mode" j) = mode
+        && Jsonl.to_int ~default:min_int (Jsonl.member "replicas" j) = replicas)
+      l
+  in
+  List.concat_map
+    (fun o ->
+      let mode = Jsonl.to_str (Jsonl.member "mode" o) in
+      let replicas = Jsonl.to_int ~default:(-1) (Jsonl.member "replicas" o) in
+      let key = Printf.sprintf "%s/n=%d" mode replicas in
+      match find_point mode replicas news with
+      | None -> [ missing_row ~key ]
+      | Some n ->
+        let tput = metric_row ~threshold ~key ~metric:"tput" o n in
+        let wan = metric_row ~threshold ~key ~metric:"wan_kb_per_txn" o n in
+        [ tput; { wan with verdict = judge ~threshold (-.wan.delta_frac) } ])
+    olds
+
 (* Parallel-scaling numbers swing hard with host load; never gate on
    them, only surface the comparison. *)
 let diff_parallel ~threshold old_j new_j =
@@ -153,6 +179,7 @@ let diff ?(threshold = 0.25) ~old_json ~new_json () =
       | "wallclock" -> Ok (diff_wallclock ~threshold old_j new_j)
       | "merge" -> Ok (diff_merge ~threshold old_j new_j)
       | "parallel" -> Ok (diff_parallel ~threshold old_j new_j)
+      | "scale" -> Ok (diff_scale ~threshold old_j new_j)
       | other -> Error (Printf.sprintf "unknown suite %S" other))
 
 let diff_files ?threshold ~old_path ~new_path () =

@@ -727,7 +727,143 @@ let ablations_tables pool s =
     all_rows;
   [ Tablefmt.render table; Tablefmt.render table_ssi ]
 
+(* --- Fig "scale": partial replication at 25-200 replicas ---
+
+   Not a paper figure: GeoGauss evaluates full replication only (Fig 11
+   stops at 25 worldwide replicas). This sweep shows why partial
+   replication matters at larger widths — under full replication every
+   committed transaction is shipped to all n-1 peers, so WAN bytes/txn
+   grows linearly with n, while interest-scoped dissemination
+   (--partitioning region / hash:k) keeps it proportional to the average
+   number of *interested* replicas. Same deterministic engine, same
+   workload and epoch length in every mode; only the replica-group map
+   changes. Writes BENCH_scale.json next to the other bench artifacts
+   (`geogauss bench diff` understands the "scale" suite; its
+   wan_kb_per_txn column gates lower-is-better). *)
+
+let scale_json_path = "BENCH_scale.json"
+
+let scale_modes =
+  [
+    ("full", Params.P_none); ("region", Params.P_region);
+    ("hash:4", Params.P_hash 4);
+  ]
+
+let fig_scale_tables pool ~fast =
+  let widths = if fast then [ 25; 50 ] else [ 25; 50; 100; 200 ] in
+  (* Low ops/txn, or the zipfian key draw touches nearly every group and
+     there is no interest left to scope; 2 ops on 3 000 rows keeps most
+     transactions inside one or two groups while still crossing groups
+     often enough to exercise the vote path. *)
+  let p =
+    { (Ycsb.with_records Ycsb.medium_contention 3_000) with
+      Ycsb.ops_per_txn = 2; name = "ycsb-mc-2op" }
+  in
+  let warmup_ms = if fast then 300 else 500 in
+  let measure_ms = if fast then 800 else 1_500 in
+  let run mode n () =
+    (* 25 ms epochs: at worldwide latencies the cross-group vote pipeline
+       depth stays small, and all three modes share the value so the
+       comparison isolates dissemination. *)
+    let params =
+      { (Params.with_epoch_ms Params.default 25) with Params.partitioning = mode }
+    in
+    let r, _ =
+      Driver.run_geogauss ~params ~connections:2
+        ~topology:(Topology.worldwide n) ~load:(Ycsb.load p)
+        ~gen:(Driver.ycsb_gens p ~seed:131) ~warmup_ms ~measure_ms
+        ~label:(Params.partitioning_to_string mode)
+        ()
+    in
+    r
+  in
+  let thunks =
+    List.concat_map
+      (fun (_, mode) -> List.map (run mode) widths)
+      scale_modes
+  in
+  let results = Pool.run pool thunks in
+  let rows =
+    (* (mode_label, width, result) in submission order *)
+    List.concat_map
+      (fun (label, _) -> List.map (fun n -> (label, n)) widths)
+      scale_modes
+    |> List.map2 (fun r (label, n) -> (label, n, r)) results
+  in
+  let table =
+    Tablefmt.create
+      ~title:
+        "Fig scale — Partial replication, worldwide DCs (YCSB-MC, 2 ops/txn, \
+         25 ms epochs)"
+      ~headers:
+        [ "mode"; "replicas"; "tput (txn/s)"; "mean lat (ms)"; "WAN KB/txn" ]
+  in
+  List.iter
+    (fun (label, n, r) ->
+      Tablefmt.add_row table
+        [
+          label; string_of_int n; f ~dec:0 r.Result.tput; f r.Result.mean_ms;
+          f ~dec:2 r.Result.wan_kb_per_txn;
+        ])
+    rows;
+  let oc = open_out scale_json_path in
+  let point_json (label, n, r) =
+    Printf.sprintf
+      "    {\"mode\": \"%s\", \"replicas\": %d, \"tput\": %.1f, \
+       \"mean_lat_ms\": %.3f, \"wan_kb_per_txn\": %.4f, \"committed\": %d, \
+       \"aborted\": %d}"
+      label n r.Result.tput r.Result.mean_ms r.Result.wan_kb_per_txn
+      r.Result.committed r.Result.aborted
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"scale\",\n\
+    \  \"fast\": %b,\n\
+    \  \"points\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    fast
+    (String.concat ",\n" (List.map point_json rows));
+  close_out oc;
+  (* The claim the sweep exists to check: interest-scoped dissemination
+     must beat full replication on the wire at every width. *)
+  let wan label n =
+    List.find_map
+      (fun (l, w, r) ->
+        if l = label && w = n then Some r.Result.wan_kb_per_txn else None)
+      rows
+  in
+  List.iter
+    (fun n ->
+      match wan "full" n with
+      | None -> ()
+      | Some full ->
+        List.iter
+          (fun (label, _) ->
+            if label <> "full" then
+              match wan label n with
+              | Some w when w >= full ->
+                Printf.eprintf
+                  "  WARNING: %s at %d replicas ships %.2f KB/txn >= full \
+                   replication's %.2f — partial replication saved nothing\n\
+                   %!"
+                  label n w full
+              | _ -> ())
+          scale_modes)
+    widths;
+  [ Tablefmt.render table ]
+
 (* --- registry --- *)
+
+(* The one canonical name list: the [tables] dispatch, [all] and the
+   unknown-name error below all derive from it, so a figure added to one
+   cannot silently go missing from the others. *)
+let names =
+  [
+    "fig5"; "table2"; "fig6"; "fig7"; "table3"; "fig8"; "fig9"; "fig10";
+    "fig11"; "fig12"; "fig13"; "ablations"; "fig_scale";
+  ]
 
 let tables ?(pool = Pool.seq) ~setting:s ~fast name =
   match name with
@@ -743,6 +879,7 @@ let tables ?(pool = Pool.seq) ~setting:s ~fast name =
   | "fig12" -> Some (fig12_tables pool s)
   | "fig13" -> Some (fig13_tables pool ~fast)
   | "ablations" -> Some (ablations_tables pool s)
+  | "fig_scale" -> Some (fig_scale_tables pool ~fast)
   | _ -> None
 
 let print_tables ts =
@@ -755,15 +892,15 @@ let print_tables ts =
 let make_runner name ?(fast = false) ?pool () =
   match tables ?pool ~setting:(setting ~fast) ~fast name with
   | Some ts -> print_tables ts
-  | None -> assert false
+  | None ->
+    (* unreachable through [all] (built from [names]); reachable when a
+       caller passes a free-form name, so it must be a real error, not an
+       assert *)
+    invalid_arg
+      (Printf.sprintf "unknown experiment %S (known: %s)" name
+         (String.concat ", " names))
 
-let all =
-  List.map
-    (fun name -> (name, make_runner name))
-    [
-      "fig5"; "table2"; "fig6"; "fig7"; "table3"; "fig8"; "fig9"; "fig10";
-      "fig11"; "fig12"; "fig13"; "ablations";
-    ]
+let all = List.map (fun name -> (name, make_runner name)) names
 
 let fig5 = make_runner "fig5"
 let table2 = make_runner "table2"
@@ -777,6 +914,7 @@ let fig11 = make_runner "fig11"
 let fig12 = make_runner "fig12"
 let fig13 = make_runner "fig13"
 let ablations = make_runner "ablations"
+let fig_scale = make_runner "fig_scale"
 
 let run ?fast ?pool name =
   match List.assoc_opt name all with

@@ -77,9 +77,27 @@ val ablations : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
 (** Not a paper figure: ablations of the §5.1 design choices
     (pipelining, merge parallelism, write-set size). *)
 
+val fig_scale : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
+(** Not a paper figure: partial-replication scalability sweep, 25–200
+    worldwide replicas under [--partitioning none|region|hash:4]
+    (DESIGN.md §12). Also writes [BENCH_scale.json] for
+    [geogauss bench diff]. *)
+
+val names : string list
+(** Canonical experiment names, in paper order (plus the ablations and
+    the partial-replication sweep). [tables], [all] and the
+    unknown-name error all derive from this one list. *)
+
+val make_runner : string -> ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
+(** Runner for one experiment name. An unknown name raises
+    [Invalid_argument] listing {!names} — callers passing free-form
+    names (the CLI, tests) get a real error, never an assert. *)
+
 val all : (string * (?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit)) list
-(** Experiment registry in paper order (plus the ablations). *)
+(** Experiment registry: [(name, runner)] for every entry of {!names}. *)
 
 val run : ?fast:bool -> ?pool:Gg_par.Pool.t -> string -> bool
 (** Run one experiment by name ("fig5", "table2", …); false if
-    unknown. *)
+    unknown. (The runners in {!all} raise [Invalid_argument] — listing
+    the known names — if applied to a name outside the registry;
+    [run] itself reports unknown names via its return value.) *)

@@ -7,6 +7,7 @@ type action =
   | Dup of float
   | Reorder of float
   | Jitter of float
+  | Corrupt of float
 
 type event = { at_ms : int; action : action }
 
@@ -17,6 +18,7 @@ let action_to_string = function
   | Dup p -> Printf.sprintf "dup:%.3f" p
   | Reorder p -> Printf.sprintf "reorder:%.3f" p
   | Jitter f -> Printf.sprintf "jitter:%.3f" f
+  | Corrupt p -> Printf.sprintf "corrupt:%.3f" p
 
 let event_to_string e = Printf.sprintf "%s@%dms" (action_to_string e.action) e.at_ms
 
@@ -33,6 +35,7 @@ let apply net ?(on_crash = fun n -> Net.set_down net n true)
   | Dup p -> Net.set_dup net p
   | Reorder p -> Net.set_reorder net p
   | Jitter f -> Net.set_jitter_frac net f
+  | Corrupt p -> Net.set_corrupt_frac net p
 
 let install net ?on_crash ?on_recover events =
   let sim = Net.sim net in

@@ -16,6 +16,7 @@ type action =
   | Dup of float  (** set the duplication probability *)
   | Reorder of float  (** set the reorder probability *)
   | Jitter of float  (** set the jitter fraction (spikes) *)
+  | Corrupt of float  (** set the binary-frame corruption probability *)
 
 type event = { at_ms : int; action : action }
 

@@ -9,6 +9,7 @@ type t = {
   mutable loss : float;
   mutable dup : float;
   mutable reorder : float;
+  mutable corrupt : float;
   bandwidth_bps : int;
   down : bool array;
   egress_free : int array; (* absolute time each node's egress pipe frees up *)
@@ -16,6 +17,7 @@ type t = {
   sent_bytes : Obs.Counter.t;
   wan_bytes : Obs.Counter.t;
   dropped : Obs.Counter.t;
+  corrupted : Obs.Counter.t;
   wan_bytes_from : int array;
   wan_pair : Obs.Counter.t array array;
       (* [src_region].(dst_region) WAN bytes; diagonal entries are
@@ -51,6 +53,7 @@ let create sim ~rng ~topology ?(jitter_frac = 0.05) ?(loss = 0.0) ?(dup = 0.0)
       loss;
       dup;
       reorder;
+      corrupt = 0.0;
       bandwidth_bps;
       down = Array.make n false;
       egress_free = Array.make n 0;
@@ -58,6 +61,7 @@ let create sim ~rng ~topology ?(jitter_frac = 0.05) ?(loss = 0.0) ?(dup = 0.0)
       sent_bytes = Obs.counter obs "net.sent.bytes";
       wan_bytes = Obs.counter obs "net.wan.bytes";
       dropped = Obs.counter obs "net.dropped.messages";
+      corrupted = Obs.counter obs "net.corrupted.messages";
       wan_bytes_from = Array.make n 0;
       wan_pair;
     }
@@ -85,10 +89,24 @@ let set_loss t p = t.loss <- Float.max 0.0 (Float.min 1.0 p)
 let set_dup t p = t.dup <- Float.max 0.0 (Float.min 1.0 p)
 let set_reorder t p = t.reorder <- Float.max 0.0 (Float.min 1.0 p)
 let set_jitter_frac t f = t.jitter_frac <- Float.max 0.0 f
+let set_corrupt_frac t p = t.corrupt <- Float.max 0.0 (Float.min 1.0 p)
 let loss t = t.loss
 let dup t = t.dup
 let reorder t = t.reorder
 let jitter_frac t = t.jitter_frac
+let corrupt_frac t = t.corrupt
+
+(* Payload corruption is the one fault the transport cannot model by
+   itself: the payload is an opaque closure. Senders of binary frames
+   (batch wire bytes) call [draw_corrupt] per destination and, on true,
+   enqueue a mangled copy instead. Zero probability consumes no
+   randomness, like every other knob. *)
+let draw_corrupt t =
+  t.corrupt > 0.0 && Gg_util.Rng.chance t.rng t.corrupt
+  && begin
+       Obs.Counter.incr t.corrupted;
+       true
+     end
 
 let delay t ~src ~dst ~bytes =
   let base = Topology.latency t.topology src dst in

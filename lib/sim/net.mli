@@ -65,10 +65,23 @@ val set_loss : t -> float -> unit
 val set_dup : t -> float -> unit
 val set_reorder : t -> float -> unit
 val set_jitter_frac : t -> float -> unit
+
+val set_corrupt_frac : t -> float -> unit
+(** Probability that a binary frame is delivered with a mangled payload.
+    The transport carries closures, so it cannot corrupt payloads
+    itself; senders of binary frames consult {!draw_corrupt} per
+    destination and enqueue a truncated copy on [true]. *)
+
 val loss : t -> float
 val dup : t -> float
 val reorder : t -> float
 val jitter_frac : t -> float
+val corrupt_frac : t -> float
+
+val draw_corrupt : t -> bool
+(** One corruption coin-flip (shared rng; no draw when the probability
+    is zero, so enabling the knob never perturbs other seeds). Counts
+    into ["net.corrupted.messages"] when true. *)
 
 (** {1 Accounting}
 

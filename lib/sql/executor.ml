@@ -277,7 +277,10 @@ let select ctx (s : Ast.select) ~params =
         match p with
         | Ast.Star -> List.concat_map (fun b -> Array.to_list b.Env.row) env
         | Ast.Expr_proj (e, _) -> [ Expr.eval env ~params e ]
-        | Ast.Agg _ -> assert false)
+        | Ast.Agg _ ->
+          (* defended by the [aggregating] dispatch above; a proper error
+             beats an [assert false] if a future path slips through *)
+          raise (Sql_error "aggregate function outside an aggregate query"))
       s.projs
     |> Array.of_list
   in
@@ -423,7 +426,10 @@ let select ctx (s : Ast.select) ~params =
             else Value.Float (st.g_sumf.(i) /. float_of_int st.g_count.(i))
           | Ast.Agg (Ast.Min, _, _) -> st.g_min.(i)
           | Ast.Agg (Ast.Max, _, _) -> st.g_max.(i)
-          | Ast.Star -> assert false
+          | Ast.Star ->
+            (* rejected up front ("mixing aggregates and plain
+               projections needs GROUP BY"); kept as a query error *)
+            raise (Sql_error "SELECT * cannot be combined with aggregates")
           | Ast.Expr_proj _ -> st.g_repr.(i))
         s.projs
       |> Array.of_list

@@ -50,7 +50,7 @@ let num_binop op a b =
     | Mul -> Value.Int (x * y)
     | Div -> if y = 0 then fail "division by zero" else Value.Int (x / y)
     | Mod -> if y = 0 then fail "modulo by zero" else Value.Int (x mod y)
-    | _ -> assert false)
+    | _ -> fail "not an arithmetic operator")
   | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
     let fx = match a with Value.Int i -> float_of_int i | Value.Float f -> f | _ -> 0.0 in
     let fy = match b with Value.Int i -> float_of_int i | Value.Float f -> f | _ -> 0.0 in
@@ -60,7 +60,7 @@ let num_binop op a b =
     | Mul -> Value.Float (fx *. fy)
     | Div -> if fy = 0.0 then fail "division by zero" else Value.Float (fx /. fy)
     | Mod -> fail "modulo on float"
-    | _ -> assert false)
+    | _ -> fail "not an arithmetic operator")
   | _ ->
     fail "arithmetic on non-numeric values (%s, %s)" (Value.type_name a)
       (Value.type_name b)
@@ -79,7 +79,7 @@ let cmp_binop op a b =
       | Le -> c <= 0
       | Gt -> c > 0
       | Ge -> c >= 0
-      | _ -> assert false
+      | _ -> fail "not a comparison operator"
     in
     Value.Int (if r then 1 else 0)
 

@@ -6,6 +6,11 @@ module Ycsb = Gg_workload.Ycsb
 
 let small_profile = Ycsb.with_records Ycsb.medium_contention 2_000
 
+let contains_sub hay needle =
+  let ln = String.length needle and lh = String.length hay in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
 let test_run_engine_measures () =
   let r =
     Gg_harness.Driver.run_engine
@@ -60,9 +65,26 @@ let test_geogauss_beats_crdb_ycsb_mc () =
     (geo.Gg_harness.Result.mean_ms < crdb.Gg_harness.Result.mean_ms)
 
 let test_experiment_registry () =
-  Alcotest.(check int) "12 experiments" 12 (List.length Gg_harness.Experiments.all);
+  Alcotest.(check int) "13 experiments" 13 (List.length Gg_harness.Experiments.all);
+  Alcotest.(check (list string))
+    "registry derives from the canonical name list"
+    Gg_harness.Experiments.names
+    (List.map fst Gg_harness.Experiments.all);
+  Alcotest.(check bool) "fig_scale registered" true
+    (List.mem "fig_scale" Gg_harness.Experiments.names);
   Alcotest.(check bool) "unknown rejected" false
     (Gg_harness.Experiments.run ~fast:true "nonsense")
+
+let test_experiment_unknown_name_error () =
+  (* A free-form name given to a runner must be a real error naming the
+     known experiments — historically this was an [assert false]. *)
+  match Gg_harness.Experiments.make_runner "fig99" ~fast:true () with
+  | () -> Alcotest.fail "unknown experiment must be rejected"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message names the experiment" true
+      (contains_sub msg "fig99");
+    Alcotest.(check bool) "message lists known names" true
+      (contains_sub msg "fig5" && contains_sub msg "fig_scale")
 
 let test_experiment_table3_fast () =
   (* Runs a real (fast) experiment end to end. *)
@@ -160,6 +182,8 @@ let () =
       ( "experiments",
         [
           Alcotest.test_case "registry" `Quick test_experiment_registry;
+          Alcotest.test_case "unknown name is a real error" `Quick
+            test_experiment_unknown_name_error;
           Alcotest.test_case "table3 fast" `Slow test_experiment_table3_fast;
         ] );
       ( "bench_diff",

@@ -304,6 +304,24 @@ let test_select_agg_empty_table () =
   | [ [| Value.Int 0; Value.Null |] ] -> ()
   | _ -> Alcotest.fail "expected one zero row"
 
+let test_agg_misuse_is_error_not_crash () =
+  (* Malformed aggregate queries must surface as [Error _] from
+     [exec_sql] — these paths were historically [assert false]. *)
+  let ctx = Executor.Ctx.create (fixture ()) in
+  let m = exec_err ctx "SELECT *, COUNT(*) FROM accounts" () in
+  Alcotest.(check bool) "star+agg names aggregates" true
+    (contains_sub m "aggregate");
+  let m = exec_err ctx "SELECT owner, COUNT(*) FROM accounts" () in
+  Alcotest.(check bool) "plain+agg without GROUP BY rejected" true
+    (contains_sub m "GROUP BY" || contains_sub m "aggregate");
+  (* The expression evaluator's misuse paths are proper errors too. *)
+  let m = exec_err ctx "SELECT id + owner FROM accounts" () in
+  Alcotest.(check bool) "non-numeric arithmetic rejected" true
+    (contains_sub m "arithmetic");
+  let m = exec_err ctx "SELECT balance / 0 FROM accounts" () in
+  Alcotest.(check bool) "division by zero rejected" true
+    (contains_sub m "division")
+
 let test_select_in_list () =
   let ctx = Executor.Ctx.create (fixture ()) in
   let r = exec_ok ctx "SELECT id FROM accounts WHERE id IN (1, 3, 99) ORDER BY id" () in
@@ -545,6 +563,8 @@ let () =
           Alcotest.test_case "order by / limit" `Quick test_select_order_by_limit;
           Alcotest.test_case "star columns" `Quick test_select_star_columns;
           Alcotest.test_case "aggregates" `Quick test_select_aggregates;
+          Alcotest.test_case "aggregate misuse is an error" `Quick
+            test_agg_misuse_is_error_not_crash;
           Alcotest.test_case "agg with filter" `Quick test_select_agg_with_filter;
           Alcotest.test_case "join" `Quick test_select_join;
           Alcotest.test_case "join cardinality" `Quick test_select_join_cardinality;
