@@ -57,6 +57,10 @@ ci: fmt
 	tail -1 /tmp/gg_ci_pr.out
 	dune exec bin/geogauss_cli.exe -- check --seeds 3 --fast --corrupt 0.05 --jobs $(JOBS) > /tmp/gg_ci_cf.out; \
 	tail -1 /tmp/gg_ci_cf.out
+# Column-level merge (DESIGN.md §13): the same drawn seeds with the
+# per-field lattice pinned on, through all five oracles.
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --merge-level column --jobs $(JOBS) > /tmp/gg_ci_ml.out; \
+	tail -1 /tmp/gg_ci_ml.out
 	dune exec bin/geogauss_cli.exe -- check --canary
 # Perf-regression accounting: fresh fast wallclock run vs the committed
 # baseline. Fast mode uses shrunk populations, so rates differ
@@ -74,6 +78,13 @@ ci: fmt
 	mv BENCH_scale.json /tmp/gg_scale_fast.json; \
 	cp /tmp/gg_scale_base.json BENCH_scale.json; \
 	dune exec bin/geogauss_cli.exe -- bench diff /tmp/gg_scale_base.json /tmp/gg_scale_fast.json --warn-only --threshold 0.5
+# And for the merge-granularity sweep: fresh fast fig_skew vs the
+# committed baseline (abort-rate and WAN columns gate lower-is-better).
+	cp BENCH_skew.json /tmp/gg_skew_base.json; \
+	dune exec bench/main.exe -- fig_skew --fast --jobs $(JOBS) > /dev/null; \
+	mv BENCH_skew.json /tmp/gg_skew_fast.json; \
+	cp /tmp/gg_skew_base.json BENCH_skew.json; \
+	dune exec bin/geogauss_cli.exe -- bench diff /tmp/gg_skew_base.json /tmp/gg_skew_fast.json --warn-only --threshold 0.5
 
 bench:
 	dune exec bench/main.exe -- --jobs $(JOBS)

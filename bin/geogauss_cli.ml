@@ -47,6 +47,27 @@ let partitioning_arg =
            transactions commit once every touched group's epoch merge \
            validates them (DESIGN.md \xC2\xA712).")
 
+let merge_level_conv =
+  let parse s =
+    match Geogauss.Params.merge_level_of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf l ->
+      Format.pp_print_string ppf (Geogauss.Params.merge_level_to_string l))
+
+let merge_level_arg =
+  Arg.(
+    value
+    & opt merge_level_conv Geogauss.Params.Row
+    & info [ "merge-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Conflict granularity of the epoch merge: row (the paper's \
+           whole-row first-committer-wins) or column (per-field LWW \
+           lattice — concurrent updates to disjoint columns of the same \
+           row all commit; DESIGN.md \xC2\xA713). Ignored under \
+           partitioning or geog-a, which re-apply whole rows.")
+
 (* --- `bench` subcommand: run paper experiments --- *)
 
 let bench_names =
@@ -54,7 +75,8 @@ let bench_names =
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiments to run (fig5 table2 fig6 fig7 table3 fig8 fig9 \
-              fig10 fig11 fig12 fig13 ablations fig_scale). Default: all.")
+              fig10 fig11 fig12 fig13 ablations fig_scale fig_skew). \
+              Default: all.")
 
 let bench_run_term =
   let run fast jobs names =
@@ -146,11 +168,16 @@ let run_cmd =
       & opt
           (enum
              [ ("ycsb-ro", `Ro); ("ycsb-mc", `Mc); ("ycsb-hc", `Hc);
-               ("tpcc", `Tpcc); ("tpcc-full", `Tpcc_full) ])
+               ("tpcc", `Tpcc); ("tpcc-full", `Tpcc_full);
+               ("hotkey", `Hotkey); ("social", `Social); ("scan", `Scan);
+               ("secidx", `Secidx) ])
           `Mc
       & info [ "w"; "workload" ]
-          ~doc:"Workload: ycsb-ro, ycsb-mc, ycsb-hc, tpcc (50/50 NO+Payment) \
-                or tpcc-full (standard five-transaction mix).")
+          ~doc:"Workload: ycsb-ro, ycsb-mc, ycsb-hc, tpcc (50/50 NO+Payment), \
+                tpcc-full (standard five-transaction mix), hotkey (rotating \
+                hot-key counter bursts), social (power-law fanout \
+                read-modify-write), scan (SQL long scans + aggregates) or \
+                secidx (SQL secondary-index reads with region flips).")
   in
   let nodes =
     Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Number of replicas.")
@@ -215,8 +242,30 @@ let run_cmd =
           ~doc:"Write a JSONL event trace + counter snapshots of the \
                 measurement window to $(docv) (replay with `geogauss trace').")
   in
+  let arrival_conv =
+    let parse s =
+      match Gg_workload.Arrival.of_string s with
+      | Ok a -> Ok a
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun ppf a ->
+        Format.pp_print_string ppf (Gg_workload.Arrival.to_string a))
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (some arrival_conv) None
+      & info [ "arrival" ] ~docv:"CURVE"
+          ~doc:
+            "Open-loop arrival curve (per region): constant@$(i,TPS), \
+             diurnal:$(i,PERIOD_MS):$(i,TROUGH)@$(i,TPS) or \
+             flash:$(i,AT_MS):$(i,DUR_MS):$(i,MULT)@$(i,TPS). Transactions \
+             arrive on the curve regardless of completions; --connections \
+             caps the in-flight pool and a 4x FIFO absorbs bursts (beyond \
+             that, arrivals shed). Without it, the paper's closed loop.")
+  in
   let run workload nodes world epoch_ms isolation variant ft seconds connections
-      theta records seed trace merge_jobs partitioning =
+      theta records seed trace arrival merge_jobs partitioning merge_level =
     let topology =
       if world then Gg_sim.Topology.worldwide nodes else Gg_sim.Topology.china nodes
     in
@@ -230,9 +279,10 @@ let run_cmd =
         seed;
         merge_jobs;
         partitioning;
+        merge_level;
       }
     in
-    let gen, load =
+    let gens, load =
       match workload with
       | (`Tpcc | `Tpcc_full) as w ->
         let cfg = Gg_workload.Tpcc.default in
@@ -244,7 +294,7 @@ let run_cmd =
           in
           fun () -> Gg_workload.Tpcc.next_txn g
         in
-        (gen, Gg_workload.Tpcc.load cfg)
+        (`Op gen, Gg_workload.Tpcc.load cfg)
       | (`Ro | `Mc | `Hc) as w ->
         let base =
           match w with
@@ -257,11 +307,39 @@ let run_cmd =
             (Gg_workload.Ycsb.with_records base records)
             (if base.Gg_workload.Ycsb.theta = 0.0 then 0.0 else theta)
         in
-        (Gg_harness.Driver.ycsb_gens p ~seed, Gg_workload.Ycsb.load p)
+        (`Op (Gg_harness.Driver.ycsb_gens p ~seed), Gg_workload.Ycsb.load p)
+      | `Hotkey ->
+        let p = Gg_workload.Hotkey.with_records Gg_workload.Hotkey.base records in
+        (`Op (Gg_harness.Driver.hotkey_gens p ~seed), Gg_workload.Hotkey.load p)
+      | `Social ->
+        let p = Gg_workload.Social.with_users Gg_workload.Social.base records in
+        (`Op (Gg_harness.Driver.social_gens p ~seed), Gg_workload.Social.load p)
+      | `Scan ->
+        let p =
+          Gg_workload.Sqlgen.Scan.with_records Gg_workload.Sqlgen.Scan.base
+            records
+        in
+        ( `Req (Gg_harness.Driver.scan_req_gens p ~seed),
+          Gg_workload.Sqlgen.Scan.load p )
+      | `Secidx ->
+        let p =
+          Gg_workload.Sqlgen.Secidx.with_records Gg_workload.Sqlgen.Secidx.base
+            records
+        in
+        ( `Req (Gg_harness.Driver.secidx_req_gens p ~seed),
+          Gg_workload.Sqlgen.Secidx.load p )
+    in
+    (* [~gen] is only consulted when no request-level generator is given,
+       so the [`Req] arm's placeholder can never run. *)
+    let gen, req_gen =
+      match gens with
+      | `Op gen -> (gen, None)
+      | `Req rg -> ((fun _ () -> assert false), Some rg)
     in
     let r, extra =
-      Gg_harness.Driver.run_geogauss ~params ~connections ?trace_file:trace
-        ~topology ~load ~gen ~warmup_ms:1_000 ~measure_ms:(seconds * 1_000)
+      Gg_harness.Driver.run_geogauss ~params ~connections ?arrival ?req_gen
+        ?trace_file:trace ~topology ~load ~gen ~warmup_ms:1_000
+        ~measure_ms:(seconds * 1_000)
         ~label:(Geogauss.Params.variant_to_string variant)
         ()
     in
@@ -282,12 +360,15 @@ let run_cmd =
     in
     Gg_util.Tablefmt.add_row table (Gg_harness.Result.row r);
     Gg_util.Tablefmt.print table;
-    match extra.Gg_harness.Driver.phase_means with
+    (match extra.Gg_harness.Driver.phase_means with
     | (_, (p, e, w, m, l)) :: _ ->
       Printf.printf
         "node0 phase means (ms): parse %.2f  exec %.2f  wait %.2f  merge %.2f  log %.2f\n"
         (p /. 1000.) (e /. 1000.) (w /. 1000.) (m /. 1000.) (l /. 1000.)
-    | [] -> ();
+    | [] -> ());
+    if arrival <> None then
+      Printf.printf "open loop: %d offered, %d shed (queue full)\n"
+        extra.Gg_harness.Driver.offered extra.Gg_harness.Driver.shed;
     (match trace with
     | Some path -> Printf.printf "trace written to %s\n" path
     | None -> ())
@@ -296,8 +377,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an ad-hoc GeoGauss cluster simulation.")
     Term.(
       const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
-      $ ft $ seconds $ connections $ theta $ records $ seed $ trace
-      $ merge_jobs_arg $ partitioning_arg)
+      $ ft $ seconds $ connections $ theta $ records $ seed $ trace $ arrival
+      $ merge_jobs_arg $ partitioning_arg $ merge_level_arg)
 
 (* --- `check` subcommand: seeded chaos checking --- *)
 
@@ -365,7 +446,7 @@ let check_cmd =
              path under the same oracles.")
   in
   let run seeds base engine ft fast jobs trace canary merge_jobs partitioning
-      corrupt =
+      corrupt merge_level =
     let log = print_endline in
     if canary then begin
       let s =
@@ -392,7 +473,7 @@ let check_cmd =
       let report =
         Gg_par.Pool.with_pool ~jobs @@ fun pool ->
         Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~pool
-          ~merge_jobs ~partitioning ~corrupt_frac:corrupt ~seeds ()
+          ~merge_jobs ~partitioning ~corrupt_frac:corrupt ~merge_level ~seeds ()
       in
       Printf.printf "%d seeds, %d commits, %d violation(s)\n"
         report.Gg_check.Checker.seeds_run
@@ -421,7 +502,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ seeds $ base $ engine $ ft $ fast_arg $ jobs_arg $ trace
-       $ canary $ merge_jobs_arg $ partitioning_arg $ corrupt))
+       $ canary $ merge_jobs_arg $ partitioning_arg $ corrupt
+       $ merge_level_arg))
 
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 

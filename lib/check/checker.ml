@@ -26,18 +26,48 @@ type outcome = {
 (* Checker scenarios keep populations small: contention is what shakes
    out merge/validation bugs, and per-epoch digests touch every row. *)
 let ycsb_records = 400
+let hotkey_records = 300
+let social_users = 400
+let scan_records = 400
+let secidx_records = 400
 
+(* Request-level generators: op workloads wrap in [Op_txn], SQL-shaped
+   ones ({!Gg_workload.Sqlgen}) arrive as statement lists and wrap in
+   [Sql_txn]. *)
 let load_and_gen (s : Scenario.t) =
+  let wrap gen node =
+    let next = gen node in
+    fun () -> Geogauss.Txn.Op_txn (next ())
+  in
   match s.workload with
   | Scenario.Ycsb_mc ->
     let p = Ycsb.with_records Ycsb.medium_contention ycsb_records in
-    (Ycsb.load p, Driver.ycsb_gens p ~seed:(1000 + s.seed))
+    (Ycsb.load p, wrap (Driver.ycsb_gens p ~seed:(1000 + s.seed)))
   | Scenario.Ycsb_hc ->
     let p = Ycsb.with_records Ycsb.high_contention ycsb_records in
-    (Ycsb.load p, Driver.ycsb_gens p ~seed:(1000 + s.seed))
+    (Ycsb.load p, wrap (Driver.ycsb_gens p ~seed:(1000 + s.seed)))
   | Scenario.Tpcc ->
     let c = Tpcc.small in
-    (Tpcc.load c, Driver.tpcc_gens c ~seed:(1000 + s.seed))
+    (Tpcc.load c, wrap (Driver.tpcc_gens c ~seed:(1000 + s.seed)))
+  | Scenario.Hotkey ->
+    let p = Gg_workload.Hotkey.with_records Gg_workload.Hotkey.base hotkey_records in
+    (Gg_workload.Hotkey.load p, wrap (Driver.hotkey_gens p ~seed:(1000 + s.seed)))
+  | Scenario.Social ->
+    let p = Gg_workload.Social.with_users Gg_workload.Social.base social_users in
+    (Gg_workload.Social.load p, wrap (Driver.social_gens p ~seed:(1000 + s.seed)))
+  | Scenario.Scan ->
+    let p =
+      Gg_workload.Sqlgen.Scan.with_records Gg_workload.Sqlgen.Scan.base
+        scan_records
+    in
+    (Gg_workload.Sqlgen.Scan.load p, Driver.scan_req_gens p ~seed:(1000 + s.seed))
+  | Scenario.Secidx ->
+    let p =
+      Gg_workload.Sqlgen.Secidx.with_records Gg_workload.Sqlgen.Secidx.base
+        secidx_records
+    in
+    ( Gg_workload.Sqlgen.Secidx.load p,
+      Driver.secidx_req_gens p ~seed:(1000 + s.seed) )
 
 (* The self-test canary: silently tombstone one committed row on one
    replica, bypassing the protocol. A correct checker must notice — the
@@ -80,11 +110,17 @@ let run ?trace (s : Scenario.t) =
   (match s.corruption with
   | Some (node, at_ms) -> inject_corruption cluster ~node ~at_ms
   | None -> ());
+  (* Open loop when the scenario drew an arrival curve: same bounded
+     FIFO shape as the measurement driver (4x the pool). *)
+  let mode =
+    match s.arrival with
+    | None -> Client.Closed
+    | Some arrival -> Client.Open { arrival; queue_cap = 4 * s.connections }
+  in
   let clients =
     List.init s.nodes (fun home ->
-        let next = gen home in
-        Client.create cluster ~home ~connections:s.connections ~gen:(fun () ->
-            Geogauss.Txn.Op_txn (next ())))
+        Client.create ~mode cluster ~home ~connections:s.connections
+          ~gen:(gen home))
   in
   List.iter Client.start clients;
   (* Advance in small steps so a violation stops the run near the epoch
@@ -178,7 +214,8 @@ let shrink_and_report ?log s v =
    where the sequential run would do them. *)
 let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0)
     ?(pool = Gg_par.Pool.seq) ?(merge_jobs = 1)
-    ?(partitioning = Params.P_none) ?(corrupt_frac = 0.0) ~seeds () =
+    ?(partitioning = Params.P_none) ?(corrupt_frac = 0.0)
+    ?(merge_level = Params.Row) ~seeds () =
   let emit m = match log with Some f -> f m | None -> () in
   let failures = ref [] in
   let total_commits = ref 0 in
@@ -192,6 +229,7 @@ let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0)
           if merge_jobs = 1 then s else { s with Scenario.merge_jobs }
         in
         let s = Scenario.with_partitioning s partitioning in
+        let s = Scenario.with_merge_level s merge_level in
         (* A corrupted frame is a dropped frame; GeoG-A's gossip makes
            no promises under drops (the generator zeroes [loss] for it
            for the same reason), so the corruption pin skips it. *)

@@ -52,6 +52,7 @@ val check :
   ?merge_jobs:int ->
   ?partitioning:Geogauss.Params.partitioning ->
   ?corrupt_frac:float ->
+  ?merge_level:Geogauss.Params.merge_level ->
   seeds:int ->
   unit ->
   report
@@ -78,4 +79,9 @@ val check :
     path, so the same oracles apply — except on GeoG-A scenarios, which
     the pin skips (a corrupted frame is a dropped frame, and the gossip
     engine makes no promises under drops). Both are applied after seed
-    generation like [merge_jobs]. *)
+    generation like [merge_jobs].
+
+    [?merge_level] pins the epoch merge's conflict granularity (default
+    [Row]), via {!Scenario.with_merge_level} — GeoG-A is coerced to the
+    full engine. A [Column] sweep runs the same drawn scenarios through
+    all five oracles with the column-level lattice active. *)

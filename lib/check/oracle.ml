@@ -12,6 +12,7 @@ module Row_header = Gg_storage.Row_header
 module Writeset = Gg_crdt.Writeset
 module Merge = Gg_crdt.Merge
 module Meta = Gg_crdt.Meta
+module Column = Gg_crdt.Column
 
 type invariant = Convergence | Monotonicity | Durability | Aci | Isolation
 
@@ -38,12 +39,17 @@ type commit = {
   c_node : int;
   c_cen : int;
   c_csn : Csn.t;
-  c_rows : (string * string * bool) list;  (* table, key, is_delete *)
+  c_rows : (string * string * Writeset.op) list;  (* table, key, op *)
 }
 
 type t = {
   cluster : Cluster.t;
   variant : Params.variant;
+  level : Params.merge_level;
+      (* the EFFECTIVE merge level: under column-level merge, isolation
+         admits several committed updaters per row (cell-granularity
+         conflicts) and durability checks an update's row survived its
+         epoch rather than that its csn owns the header *)
   part : Partitioning.t;
       (* under partial replication (DESIGN.md §12) replicas of different
          groups hold different fragments by design: convergence compares
@@ -53,7 +59,7 @@ type t = {
   digest_at : (int, (int * string) list) Hashtbl.t;  (* lsn -> digests *)
   last_lsn : int array;
   mutable commits : commit list;
-  epoch_writers : (int, (string, Csn.t) Hashtbl.t) Hashtbl.t;
+  epoch_writers : (int, (string, Csn.t * Writeset.op) Hashtbl.t) Hashtbl.t;
   replay_rng : Rng.t;
 }
 
@@ -97,6 +103,47 @@ let replay_winners txns =
     txns;
   winners
 
+(* Column-mode companion law: the per-(row, column) cell winner under
+   {!Column.join} must also be order- and duplication-independent. The
+   join here runs over every candidate update in the batch set (the
+   oracle does not re-derive the committed set — the lattice law holds
+   for any subset, so candidates are the stronger check). *)
+let replay_cells txns =
+  let cells : (string, Column.cell option array) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (ws : Writeset.t) ->
+      let meta = ws.Writeset.meta in
+      List.iter
+        (fun (r : Writeset.record) ->
+          if r.Writeset.op = Writeset.Update then begin
+            let id = row_id ~table:r.Writeset.table ~key:(Writeset.key_str r) in
+            let n = Array.length r.Writeset.data in
+            let arr =
+              match Hashtbl.find_opt cells id with
+              | Some a when Array.length a >= n -> a
+              | Some a ->
+                let a' = Array.make n None in
+                Array.blit a 0 a' 0 (Array.length a);
+                Hashtbl.replace cells id a';
+                a'
+              | None ->
+                let a = Array.make n None in
+                Hashtbl.replace cells id a;
+                a
+            in
+            Array.iteri
+              (fun i v ->
+                if Column.covers ~cols:r.Writeset.cols i then
+                  arr.(i) <-
+                    Some (Column.join_opt arr.(i) (Column.cell ~meta v)))
+              r.Writeset.data
+          end)
+        ws.Writeset.records)
+    txns;
+  cells
+
 let check_aci t ~epoch =
   let backup = Cluster.backup t.cluster in
   let txns =
@@ -109,6 +156,9 @@ let check_aci t ~epoch =
   in
   if txns <> [] then begin
     let reference = replay_winners txns in
+    let ref_cells =
+      if t.level = Params.Column then Some (replay_cells txns) else None
+    in
     let arr = Array.of_list txns in
     Rng.shuffle t.replay_rng arr;
     let dup_n = 1 + Rng.int t.replay_rng (Array.length arr) in
@@ -132,7 +182,35 @@ let check_aci t ~epoch =
               record t ~invariant:Aci ~epoch ~node:(-1)
                 (Printf.sprintf
                    "row %S winner differs under permutation+duplication" id))
-        reference
+        reference;
+    match ref_cells with
+    | None -> ()
+    | Some ref_cells ->
+      let alt_cells = replay_cells permuted in
+      Hashtbl.iter
+        (fun id arr ->
+          match Hashtbl.find_opt alt_cells id with
+          | None ->
+            record t ~invariant:Aci ~epoch ~node:(-1)
+              (Printf.sprintf "row %S cells missing from permuted replay" id)
+          | Some arr' ->
+            Array.iteri
+              (fun i c ->
+                let c' = if i < Array.length arr' then arr'.(i) else None in
+                let same =
+                  match (c, c') with
+                  | None, None -> true
+                  | Some a, Some b ->
+                    Csn.equal a.Column.meta.Meta.csn b.Column.meta.Meta.csn
+                  | _ -> false
+                in
+                if not same then
+                  record t ~invariant:Aci ~epoch ~node:(-1)
+                    (Printf.sprintf
+                       "row %S column %d cell winner differs under \
+                        permutation+duplication" id i))
+              arr)
+        ref_cells
   end
 
 (* --- per-snapshot hook: (1) convergence, (2) monotonicity ------------- *)
@@ -170,9 +248,7 @@ let on_commit t (txn : Txn.t) =
     let rows =
       List.map
         (fun (r : Writeset.record) ->
-          ( r.Writeset.table,
-            Writeset.key_str r,
-            r.Writeset.op = Writeset.Delete ))
+          (r.Writeset.table, Writeset.key_str r, r.Writeset.op))
         ws.Writeset.records
     in
     t.commits <-
@@ -188,14 +264,24 @@ let on_commit t (txn : Txn.t) =
           tbl
       in
       List.iter
-        (fun (table, key, _) ->
+        (fun (table, key, op) ->
           let id = row_id ~table ~key in
           match Hashtbl.find_opt writers id with
-          | Some csn when not (Csn.equal csn txn.Txn.csn) ->
-            record t ~invariant:Isolation ~epoch:cen ~node:txn.Txn.node
-              (Printf.sprintf
-                 "two committed writers of row %S in epoch %d" id cen)
-          | _ -> Hashtbl.replace writers id txn.Txn.csn)
+          | Some (csn, prev_op) when not (Csn.equal csn txn.Txn.csn) ->
+            (* Column-level merge resolves update/update races per cell:
+               any number of committed updaters per row is legal there.
+               Everything else — two inserts, two deletes, and every
+               mixed pair — still admits exactly one winner. *)
+            if
+              not
+                (t.level = Params.Column
+                && op = Writeset.Update
+                && prev_op = Writeset.Update)
+            then
+              record t ~invariant:Isolation ~epoch:cen ~node:txn.Txn.node
+                (Printf.sprintf
+                   "two committed writers of row %S in epoch %d" id cen)
+          | _ -> Hashtbl.replace writers id (txn.Txn.csn, op))
         rows
     end
 
@@ -204,6 +290,7 @@ let create cluster =
     {
       cluster;
       variant = (Cluster.params cluster).Params.variant;
+      level = Params.effective_merge_level (Cluster.params cluster);
       part = Cluster.partitioning cluster;
       violations = [];
       digest_at = Hashtbl.create 512;
@@ -305,8 +392,8 @@ let finalize t ~min_lsn =
                 record t ~invariant:Durability ~epoch:c.c_cen ~node:c.c_node
                   "committed write set missing from backup batch");
             List.iter
-              (fun (table, key, is_delete) ->
-                if not is_delete then
+              (fun (table, key, op) ->
+                if op <> Writeset.Delete then
                   let row_ref =
                     match group_ref.(Partitioning.group_of_key t.part key) with
                     | None -> None
@@ -334,9 +421,17 @@ let finalize t ~min_lsn =
                         ~node:c.c_node
                         (Printf.sprintf "committed row %S tombstoned" key)
                     else if
+                      (* Column-level merge: several updates commit into
+                         one row per epoch but only the claim winner's
+                         csn stamps the header, so a committed update is
+                         lost only if the row's header never reached its
+                         epoch at all. Inserts still own their header. *)
                       h.Row_header.cen < c.c_cen
                       || (h.Row_header.cen = c.c_cen
-                         && not (Csn.equal h.Row_header.csn c.c_csn))
+                         && not (Csn.equal h.Row_header.csn c.c_csn)
+                         && not
+                              (t.level = Params.Column
+                              && op = Writeset.Update))
                     then
                       record t ~invariant:Durability ~epoch:c.c_cen
                         ~node:c.c_node

@@ -25,7 +25,17 @@
     by design, so convergence is scoped to same-group pairs and
     durability consults the most advanced live member of each row's
     owning group. With partitioning off every node is in group 0 and the
-    checks reduce to the full-cluster ones above. *)
+    checks reduce to the full-cluster ones above.
+
+    Under column-level merge ({!Params.effective_merge_level} =
+    [Column], DESIGN.md §13) conflicts resolve per cell, so the oracles
+    rescope: isolation admits any number of committed {e updaters} per
+    row (while two inserts, two deletes, or any mixed pair stay
+    violations); durability treats a committed update as lost only if
+    its row's header never reached the update's epoch (the header csn
+    belongs to the row-claim winner, not every cell winner); and the ACI
+    replay additionally checks the per-(row, column) cell winners under
+    {!Gg_crdt.Column.join} against permutation + duplication. *)
 
 type invariant = Convergence | Monotonicity | Durability | Aci | Isolation
 

@@ -1,13 +1,18 @@
 module Rng = Gg_util.Rng
 module Params = Geogauss.Params
 module Fault = Gg_sim.Fault
+module Arrival = Gg_workload.Arrival
 
-type workload = Ycsb_mc | Ycsb_hc | Tpcc
+type workload = Ycsb_mc | Ycsb_hc | Tpcc | Hotkey | Social | Scan | Secidx
 
 let workload_to_string = function
   | Ycsb_mc -> "ycsb-mc"
   | Ycsb_hc -> "ycsb-hc"
   | Tpcc -> "tpcc"
+  | Hotkey -> "hotkey"
+  | Social -> "social"
+  | Scan -> "scan"
+  | Secidx -> "secidx"
 
 type t = {
   seed : int;
@@ -37,6 +42,13 @@ type t = {
       (* probability a binary batch frame is truncated in flight.
          Pinned, not drawn: probability 0 means the network takes no
          corruption coin-flips, so existing seeds are unperturbed. *)
+  merge_level : Params.merge_level;
+      (* conflict granularity of the epoch merge. Like merge_jobs,
+         never drawn from the seed — pinned via Checker.check
+         ?merge_level / with_merge_level. *)
+  arrival : Gg_workload.Arrival.t option;
+      (* open-loop arrival curve; None = the closed loop. Drawn LAST so
+         the coin-flips cannot perturb any knob above. *)
 }
 
 (* Crash/recover timing must respect the protocol's own clocks: the
@@ -94,6 +106,30 @@ let gen_faults rng ~nodes ~duration_ms =
   done;
   List.stable_sort (fun a b -> compare a.Fault.at_ms b.Fault.at_ms) !events
 
+(* Open-loop curves sized for checker runs: peaks a small cluster can
+   mostly (but not always) serve, periods/windows that fit inside a
+   1-5 s scenario so the curve actually bends during the run. *)
+let draw_arrival rng ~duration_ms =
+  let peak_tps = float_of_int (Rng.int_in rng 200 800) in
+  let shape =
+    match Rng.int rng 3 with
+    | 0 -> Arrival.Constant
+    | 1 ->
+      Arrival.Diurnal
+        {
+          period_ms = Rng.int_in rng 400 1_500;
+          trough = 0.1 +. Rng.float rng 0.5;
+        }
+    | _ ->
+      Arrival.Flash
+        {
+          at_ms = Rng.int_in rng 200 (max 300 (duration_ms / 2));
+          dur_ms = Rng.int_in rng 200 600;
+          mult = 3.0 +. Rng.float rng 7.0;
+        }
+  in
+  Arrival.make ~shape ~peak_tps
+
 let generate ?variant ?isolation ?ft ~fast seed =
   let rng = Rng.create (0x5eed + (seed * 0x9e3779b9)) in
   let variant =
@@ -131,12 +167,25 @@ let generate ?variant ?isolation ?ft ~fast seed =
     if fast then 1_200 + Rng.int rng 1_400 else 2_500 + Rng.int rng 2_000
   in
   let workload =
-    match Rng.int rng 4 with
+    match Rng.int rng 8 with
     | 0 -> Ycsb_hc
     | 1 -> Tpcc
+    | 2 -> Hotkey
+    | 3 -> Social
+    | 4 -> Scan
+    | 5 -> Secidx
     | _ -> Ycsb_mc
   in
   let connections = 2 + Rng.int rng 4 in
+  (* Arrival is the LAST draw of a scenario: a freshly taken coin-flip
+     cannot shift any knob above it, only add the open-loop curve. *)
+  let finish s =
+    if Rng.chance rng 0.3 then
+      { s with arrival = Some (draw_arrival rng ~duration_ms:s.duration_ms) }
+    else s
+  in
+  finish
+  @@
   match variant with
   | Params.Async_merge ->
     (* GeoG-A is coordination-free gossip: a lost update is lost forever
@@ -163,6 +212,8 @@ let generate ?variant ?isolation ?ft ~fast seed =
       merge_jobs = 1;
       partitioning = Params.P_none;
       corrupt_frac = 0.0;
+      merge_level = Params.Row;
+      arrival = None;
     }
   | Params.Optimistic | Params.Sync_exec ->
     let faults = gen_faults rng ~nodes ~duration_ms in
@@ -185,6 +236,8 @@ let generate ?variant ?isolation ?ft ~fast seed =
       merge_jobs = 1;
       partitioning = Params.P_none;
       corrupt_frac = 0.0;
+      merge_level = Params.Row;
+      arrival = None;
     }
 
 (* Pin partial replication onto a drawn scenario. Two coercions keep the
@@ -214,6 +267,24 @@ let with_partitioning s mode =
           s.faults;
     }
 
+(* Pin column-level merge onto a drawn scenario. GeoG-A is coerced to
+   the full engine, as in {!with_partitioning}: gossip re-applies whole
+   row images, so there is no column kernel to exercise there (and
+   {!Params.effective_merge_level} would silently fall back to Row).
+   Partial replication is left alone — the effective level degrades to
+   Row by design and the sweep still checks that gate. *)
+let with_merge_level s level =
+  if level = Params.Row then s
+  else
+    {
+      s with
+      merge_level = level;
+      variant =
+        (match s.variant with
+        | Params.Async_merge -> Params.Optimistic
+        | v -> v);
+    }
+
 let params s =
   {
     Params.default with
@@ -231,6 +302,7 @@ let params s =
        reach the default record threshold. *)
     merge_par_threshold =
       (if s.merge_jobs > 1 then 0 else Params.default.Params.merge_par_threshold);
+    merge_level = s.merge_level;
   }
 
 let to_string s =
@@ -256,3 +328,9 @@ let to_string s =
     | m -> Printf.sprintf " partitioning=%s" (Params.partitioning_to_string m))
   ^ (if s.corrupt_frac = 0.0 then ""
      else Printf.sprintf " corrupt_frac=%.3f" s.corrupt_frac)
+  ^ (match s.merge_level with
+    | Params.Row -> ""
+    | Params.Column -> " merge_level=column")
+  ^ (match s.arrival with
+    | None -> ""
+    | Some a -> Printf.sprintf " arrival=%s" (Arrival.to_string a))

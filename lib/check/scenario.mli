@@ -7,7 +7,7 @@
     single integer seed, so any failure reproduces from its seed alone,
     and the shrinker ({!Shrink}) can mutate the record field-wise. *)
 
-type workload = Ycsb_mc | Ycsb_hc | Tpcc
+type workload = Ycsb_mc | Ycsb_hc | Tpcc | Hotkey | Social | Scan | Secidx
 
 type t = {
   seed : int;
@@ -42,6 +42,15 @@ type t = {
           (the decode failure routes to the batch-loss repair path).
           Pinned, never drawn: at [0.0] the network takes no corruption
           coin-flips, so existing seeds replay unchanged. *)
+  merge_level : Geogauss.Params.merge_level;
+      (** conflict granularity of the epoch merge (DESIGN.md §13). Like
+          [merge_jobs], never drawn from the seed — pinned through
+          {!with_merge_level}, so one seed runs the same scenario at
+          either granularity and the sweeps compare cleanly. *)
+  arrival : Gg_workload.Arrival.t option;
+      (** open-loop arrival curve; [None] = the paper's closed loop.
+          Drawn {e last}, so the extra coin-flips cannot shift any
+          other knob. *)
 }
 
 val generate :
@@ -63,6 +72,12 @@ val with_partitioning : t -> Geogauss.Params.partitioning -> t
     installs whole-db snapshots, which partial replication invalidates —
     and coerces GeoG-A to the full engine (gossip has no epoch merge to
     scope). All seed-drawn knobs are otherwise untouched. *)
+
+val with_merge_level : t -> Geogauss.Params.merge_level -> t
+(** Pin the epoch merge's conflict granularity (identity for [Row]).
+    Coerces GeoG-A to the full engine — gossip re-applies whole row
+    images, so it has no column kernel to exercise. All seed-drawn
+    knobs are otherwise untouched. *)
 
 val params : t -> Geogauss.Params.t
 (** The cluster parameter block this scenario runs under. *)

@@ -366,8 +366,16 @@ let digests t = Array.to_list (Array.map (fun n -> Db.digest (Node.db n)) t.node
 
 let quiesce t =
   (* Run until every live member's snapshot covers every epoch sealed
-     {e as of the call} (epochs keep sealing while we run, so the target
-     must be fixed up front or this would chase its own tail). *)
+     {e as of the call} (epochs keep sealing while we run, so that part
+     of the target must be fixed up front or this would chase its own
+     tail) — AND until all in-flight work has drained: a client request
+     started just before the call can still commit {e during} the drain,
+     landing in an epoch past the fixed target; comparing full-database
+     digests before every live replica has merged that epoch reports a
+     divergence that is really just unequal lsns. [Node.last_txn_epoch]
+     is the highest epoch holding a committed local transaction (it
+     stops moving once clients stop), and a non-empty waiting set means
+     a commit is still in flight at its origin — both must settle. *)
   let live () = List.filter (fun m -> not (Net.is_down t.net m)) (members t) in
   let target =
     List.fold_left
@@ -375,7 +383,19 @@ let quiesce t =
       (-1) (live ())
   in
   let settled () =
-    List.for_all (fun m -> Node.lsn t.nodes.(m) >= target) (live ())
+    let lv = live () in
+    let tx_target =
+      List.fold_left
+        (fun acc m -> max acc (Node.last_txn_epoch t.nodes.(m)))
+        (-1) lv
+    in
+    List.for_all
+      (fun m ->
+        let n = t.nodes.(m) in
+        Node.lsn n >= target
+        && Node.lsn n >= tx_target
+        && Node.pending_waiting n = 0)
+      lv
   in
   let budget = ref 2_000 in
   while (not (settled ())) && !budget > 0 do

@@ -38,6 +38,7 @@ module Row_header = Gg_storage.Row_header
 module Writeset = Gg_crdt.Writeset
 module Merge = Gg_crdt.Merge
 module Meta = Gg_crdt.Meta
+module Column = Gg_crdt.Column
 module Pool = Gg_par.Pool
 
 module Itbl = Hashtbl.Make (struct
@@ -96,15 +97,29 @@ let resolve_jobs (params : Params.t) =
    (the sequential iteration order over write sets and their records). *)
 type item = { gi : int; ws : Writeset.t; r : Writeset.record }
 
-let phase_a ~db ~jobs items =
+let phase_a ~db ~jobs ~level items =
+  let column = level = Params.Column in
   let shard_body items =
     (* csn -> (first failing record's global index, reason), plus the
        names of tables whose committed headers this shard stamped *)
     let dead_local : (int * Txn.abort_reason) Itbl.t = Itbl.create 64 in
     let touched : unit Stbl.t = Stbl.create 8 in
+    (* Column mode: the join of each live row's update/delete claims —
+       names the header winner and whether it is a tombstone. Rows are
+       shard-confined, so the per-shard tables are disjoint and the
+       reduce is a plain union. *)
+    let claims : Column.claim Stbl.t = Stbl.create (if column then 64 else 1) in
     let mark gi ws reason =
       let k = csn_key ws in
       if not (Itbl.mem dead_local k) then Itbl.replace dead_local k (gi, reason)
+    in
+    let claim_row ~table ~key_str ~meta ~delete =
+      if column then
+        let rk = pack_row ~table ~key_str in
+        Stbl.replace claims rk
+          (Column.claim_join_opt
+             (Stbl.find_opt claims rk)
+             (Column.claim ~meta ~delete))
     in
     List.iter
       (fun { gi; ws; r } ->
@@ -128,6 +143,8 @@ let phase_a ~db ~jobs items =
             | Some entry when entry.Table.header.Row_header.deleted ->
               mark gi ws Txn.Row_deleted
             | Some entry -> (
+              claim_row ~table:r.Writeset.table ~key_str ~meta
+                ~delete:(r.Writeset.op = Writeset.Delete);
               match Merge.merge_header entry.Table.header ~meta with
               | Merge.Win ->
                 (* In-place stamp of a committed row's header: the digest
@@ -137,9 +154,15 @@ let phase_a ~db ~jobs items =
                    counter). *)
                 Stbl.replace touched r.Writeset.table ()
               | Merge.Already -> ()
-              | Merge.Lose -> mark gi ws Txn.Write_conflict))))
+              | Merge.Lose ->
+                (* Column mode lets losing updates live on: each of their
+                   cells resolves independently (validation instead asks
+                   whether a tombstone won the row). Losing deletes still
+                   conflict — a delete is all-or-nothing. *)
+                if not (column && r.Writeset.op = Writeset.Update) then
+                  mark gi ws Txn.Write_conflict))))
       items;
-    (dead_local, touched)
+    (dead_local, touched, claims)
   in
   let shard_results =
     Pool.map_shards ~jobs
@@ -147,19 +170,22 @@ let phase_a ~db ~jobs items =
       items ~f:shard_body
   in
   let dead : (int * Txn.abort_reason) Itbl.t = Itbl.create 64 in
+  let claims : Column.claim Stbl.t = Stbl.create (if column then 64 else 1) in
   List.iter
-    (fun (dead_local, touched) ->
+    (fun (dead_local, touched, claims_local) ->
       Itbl.iter
         (fun k ((gi, _) as v) ->
           match Itbl.find_opt dead k with
           | Some (gi', _) when gi' <= gi -> ()
           | Some _ | None -> Itbl.replace dead k v)
         dead_local;
+      Stbl.iter (fun rk c -> Stbl.replace claims rk c) claims_local;
       Stbl.iter (fun name () -> Table.touch (Db.get_table_exn db name)) touched)
     shard_results;
-  dead
+  (dead, claims)
 
-let phase_b ~db ~jobs ~dead txns_arr =
+let phase_b ~db ~jobs ~dead ~level ~claims txns_arr =
+  let column = level = Params.Column in
   let holds_all (ws : Writeset.t) =
     let meta = ws.Writeset.meta in
     List.for_all
@@ -168,16 +194,28 @@ let phase_b ~db ~jobs ~dead txns_arr =
         | None -> false
         | Some table -> (
           let key_str = Writeset.key_str r in
-          let header =
-            match r.Writeset.op with
-            | Writeset.Insert ->
-              Option.map (fun e -> e.Table.header) (Table.temp_find table key_str)
-            | Writeset.Update | Writeset.Delete ->
-              Option.map (fun e -> e.Table.header) (Table.find table key_str)
-          in
-          match header with
-          | Some h -> Csn.equal h.Row_header.csn meta.Meta.csn
-          | None -> false))
+          if column && r.Writeset.op = Writeset.Update then
+            (* Column mode: an update holds as long as no tombstone won
+               the row — every surviving update commits and resolves
+               cell by cell in phase C. A live write set's rows all
+               reached phase A's claim join, so the lookup hits. *)
+            match
+              Stbl.find_opt claims
+                (pack_row ~table:r.Writeset.table ~key_str)
+            with
+            | Some c -> not c.Column.c_delete
+            | None -> false
+          else
+            let header =
+              match r.Writeset.op with
+              | Writeset.Insert ->
+                Option.map (fun e -> e.Table.header) (Table.temp_find table key_str)
+              | Writeset.Update | Writeset.Delete ->
+                Option.map (fun e -> e.Table.header) (Table.find table key_str)
+            in
+            match header with
+            | Some h -> Csn.equal h.Row_header.csn meta.Meta.csn
+            | None -> false))
       ws.Writeset.records
   in
   let n = Array.length txns_arr in
@@ -246,7 +284,51 @@ let ssi_pass ~dead ~committed_set txns =
       end)
     txns
 
-let phase_c ~db ~defer txns committed_set =
+(* Column mode: per-(row, column) winner among the COMMITTED updates.
+   The committed set is itself order-independent (phases A/B), so the
+   joins here are too; aborted writers never claim cells. *)
+let cell_winners txns committed_set =
+  let cells : Column.cell option array Stbl.t = Stbl.create 64 in
+  List.iter
+    (fun (ws : Writeset.t) ->
+      if Itbl.mem committed_set (csn_key ws) then
+        let meta = ws.Writeset.meta in
+        List.iter
+          (fun (r : Writeset.record) ->
+            if r.Writeset.op = Writeset.Update then begin
+              let rk =
+                pack_row ~table:r.Writeset.table ~key_str:(Writeset.key_str r)
+              in
+              let n = Array.length r.Writeset.data in
+              let arr =
+                match Stbl.find_opt cells rk with
+                | Some a when Array.length a >= n -> a
+                | Some a ->
+                  let a' = Array.make n None in
+                  Array.blit a 0 a' 0 (Array.length a);
+                  Stbl.replace cells rk a';
+                  a'
+                | None ->
+                  let a = Array.make n None in
+                  Stbl.replace cells rk a;
+                  a
+              in
+              Array.iteri
+                (fun i v ->
+                  if Column.covers ~cols:r.Writeset.cols i then
+                    arr.(i) <-
+                      Some (Column.join_opt arr.(i) (Column.cell ~meta v)))
+                r.Writeset.data
+            end)
+          ws.Writeset.records)
+    txns;
+  cells
+
+let phase_c ~db ~defer ~level txns committed_set =
+  let cells =
+    if level = Params.Column then Some (cell_winners txns committed_set)
+    else None
+  in
   List.iter
     (fun (ws : Writeset.t) ->
       if Itbl.mem committed_set (csn_key ws) && not (defer ws) then begin
@@ -267,9 +349,46 @@ let phase_c ~db ~defer txns committed_set =
                 let temp = Option.get (Table.temp_find table key_str) in
                 Table.insert_committed table ~key:r.Writeset.key
                   ~data:r.Writeset.data ~header:temp.Table.header)
-            | Writeset.Update ->
+            | Writeset.Update -> (
               let entry = Option.get (Table.find table key_str) in
-              Table.write table entry r.Writeset.data
+              match cells with
+              | None -> Table.write table entry r.Writeset.data
+              | Some cells ->
+                (* Write only the cells this transaction won; winners are
+                   unique per cell, so the sequential order of committed
+                   writers cannot clobber one another and the final row
+                   is the per-column join whatever the order. A record
+                   that wins no cell leaves the row (and its version
+                   count) untouched on every replica alike. *)
+                let arr =
+                  Stbl.find cells
+                    (pack_row ~table:r.Writeset.table ~key_str)
+                in
+                let out = ref None in
+                Array.iteri
+                  (fun i v ->
+                    if
+                      Column.covers ~cols:r.Writeset.cols i
+                      && i < Array.length entry.Table.data
+                      && i < Array.length arr
+                    then
+                      match arr.(i) with
+                      | Some c
+                        when Csn.equal c.Column.meta.Meta.csn meta.Meta.csn ->
+                        let data =
+                          match !out with
+                          | Some d -> d
+                          | None ->
+                            let d = Array.copy entry.Table.data in
+                            out := Some d;
+                            d
+                        in
+                        data.(i) <- v
+                      | _ -> ())
+                  r.Writeset.data;
+                match !out with
+                | Some data -> Table.write table entry data
+                | None -> ())
             | Writeset.Delete ->
               let entry = Option.get (Table.find table key_str) in
               Table.delete table entry)
@@ -278,7 +397,7 @@ let phase_c ~db ~defer txns committed_set =
     txns
 
 let run ?(threshold = Params.default.Params.merge_par_threshold)
-    ?(defer = fun _ -> false) ~db ~jobs ~ssi txns =
+    ?(defer = fun _ -> false) ?(level = Params.Row) ~db ~jobs ~ssi txns =
   (* Flatten to (global index, ws, record) in the sequential iteration
      order — the order every determinism argument above is stated in. *)
   let items =
@@ -294,9 +413,9 @@ let run ?(threshold = Params.default.Params.merge_par_threshold)
   in
   let n_records = List.length items in
   let jobs = if n_records < max 1 threshold then 1 else clamp_jobs jobs in
-  let dead = phase_a ~db ~jobs items in
+  let dead, claims = phase_a ~db ~jobs ~level items in
   let txns_arr = Array.of_list txns in
-  let verdicts = phase_b ~db ~jobs ~dead txns_arr in
+  let verdicts = phase_b ~db ~jobs ~dead ~level ~claims txns_arr in
   (* Sequential fold of the verdicts, in write-set order — identical to
      the sequential phase B's mark/commit interleaving (a ws already in
      [dead] keeps its phase-A reason; the rest split on the verdict). *)
@@ -309,6 +428,6 @@ let run ?(threshold = Params.default.Params.merge_par_threshold)
         else Itbl.replace dead k (max_int, Txn.Write_conflict))
     txns_arr;
   if ssi then ssi_pass ~dead ~committed_set txns;
-  phase_c ~db ~defer txns committed_set;
+  phase_c ~db ~defer ~level txns committed_set;
   Db.temp_clear_all db;
   { dead; committed_set; n_records; jobs_used = jobs }

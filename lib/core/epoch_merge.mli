@@ -14,6 +14,7 @@ type t
 
 val run :
   ?threshold:int -> ?defer:(Gg_crdt.Writeset.t -> bool) ->
+  ?level:Params.merge_level ->
   db:Gg_storage.Db.t -> jobs:int -> ssi:bool ->
   Gg_crdt.Writeset.t list -> t
 (** Merge one epoch's deduplicated write sets into [db] (mutating it:
@@ -28,7 +29,19 @@ val run :
     validation — they can win rows in phases A/B and enter the committed
     set — but whose phase-C write-back is withheld; the partial-
     replication engine uses this for cross-group transactions whose
-    global verdict arrives epochs later (DESIGN.md §12). *)
+    global verdict arrives epochs later (DESIGN.md §12).
+
+    [level] (default [Row]) selects the conflict granularity
+    (DESIGN.md §13). Under [Column], concurrent [Update]s to one row all
+    commit — phase A still stamps the row header with the row-order
+    winner but no longer aborts the losers, phase B admits an [Update]
+    iff the row-claim join ({!Gg_crdt.Column.claim_join}) is not a
+    delete, and phase C writes back only the cells each committed update
+    won under the per-column LWW join ({!Gg_crdt.Column.join}).
+    [Insert]/[Delete] keep row semantics at either level. Pass
+    {!Params.effective_merge_level}, never the raw param: gossip and
+    partial replication re-apply whole row images and are row-level by
+    construction. *)
 
 val committed : t -> Gg_crdt.Writeset.t -> bool
 (** Did this write set's transaction commit? (Keyed by its csn.) *)

@@ -110,6 +110,7 @@ type t = {
   mutable csn_last : int;
   mutable txn_seq : int;
   mutable last_advance : int;  (* sim time the snapshot last moved *)
+  mutable last_txn_cen : int;  (* highest epoch holding a committed local txn *)
 }
 
 let create env ~id ~db =
@@ -140,6 +141,7 @@ let create env ~id ~db =
     csn_last = 0;
     txn_seq = 0;
     last_advance = 0;
+    last_txn_cen = -1;
   }
 
 let id t = t.id
@@ -151,6 +153,8 @@ let active t = t.active
 
 let pending_waiting t =
   Itbl.fold (fun _ l acc -> acc + List.length l) t.waiting 0
+
+let last_txn_epoch t = t.last_txn_cen
 
 let now t = Sim.now t.env.sim
 let epoch_us t = t.env.params.Params.epoch_us
@@ -770,6 +774,7 @@ and do_merge t e full ~merge_started ~duration ~span =
       ~db:t.db
       ~jobs:(Epoch_merge.resolve_jobs t.env.params)
       ~ssi:(t.env.params.Params.isolation = Params.SSI)
+      ~level:(Params.effective_merge_level t.env.params)
       ~defer:(fun ws -> Itbl.mem cross (pack_csn ws.Writeset.meta.Meta.csn))
       txns
   in
@@ -974,7 +979,11 @@ and start_execution t (txn : Txn.t) =
     let per_stmt_parse = 400 in
     txn.Txn.phases.parse_us <- List.length stmts * per_stmt_parse;
     txn.Txn.phases.exec_us <- List.length stmts * cost.sql_stmt_us;
-    let ctx = Executor.Ctx.create t.db in
+    let ctx =
+      Executor.Ctx.create
+        ~track_cols:(Params.effective_merge_level t.env.params = Params.Column)
+        t.db
+    in
     let rec step acc = function
       | [] ->
         txn.Txn.sql_results <- List.rev acc;
@@ -997,7 +1006,11 @@ and start_execution t (txn : Txn.t) =
     step [] stmts
 
 and run_ops t (txn : Txn.t) o =
-  match Op_exec.exec t.db o with
+  match
+    Op_exec.exec
+      ~col_mask:(Params.effective_merge_level t.env.params = Params.Column)
+      t.db o
+  with
   | Error m -> Error m
   | Ok { Op_exec.reads; writes } ->
     txn.Txn.read_set <- reads;
@@ -1100,7 +1113,8 @@ and commit_point t (txn : Txn.t) =
             else broadcast_batch t ~bytes mini
           end;
           let q = Option.value ~default:[] (Itbl.find_opt t.waiting cen) in
-          Itbl.replace t.waiting cen (txn :: q)))
+          Itbl.replace t.waiting cen (txn :: q);
+          if cen > t.last_txn_cen then t.last_txn_cen <- cen))
 
 (* --- Algorithm 3: receive side --- *)
 

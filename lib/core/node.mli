@@ -91,6 +91,11 @@ val active : t -> bool
 val pending_waiting : t -> int
 (** Local transactions blocked on future snapshots (diagnostics). *)
 
+val last_txn_epoch : t -> int
+(** Highest epoch that ever held a committed local transaction (-1 if
+    none) — the epoch every replica must merge before a full-database
+    digest comparison is meaningful ({!Cluster.quiesce}). *)
+
 (** {1 Failure / recovery hooks (driven by Cluster)} *)
 
 val set_active : t -> bool -> unit

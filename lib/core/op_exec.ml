@@ -23,6 +23,9 @@ type pending = {
   p_existed : bool;
   mutable p_op : Writeset.op;
   mutable p_data : Value.t array;
+  mutable p_cols : int;
+      (* column mask of an Update; Column.full unless col_mask tracking
+         is on and every write to this row was single-column *)
   mutable p_dead : bool;
 }
 
@@ -33,7 +36,8 @@ exception Exec_error of string
    table names never contain NUL. *)
 let rowkey ~table ~key_str = String.concat "\x00" [ table; key_str ]
 
-let exec db (txn : Op.txn) =
+let exec ?(col_mask = false) db (txn : Op.txn) =
+  let module Column = Gg_crdt.Column in
   let reads_rev = ref [] in
   let read_seen = Stbl.create 8 in
   let writes : pending Stbl.t = Stbl.create 8 in
@@ -66,7 +70,7 @@ let exec db (txn : Op.txn) =
       | Some e -> Some (`Base e)
       | None -> None)
   in
-  let buffer ~table ~key ~key_str ~rk ~existed ~op ~data =
+  let buffer ~table ~key ~key_str ~rk ~existed ~op ~cols ~data =
     match Stbl.find_opt writes rk with
     | Some p ->
       (match (p.p_dead, op) with
@@ -74,16 +78,21 @@ let exec db (txn : Op.txn) =
       | true, _ ->
         p.p_dead <- false;
         p.p_op <- (if p.p_existed then Writeset.Update else Writeset.Insert);
-        p.p_data <- data
+        p.p_data <- data;
+        p.p_cols <- Column.full
       | false, Writeset.Delete ->
         if p.p_existed then begin
           p.p_op <- Writeset.Delete;
-          p.p_data <- [||]
+          p.p_data <- [||];
+          p.p_cols <- Column.full
         end
         else p.p_dead <- true
       | false, _ ->
         p.p_op <- (if p.p_existed then Writeset.Update else Writeset.Insert);
-        p.p_data <- data)
+        p.p_data <- data;
+        (* Coalesced writes touch the union of the columns; [full]
+           (any whole-row write) absorbs. *)
+        p.p_cols <- Column.union p.p_cols cols)
     | None ->
       let p =
         {
@@ -93,6 +102,7 @@ let exec db (txn : Op.txn) =
           p_existed = existed;
           p_op = op;
           p_data = data;
+          p_cols = cols;
           p_dead = false;
         }
       in
@@ -112,12 +122,14 @@ let exec db (txn : Op.txn) =
     | Op.Write { data; _ } -> (
       match lookup ~table ~key_str ~rk with
       | Some (`Base _) ->
-        buffer ~table ~key ~key_str ~rk ~existed:true ~op:Writeset.Update ~data
+        buffer ~table ~key ~key_str ~rk ~existed:true ~op:Writeset.Update
+          ~cols:Column.full ~data
       | Some (`Own p) ->
         buffer ~table ~key ~key_str ~rk ~existed:p.p_existed ~op:Writeset.Update
-          ~data
+          ~cols:Column.full ~data
       | None ->
-        buffer ~table ~key ~key_str ~rk ~existed:false ~op:Writeset.Insert ~data)
+        buffer ~table ~key ~key_str ~rk ~existed:false ~op:Writeset.Insert
+          ~cols:Column.full ~data)
     | Op.Add { col; delta; _ } -> (
       match lookup ~table ~key_str ~rk with
       | None -> raise (Exec_error (Printf.sprintf "Add: missing row in %s" table))
@@ -134,13 +146,15 @@ let exec db (txn : Op.txn) =
         (match data.(col) with
         | Value.Int v -> data.(col) <- Value.Int (v + delta)
         | _ -> raise (Exec_error "Add: non-integer column"));
-        buffer ~table ~key ~key_str ~rk ~existed ~op:Writeset.Update ~data)
+        let cols = if col_mask then Column.of_index col else Column.full in
+        buffer ~table ~key ~key_str ~rk ~existed ~op:Writeset.Update ~cols ~data)
     | Op.Insert { data; _ } -> (
       match lookup ~table ~key_str ~rk with
       | Some _ ->
         raise (Exec_error (Printf.sprintf "Insert: duplicate key in %s" table))
       | None ->
-        buffer ~table ~key ~key_str ~rk ~existed:false ~op:Writeset.Insert ~data)
+        buffer ~table ~key ~key_str ~rk ~existed:false ~op:Writeset.Insert
+          ~cols:Column.full ~data)
     | Op.Delete _ -> (
       match lookup ~table ~key_str ~rk with
       | None ->
@@ -148,10 +162,10 @@ let exec db (txn : Op.txn) =
       | Some (`Base e) ->
         record_read ~table ~key_str ~rk e.Table.header;
         buffer ~table ~key ~key_str ~rk ~existed:true ~op:Writeset.Delete
-          ~data:[||]
+          ~cols:Column.full ~data:[||]
       | Some (`Own p) ->
         buffer ~table ~key ~key_str ~rk ~existed:p.p_existed ~op:Writeset.Delete
-          ~data:[||])
+          ~cols:Column.full ~data:[||])
   in
   match Array.iter run_op txn.Op.ops with
   | () ->
@@ -161,8 +175,8 @@ let exec db (txn : Op.txn) =
              if p.p_dead then None
              else
                Some
-                 (Writeset.make_record ~key_str:p.p_key_str ~table:p.p_table
-                    ~key:p.p_key ~op:p.p_op ~data:p.p_data ()))
+                 (Writeset.make_record ~key_str:p.p_key_str ~cols:p.p_cols
+                    ~table:p.p_table ~key:p.p_key ~op:p.p_op ~data:p.p_data ()))
     in
     Ok { reads = List.rev !reads_rev; writes = ws }
   | exception Exec_error m -> Error m

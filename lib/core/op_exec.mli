@@ -9,9 +9,17 @@ type result = {
 }
 
 val exec :
+  ?col_mask:bool ->
   Gg_storage.Db.t -> Gg_workload.Op.txn -> (result, string) Stdlib.result
 (** Execute all operations with read-your-writes semantics. Errors:
     [Add]/[Delete] on a missing row, [Insert] on an existing live row,
     unknown table, non-integer [Add] column. A plain [Read] of a missing
     key is a no-op (not an error). Writes per key coalesce (last wins;
-    insert-then-delete cancels). *)
+    insert-then-delete cancels).
+
+    [col_mask] (default [false]) tracks column masks on [Update]
+    records for column-level merge: an [Add] claims only its column,
+    any whole-row write widens the mask to {!Gg_crdt.Column.full}, and
+    coalesced writes take the union. Off, every record carries the full
+    mask and the wire stream is byte-identical to the pre-column
+    codec. *)

@@ -6,6 +6,8 @@ type ft_mode = Ft_none | Ft_local_backup | Ft_remote_backup | Ft_raft
 
 type partitioning = P_none | P_region | P_hash of int
 
+type merge_level = Row | Column
+
 type cost = {
   exec_op_us : int;
   sql_stmt_us : int;
@@ -31,6 +33,7 @@ type t = {
   merge_jobs : int;
   merge_par_threshold : int;
   partitioning : partitioning;
+  merge_level : merge_level;
 }
 
 let default_cost =
@@ -60,6 +63,7 @@ let default =
     merge_jobs = 1;
     merge_par_threshold = 4_096;
     partitioning = P_none;
+    merge_level = Row;
   }
 
 let with_epoch_ms t ms = { t with epoch_us = ms * 1_000 }
@@ -104,3 +108,21 @@ let partitioning_of_string s =
     | _ ->
       Error
         (Printf.sprintf "unknown partitioning %S (expected none, region or hash:<k>)" s))
+
+let merge_level_to_string = function Row -> "row" | Column -> "column"
+
+let merge_level_of_string = function
+  | "row" -> Ok Row
+  | "column" -> Ok Column
+  | s -> Error (Printf.sprintf "unknown merge level %S (expected row or column)" s)
+
+(* Column-level merge only exists inside the epoch-scoped kernel:
+   GeoG-A's gossip applies whole rows on arrival (no per-epoch candidate
+   set to resolve cells over), and the partial-replication write-back
+   re-applies row fragments against header ownership. Both fall back to
+   the row lattice rather than silently mis-merging. *)
+let effective_merge_level t =
+  match (t.variant, t.partitioning) with
+  | Async_merge, _ -> Row
+  | _, (P_region | P_hash _) -> Row
+  | _, P_none -> t.merge_level

@@ -33,6 +33,15 @@ type ft_mode =
     merge validates them. *)
 type partitioning = P_none | P_region | P_hash of int
 
+(** Conflict-resolution granularity of the epoch merge (DESIGN.md §13).
+    [Row] is the paper's last-write-wins over whole row images: one
+    committed writer per row per epoch. [Column] resolves each written
+    column independently (per-field LWW in the style of crdt-sqlite):
+    concurrent updates of one live row all commit, each cell keeping the
+    value of its winning writer; inserts and deletes still resolve at
+    row granularity. *)
+type merge_level = Row | Column
+
 (** CPU / phase cost model, calibrated against the paper's Table 2
     per-phase breakdown. *)
 type cost = {
@@ -84,6 +93,10 @@ type t = {
   partitioning : partitioning;
       (** partial-replication mode, default [P_none] (full replication;
           byte-identical to the pre-partitioning engine) *)
+  merge_level : merge_level;
+      (** conflict-resolution granularity, default [Row] (byte-identical
+          to the pre-column engine: no column masks are captured and the
+          wire stream never carries the masked-update record form) *)
 }
 
 val default_cost : cost
@@ -103,3 +116,15 @@ val partitioning_to_string : partitioning -> string
 
 val partitioning_of_string : string -> (partitioning, string) result
 (** Inverse of {!partitioning_to_string}; [Error] carries a usage hint. *)
+
+val merge_level_to_string : merge_level -> string
+(** ["row"] or ["column"]. *)
+
+val merge_level_of_string : string -> (merge_level, string) result
+(** Inverse of {!merge_level_to_string}; [Error] carries a usage hint. *)
+
+val effective_merge_level : t -> merge_level
+(** The level the engine actually runs: [Column] only under the
+    epoch-based variants with full replication. GeoG-A applies whole
+    rows on gossip arrival and the partial-replication write-back
+    re-applies row fragments, so both coerce to [Row]. *)

@@ -1,0 +1,39 @@
+module Value = Gg_storage.Value
+
+(* Column masks are bitmask-over-data-index; rows wider than an OCaml
+   int's usable bits fall back to the whole-row form (mask 0). *)
+let max_mask_cols = 62
+
+let full = 0
+
+let of_index i = if i < 0 || i >= max_mask_cols then full else 1 lsl i
+
+let union a b = if a = full || b = full then full else a lor b
+
+let covers ~cols i = cols = full || (i < max_mask_cols && cols land (1 lsl i) <> 0)
+
+(* The cell order is exactly the row order of {!Merge.decide} restricted
+   to one epoch: larger sen (shorter transaction) wins, ties broken by
+   the smaller csn (first writer). Distinct metas of one epoch are
+   totally ordered — csns are unique — so [join] is a semilattice join:
+   commutative, associative, idempotent. *)
+type cell = { meta : Meta.t; v : Value.t }
+
+let cell ~meta v = { meta; v }
+
+let join a b = if Meta.wins_over b.meta a.meta then b else a
+
+let join_opt prev c = match prev with None -> c | Some p -> join p c
+
+(* Row-granularity claim by an update or delete candidate: the join of
+   all claims on a row names the record the row header ends up stamped
+   with, and its [delete] flag decides whether updates may commit at
+   all under column-level merge. *)
+type claim = { c_meta : Meta.t; c_delete : bool }
+
+let claim ~meta ~delete = { c_meta = meta; c_delete = delete }
+
+let claim_join a b = if Meta.wins_over b.c_meta a.c_meta then b else a
+
+let claim_join_opt prev c =
+  match prev with None -> c | Some p -> claim_join p c

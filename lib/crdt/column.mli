@@ -1,0 +1,59 @@
+(** Column-level LWW lattice (DESIGN.md §13) — the per-field counterpart
+    of {!Merge}'s row lattice, in the style of crdt-sqlite's per-column
+    versions + row tombstones.
+
+    Everything here is epoch-scoped: cells and claims compare
+    {!Meta.t}s of one commit epoch ({!Meta.wins_over} raises across
+    epochs, on purpose — cross-epoch precedence is already decided by
+    the row header's [cen]). The order is identical to the row order of
+    {!Merge.decide} restricted to one epoch — larger [sen] wins, ties
+    broken by the smaller [csn] — so the row header's winner and the
+    cell winners agree whenever only one candidate exists. *)
+
+(** {1 Column masks}
+
+    A mask is a bitmask over data-array indices; [full] (0) means
+    "whole row". Masks ride on {!Writeset.record.cols}. *)
+
+val max_mask_cols : int
+(** Widest maskable row (62 columns); wider writes fall back to
+    {!full}. *)
+
+val full : int
+(** The whole-row mask, [0] — the only mask row-level merge ever
+    produces, which keeps its wire stream byte-identical. *)
+
+val of_index : int -> int
+(** Mask covering one column; {!full} when out of mask range. *)
+
+val union : int -> int -> int
+(** Mask covering both operands; {!full} absorbs. *)
+
+val covers : cols:int -> int -> bool
+(** Does [cols] cover data index [i]? [full] covers everything. *)
+
+(** {1 Cells} *)
+
+type cell = { meta : Meta.t; v : Gg_storage.Value.t }
+(** One written value of one column, tagged with its writer. *)
+
+val cell : meta:Meta.t -> Gg_storage.Value.t -> cell
+
+val join : cell -> cell -> cell
+(** Semilattice join: the cell of the winning writer. Commutative,
+    associative, idempotent (csns of an epoch are unique, so distinct
+    metas are totally ordered). *)
+
+val join_opt : cell option -> cell -> cell
+
+(** {1 Row claims} *)
+
+type claim = { c_meta : Meta.t; c_delete : bool }
+(** A row-granularity claim by an update or delete candidate. The join
+    over a row's claims is the record its header gets stamped with;
+    [c_delete] of the join decides whether the row survives the epoch
+    (tombstone-vs-update races resolve here, at row granularity). *)
+
+val claim : meta:Meta.t -> delete:bool -> claim
+val claim_join : claim -> claim -> claim
+val claim_join_opt : claim option -> claim -> claim

@@ -9,6 +9,9 @@ type record = {
   key : Value.t array;
   op : op;
   data : Value.t array;
+  cols : int;
+      (* column mask of an Update (Column.full = whole row); always
+         Column.full outside column-level merge *)
   mutable key_enc : string;
       (* memoized Value.encode_key of [key]; "" = not yet computed *)
 }
@@ -24,8 +27,8 @@ type t = {
 let make ?(read_keys = []) ~meta ~records () =
   { meta; records; read_keys; enc_size = -1 }
 
-let make_record ?(key_str = "") ~table ~key ~op ~data () =
-  { table; key; op; data; key_enc = key_str }
+let make_record ?(key_str = "") ?(cols = Column.full) ~table ~key ~op ~data () =
+  { table; key; op; data; cols; key_enc = key_str }
 
 let with_commit t ~meta ~read_keys = { t with meta; read_keys; enc_size = -1 }
 
@@ -53,15 +56,31 @@ let op_of_tag = function
   | 2 -> Delete
   | n -> invalid_arg (Printf.sprintf "Writeset: bad op tag %d" n)
 
+(* Wire op tag 3: a masked Update — only the columns in the mask travel.
+   It is emitted exactly when [cols <> Column.full], which only column-
+   level merge produces, so row-level streams carry tags 0-2 only and
+   stay byte-identical to the pre-column codec. *)
+let masked_update_tag = 3
+
 let encode_record enc r =
   Enc.string enc r.table;
   Enc.varint enc (Array.length r.key);
   (* [Value.encode_key] is exactly the concatenation of the per-value
      encodings, so the cached key doubles as the wire form. *)
   Enc.raw enc (key_str r);
-  Enc.byte enc (op_tag r.op);
-  Enc.varint enc (Array.length r.data);
-  Array.iter (Value.encode enc) r.data
+  if r.op = Update && r.cols <> Column.full then begin
+    Enc.byte enc masked_update_tag;
+    Enc.varint enc (Array.length r.data);
+    Enc.varint enc r.cols;
+    Array.iteri
+      (fun i v -> if Column.covers ~cols:r.cols i then Value.encode enc v)
+      r.data
+  end
+  else begin
+    Enc.byte enc (op_tag r.op);
+    Enc.varint enc (Array.length r.data);
+    Array.iter (Value.encode enc) r.data
+  end
 
 let decode_record dec =
   let table = Dec.string dec in
@@ -71,10 +90,25 @@ let decode_record dec =
   (* Capture the key's wire span: the decoded record arrives with its
      key encoding already cached, no re-encode needed. *)
   let key_enc = Dec.sub_string dec ~pos:kpos ~len:(Dec.pos dec - kpos) in
-  let op = op_of_tag (Dec.byte dec) in
-  let dlen = Dec.varint dec in
-  let data = Array.init dlen (fun _ -> Value.decode dec) in
-  { table; key; op; data; key_enc }
+  let tag = Dec.byte dec in
+  if tag = masked_update_tag then begin
+    let dlen = Dec.varint dec in
+    let cols = Dec.varint dec in
+    if cols = Column.full then
+      invalid_arg "Writeset: masked update with a full mask";
+    (* Unmasked slots are Null placeholders: the merge only ever reads
+       covered columns of a masked record. *)
+    let data = Array.make dlen Value.Null in
+    for i = 0 to dlen - 1 do
+      if Column.covers ~cols i then data.(i) <- Value.decode dec
+    done;
+    { table; key; op = Update; data; cols; key_enc }
+  end
+  else
+    let op = op_of_tag tag in
+    let dlen = Dec.varint dec in
+    let data = Array.init dlen (fun _ -> Value.decode dec) in
+    { table; key; op; data; cols = Column.full; key_enc }
 
 let encode enc t =
   Meta.encode enc t.meta;

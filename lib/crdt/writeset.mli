@@ -19,6 +19,13 @@ type record = {
   key : Gg_storage.Value.t array;
   op : op;
   data : Gg_storage.Value.t array;  (** empty for [Delete] *)
+  cols : int;
+      (** column mask of an [Update] ({!Column.full} = whole row image).
+          Column-level merge resolves only the covered columns; masked
+          records travel in a compact wire form carrying just those
+          values (uncovered slots decode as [Null] and are never read).
+          Always {!Column.full} under row-level merge, which keeps its
+          wire stream byte-identical to the pre-column codec. *)
   mutable key_enc : string;
       (** memoized [Value.encode_key key]; [""] until first use. Use
           {!key_str}, never read this field directly. *)
@@ -44,6 +51,7 @@ val make :
 
 val make_record :
   ?key_str:string ->
+  ?cols:int ->
   table:string ->
   key:Gg_storage.Value.t array ->
   op:op ->
@@ -51,7 +59,8 @@ val make_record :
   unit ->
   record
 (** Pass [key_str] when the caller already holds [Value.encode_key key]
-    (the executors do) to seed the cache and skip the encode entirely. *)
+    (the executors do) to seed the cache and skip the encode entirely.
+    [cols] (default {!Column.full}) is only meaningful on [Update]s. *)
 
 val with_commit : t -> meta:Meta.t -> read_keys:(string * string) list -> t
 (** Fresh write set with commit-time [meta]/[read_keys] substituted and

@@ -40,7 +40,12 @@ let judge ~threshold delta =
 let metric_row ~threshold ~key ~metric old_j new_j =
   let o = to_float (Jsonl.member metric old_j) in
   let n = to_float (Jsonl.member metric new_j) in
-  let delta = if o = 0.0 then Float.nan else (n -. o) /. o in
+  (* 0 -> 0 is no change (an abort rate staying at zero is fine);
+     0 -> nonzero has no meaningful fraction and stays a WARN. *)
+  let delta =
+    if o = 0.0 then (if n = 0.0 then 0.0 else Float.nan)
+    else (n -. o) /. o
+  in
   { key; metric; old_v = o; new_v = n; delta_frac = delta;
     verdict = judge ~threshold delta }
 
@@ -143,6 +148,37 @@ let diff_scale ~threshold old_j new_j =
         [ tput; { wan with verdict = judge ~threshold (-.wan.delta_frac) } ])
     olds
 
+(* Skew suite (BENCH_skew.json): per-(workload, merge_level) points.
+   tput is higher-is-better; abort_rate and wan_kb_per_txn are
+   lower-is-better, so their deltas are inverted before judging (the
+   rendered delta still shows the raw change). *)
+let diff_skew ~threshold old_j new_j =
+  let olds = obj_list old_j "points" and news = obj_list new_j "points" in
+  let find_point workload level l =
+    List.find_opt
+      (fun j ->
+        Jsonl.to_str (Jsonl.member "workload" j) = workload
+        && Jsonl.to_str (Jsonl.member "merge_level" j) = level)
+      l
+  in
+  List.concat_map
+    (fun o ->
+      let workload = Jsonl.to_str (Jsonl.member "workload" o) in
+      let level = Jsonl.to_str (Jsonl.member "merge_level" o) in
+      let key = Printf.sprintf "%s/%s" workload level in
+      match find_point workload level news with
+      | None -> [ missing_row ~key ]
+      | Some n ->
+        let tput = metric_row ~threshold ~key ~metric:"tput" o n in
+        let abort = metric_row ~threshold ~key ~metric:"abort_rate" o n in
+        let wan = metric_row ~threshold ~key ~metric:"wan_kb_per_txn" o n in
+        [
+          tput;
+          { abort with verdict = judge ~threshold (-.abort.delta_frac) };
+          { wan with verdict = judge ~threshold (-.wan.delta_frac) };
+        ])
+    olds
+
 (* Parallel-scaling numbers swing hard with host load; never gate on
    them, only surface the comparison. *)
 let diff_parallel ~threshold old_j new_j =
@@ -180,6 +216,7 @@ let diff ?(threshold = 0.25) ~old_json ~new_json () =
       | "merge" -> Ok (diff_merge ~threshold old_j new_j)
       | "parallel" -> Ok (diff_parallel ~threshold old_j new_j)
       | "scale" -> Ok (diff_scale ~threshold old_j new_j)
+      | "skew" -> Ok (diff_skew ~threshold old_j new_j)
       | other -> Error (Printf.sprintf "unknown suite %S" other))
 
 let diff_files ?threshold ~old_path ~new_path () =

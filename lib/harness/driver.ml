@@ -8,6 +8,7 @@ module Engine = Gg_engines.Engine
 module Stats = Gg_util.Stats
 
 type workload_gen = int -> unit -> Op.txn
+type request_gen = int -> unit -> Geogauss.Txn.request
 
 let ycsb_gens profile ~seed node =
   let g = Gg_workload.Ycsb.create profile ~seed:(seed + (1_000 * node)) in
@@ -16,6 +17,28 @@ let ycsb_gens profile ~seed node =
 let tpcc_gens cfg ~seed node =
   let g = Gg_workload.Tpcc.create cfg ~seed:(seed + (1_000 * node)) ~node in
   fun () -> Gg_workload.Tpcc.next_txn g
+
+let hotkey_gens profile ~seed node =
+  let g = Gg_workload.Hotkey.create profile ~seed:(seed + (1_000 * node)) in
+  fun () -> Gg_workload.Hotkey.next_txn g
+
+let social_gens profile ~seed node =
+  let g = Gg_workload.Social.create profile ~seed:(seed + (1_000 * node)) in
+  fun () -> Gg_workload.Social.next_txn g
+
+let scan_req_gens profile ~seed node =
+  let g = Gg_workload.Sqlgen.Scan.create profile ~seed:(seed + (1_000 * node)) in
+  fun () ->
+    let label, stmts = Gg_workload.Sqlgen.Scan.next_stmts g in
+    Geogauss.Txn.Sql_txn { label; stmts }
+
+let secidx_req_gens profile ~seed node =
+  let g =
+    Gg_workload.Sqlgen.Secidx.create profile ~seed:(seed + (1_000 * node))
+  in
+  fun () ->
+    let label, stmts = Gg_workload.Sqlgen.Secidx.next_stmts g in
+    Geogauss.Txn.Sql_txn { label; stmts }
 
 (* Shared closed-loop measurement over an abstract submit function. *)
 let drive ~sim ~net ~submit ~gen ~connections ~warmup_ms ~measure_ms =
@@ -74,6 +97,8 @@ let run_engine (module E : Gg_engines.Engine.S) ?(config = Engine.default_config
 type geo_extra = {
   phase_means : (string * (float * float * float * float * float)) list;
   epoch_cells : (int * Geogauss.Metrics.epoch_cell) list;
+  offered : int;  (* open loop: arrivals admitted in the window *)
+  shed : int;  (* open loop: arrivals dropped, queue full *)
 }
 
 (* JSONL trace export: one meta record, the buffered events (oldest
@@ -135,18 +160,34 @@ let write_trace ~path ~label ~params ~topology ~nodes ~warmup_ms ~measure_ms
   close_out oc
 
 let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
-    ?trace_file ?(snapshot_every_ms = 100) ~topology ~load ~gen ~warmup_ms
-    ~measure_ms ~label () =
+    ?arrival ?req_gen ?trace_file ?(snapshot_every_ms = 100) ~topology ~load
+    ~gen ~warmup_ms ~measure_ms ~label () =
   let cluster = Geogauss.Cluster.create ~params ~topology ~load () in
   let n = Topology.n_nodes topology in
   let obs = Geogauss.Cluster.obs cluster in
   if trace_file <> None then Obs.set_tracing obs true;
+  (* Open loop when an arrival curve is given: [connections] becomes the
+     per-region connection-pool cap and a bounded FIFO absorbs bursts.
+     4x the pool is a conventional listen-backlog ratio — deep enough to
+     ride out a flash crowd's rise, shallow enough that sustained
+     overload sheds instead of growing latency without bound. *)
+  let mode =
+    match arrival with
+    | None -> Geogauss.Client.Closed
+    | Some arrival ->
+      Geogauss.Client.Open { arrival; queue_cap = 4 * connections }
+  in
   let clients =
     List.init n (fun i ->
-        let next = gen i in
+        let next =
+          match req_gen with
+          | Some rg -> rg i
+          | None ->
+            let next = gen i in
+            fun () -> Geogauss.Txn.Op_txn (next ())
+        in
         let cl =
-          Geogauss.Client.create cluster ~home:i ~connections ~gen:(fun () ->
-              Geogauss.Txn.Op_txn (next ()))
+          Geogauss.Client.create ~mode cluster ~home:i ~connections ~gen:next
         in
         Geogauss.Client.start cl;
         cl)
@@ -197,6 +238,9 @@ let run_geogauss ?(params = Geogauss.Params.default) ?(connections = 256)
               Geogauss.Metrics.phase_means_us (Geogauss.Cluster.metrics cluster i) ));
       epoch_cells =
         Geogauss.Metrics.epoch_cells (Geogauss.Cluster.metrics cluster 0);
+      offered =
+        List.fold_left (fun a c -> a + Geogauss.Client.offered c) 0 clients;
+      shed = List.fold_left (fun a c -> a + Geogauss.Client.shed c) 0 clients;
     }
   in
   (match trace_file with

@@ -19,8 +19,17 @@
 type workload_gen = int -> unit -> Gg_workload.Op.txn
 (** [gen node] returns that node's transaction generator. *)
 
+type request_gen = int -> unit -> Geogauss.Txn.request
+(** Request-level generator — what SQL-shaped workloads produce. *)
+
 val ycsb_gens : Gg_workload.Ycsb.profile -> seed:int -> workload_gen
 val tpcc_gens : Gg_workload.Tpcc.config -> seed:int -> workload_gen
+val hotkey_gens : Gg_workload.Hotkey.profile -> seed:int -> workload_gen
+val social_gens : Gg_workload.Social.profile -> seed:int -> workload_gen
+
+val scan_req_gens : Gg_workload.Sqlgen.Scan.profile -> seed:int -> request_gen
+val secidx_req_gens :
+  Gg_workload.Sqlgen.Secidx.profile -> seed:int -> request_gen
 
 val run_engine_with :
   make:
@@ -56,6 +65,11 @@ type geo_extra = {
           committed transactions *)
   epoch_cells : (int * Geogauss.Metrics.epoch_cell) list;
       (** node 0's per-epoch commit counts and latencies (Fig 6) *)
+  offered : int;
+      (** open loop only: arrivals admitted during the measurement
+          window across all regions (0 closed-loop) *)
+  shed : int;  (** open loop only: arrivals dropped because the queue
+          was full *)
 }
 
 val write_trace :
@@ -79,6 +93,8 @@ val write_trace :
 val run_geogauss :
   ?params:Geogauss.Params.t ->
   ?connections:int ->
+  ?arrival:Gg_workload.Arrival.t ->
+  ?req_gen:request_gen ->
   ?trace_file:string ->
   ?snapshot_every_ms:int ->
   topology:Gg_sim.Topology.t ->
@@ -89,3 +105,10 @@ val run_geogauss :
   label:string ->
   unit ->
   Result.t * geo_extra
+(** [arrival] switches the clients to the open-loop model
+    ({!Geogauss.Client.Open}): transactions arrive on the given curve,
+    [connections] caps each region's pool, and a FIFO of 4x the pool
+    absorbs bursts (beyond that, arrivals shed — see
+    [geo_extra.offered]/[shed]). Without it, the paper's closed loop.
+    [req_gen] overrides [gen] with a request-level generator for
+    SQL-shaped workloads ([gen] is then unused). *)

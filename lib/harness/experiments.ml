@@ -854,6 +854,119 @@ let fig_scale_tables pool ~fast =
     widths;
   [ Tablefmt.render table ]
 
+(* --- Fig "skew": merge granularity under skewed writes ---
+
+   Not a paper figure: GeoGauss merges at whole-row granularity (first
+   committer wins per row per epoch). This sweep runs the two write-
+   skewed workloads — hotkey (rotating hot rows, single-counter
+   increments) and social (power-law fanout feed bumps) — at both merge
+   levels. Under column-level merge (DESIGN.md §13) concurrent updates
+   to disjoint columns of one row all commit, so the abort rate must
+   drop strictly below row-level's on both workloads; the WAN column
+   reports whatever the masked encoding actually costs, either way.
+   Writes BENCH_skew.json (`geogauss bench diff` understands the "skew"
+   suite; abort-rate and WAN columns gate lower-is-better). *)
+
+let skew_json_path = "BENCH_skew.json"
+
+let skew_levels = [ ("row", Params.Row); ("column", Params.Column) ]
+
+let fig_skew_tables pool ~fast =
+  let warmup_ms = if fast then 300 else 800 in
+  let measure_ms = if fast then 1_000 else 3_000 in
+  let hot =
+    Gg_workload.Hotkey.with_records Gg_workload.Hotkey.base
+      (if fast then 4_000 else 20_000)
+  in
+  let soc =
+    Gg_workload.Social.with_users Gg_workload.Social.base
+      (if fast then 10_000 else 50_000)
+  in
+  let workloads =
+    [
+      ("hotkey", Gg_workload.Hotkey.load hot, Driver.hotkey_gens hot ~seed:141);
+      ("social", Gg_workload.Social.load soc, Driver.social_gens soc ~seed:151);
+    ]
+  in
+  let run (wname, load, gen) (lname, level) () =
+    let params = { Params.default with Params.merge_level = level } in
+    let r, _ =
+      Driver.run_geogauss ~params ~connections:64
+        ~topology:(Topology.china3 ()) ~load ~gen ~warmup_ms ~measure_ms
+        ~label:(Printf.sprintf "%s/%s" wname lname)
+        ()
+    in
+    r
+  in
+  let cells =
+    List.concat_map
+      (fun w -> List.map (fun l -> (w, l)) skew_levels)
+      workloads
+  in
+  let results = Pool.run pool (List.map (fun (w, l) -> run w l) cells) in
+  let rows =
+    List.map2
+      (fun ((wname, _, _), (lname, _)) r -> (wname, lname, r))
+      cells results
+  in
+  let table =
+    Tablefmt.create
+      ~title:
+        "Fig skew — Merge granularity under write skew (china3, 64 conns/node)"
+      ~headers:
+        [
+          "workload"; "merge level"; "tput (txn/s)"; "abort rate"; "WAN KB/txn";
+        ]
+  in
+  List.iter
+    (fun (wname, lname, r) ->
+      Tablefmt.add_row table
+        [
+          wname; lname; f ~dec:0 r.Result.tput; f ~dec:4 r.Result.abort_rate;
+          f ~dec:2 r.Result.wan_kb_per_txn;
+        ])
+    rows;
+  let oc = open_out skew_json_path in
+  let point_json (wname, lname, r) =
+    Printf.sprintf
+      "    {\"workload\": \"%s\", \"merge_level\": \"%s\", \"tput\": %.1f, \
+       \"abort_rate\": %.5f, \"wan_kb_per_txn\": %.4f, \"committed\": %d, \
+       \"aborted\": %d}"
+      wname lname r.Result.tput r.Result.abort_rate r.Result.wan_kb_per_txn
+      r.Result.committed r.Result.aborted
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"skew\",\n\
+    \  \"fast\": %b,\n\
+    \  \"points\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    fast
+    (String.concat ",\n" (List.map point_json rows));
+  close_out oc;
+  (* The claim the sweep exists to check: per-column merge must abort
+     strictly less than per-row merge on every skewed workload. *)
+  let abort_of wname lname =
+    List.find_map
+      (fun (w, l, r) ->
+        if w = wname && l = lname then Some r.Result.abort_rate else None)
+      rows
+  in
+  List.iter
+    (fun (wname, _, _) ->
+      match (abort_of wname "row", abort_of wname "column") with
+      | Some row, Some col when col >= row ->
+        Printf.eprintf
+          "  WARNING: %s aborts %.5f at column-level merge >= %.5f at \
+           row-level — the finer lattice saved nothing\n\
+           %!"
+          wname col row
+      | _ -> ())
+    workloads;
+  [ Tablefmt.render table ]
+
 (* --- registry --- *)
 
 (* The one canonical name list: the [tables] dispatch, [all] and the
@@ -862,7 +975,7 @@ let fig_scale_tables pool ~fast =
 let names =
   [
     "fig5"; "table2"; "fig6"; "fig7"; "table3"; "fig8"; "fig9"; "fig10";
-    "fig11"; "fig12"; "fig13"; "ablations"; "fig_scale";
+    "fig11"; "fig12"; "fig13"; "ablations"; "fig_scale"; "fig_skew";
   ]
 
 let tables ?(pool = Pool.seq) ~setting:s ~fast name =
@@ -880,6 +993,7 @@ let tables ?(pool = Pool.seq) ~setting:s ~fast name =
   | "fig13" -> Some (fig13_tables pool ~fast)
   | "ablations" -> Some (ablations_tables pool s)
   | "fig_scale" -> Some (fig_scale_tables pool ~fast)
+  | "fig_skew" -> Some (fig_skew_tables pool ~fast)
   | _ -> None
 
 let print_tables ts =
@@ -915,6 +1029,7 @@ let fig12 = make_runner "fig12"
 let fig13 = make_runner "fig13"
 let ablations = make_runner "ablations"
 let fig_scale = make_runner "fig_scale"
+let fig_skew = make_runner "fig_skew"
 
 let run ?fast ?pool name =
   match List.assoc_opt name all with

@@ -83,6 +83,13 @@ val fig_scale : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
     (DESIGN.md §12). Also writes [BENCH_scale.json] for
     [geogauss bench diff]. *)
 
+val fig_skew : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
+(** Not a paper figure: the write-skewed workloads (hotkey, social) at
+    both merge granularities ([--merge-level row|column], DESIGN.md
+    §13). Column-level merge must abort strictly less on both; warns on
+    stderr otherwise. Also writes [BENCH_skew.json] for
+    [geogauss bench diff]. *)
+
 val names : string list
 (** Canonical experiment names, in paper order (plus the ablations and
     the partial-replication sweep). [tables], [all] and the

@@ -20,21 +20,26 @@ type write_buf = {
   w_existed : bool;  (* live row existed when first written *)
   mutable w_op : Writeset.op;
   mutable w_data : Value.t array;
+  mutable w_cols : int;
+      (* column mask of an Update; Gg_crdt.Column.full unless the context
+         tracks columns and every UPDATE's SET list stayed maskable *)
   mutable w_dead : bool;  (* insert-then-delete: no net effect *)
 }
 
 module Ctx = struct
   type t = {
     db : Db.t;
+    track_cols : bool;  (* capture UPDATE column masks for column merge *)
     mutable reads_rev : read_record list;
     read_keys : (string * string, unit) Hashtbl.t;
     writes : (string * string, write_buf) Hashtbl.t;
     mutable write_order_rev : write_buf list;
   }
 
-  let create db =
+  let create ?(track_cols = false) db =
     {
       db;
+      track_cols;
       reads_rev = [];
       read_keys = Hashtbl.create 16;
       writes = Hashtbl.create 16;
@@ -42,6 +47,7 @@ module Ctx = struct
     }
 
   let db t = t.db
+  let track_cols t = t.track_cols
 
   let record_read t ~table ~key_str ~(header : Gg_storage.Row_header.t) =
     (* Keep the first observation of each row: RR compares the commit-time
@@ -70,8 +76,8 @@ module Ctx = struct
            if w.w_dead then None
            else
              Some
-               (Writeset.make_record ~key_str:w.w_key_str ~table:w.w_table
-                  ~key:w.w_key ~op:w.w_op
+               (Writeset.make_record ~key_str:w.w_key_str ~cols:w.w_cols
+                  ~table:w.w_table ~key:w.w_key ~op:w.w_op
                   ~data:
                     (match w.w_op with Writeset.Delete -> [||] | _ -> w.w_data)
                   ()))
@@ -540,7 +546,8 @@ let insert ctx ~table ~cols ~rows ~params =
         (* re-insert over own delete: becomes an update of the base row *)
         w.w_dead <- false;
         w.w_op <- (if w.w_existed then Writeset.Update else Writeset.Insert);
-        w.w_data <- row
+        w.w_data <- row;
+        w.w_cols <- Gg_crdt.Column.full
       | None -> (
         match Table.find_live tbl key_str with
         | Some _ ->
@@ -554,6 +561,7 @@ let insert ctx ~table ~cols ~rows ~params =
               w_existed = false;
               w_op = Writeset.Insert;
               w_data = row;
+              w_cols = Gg_crdt.Column.full;
               w_dead = false;
             }));
       incr n)
@@ -580,29 +588,35 @@ let collect_targets ctx table where ~params =
       if ok then acc := v :: !acc);
   (tbl, binding, env, List.rev !acc)
 
-let buffer_write ctx ~table ~(v : vrow) ~op ~data =
+let buffer_write ctx ~table ~(v : vrow) ~op ?(cols = Gg_crdt.Column.full) ~data
+    () =
   match Ctx.find_write ctx ~table ~key_str:v.v_key_str with
   | Some w when not w.w_dead ->
     (match (w.w_op, op) with
     | Writeset.Insert, Writeset.Delete ->
       if w.w_existed then begin
         w.w_op <- Writeset.Delete;
-        w.w_data <- [||]
+        w.w_data <- [||];
+        w.w_cols <- Gg_crdt.Column.full
       end
       else w.w_dead <- true
     | Writeset.Insert, _ -> w.w_data <- data
     | _, Writeset.Delete ->
       w.w_op <- Writeset.Delete;
-      w.w_data <- [||]
+      w.w_data <- [||];
+      w.w_cols <- Gg_crdt.Column.full
     | _, _ ->
       w.w_op <- (if w.w_existed then Writeset.Update else Writeset.Insert);
-      w.w_data <- data)
+      w.w_data <- data;
+      (* coalesced updates touch the union of the columns; full absorbs *)
+      w.w_cols <- Gg_crdt.Column.union w.w_cols cols)
   | Some w ->
     (* previously cancelled; revive *)
     if op <> Writeset.Delete then begin
       w.w_dead <- false;
       w.w_op <- (if w.w_existed then Writeset.Update else Writeset.Insert);
-      w.w_data <- data
+      w.w_data <- data;
+      w.w_cols <- Gg_crdt.Column.full
     end
   | None ->
     Ctx.add_write ctx
@@ -613,6 +627,7 @@ let buffer_write ctx ~table ~(v : vrow) ~op ~data =
         w_existed = v.v_entry <> None;
         w_op = op;
         w_data = data;
+        w_cols = cols;
         w_dead = false;
       }
 
@@ -630,6 +645,19 @@ let update ctx ~table ~sets ~where ~params =
           (i, e))
       sets
   in
+  (* The SET list names the touched columns directly; a set wider than
+     the maskable range degrades to the whole-row mask. *)
+  let cols =
+    if Ctx.track_cols ctx then
+      match set_indices with
+      | [] -> Gg_crdt.Column.full
+      | (i, _) :: rest ->
+        List.fold_left
+          (fun acc (j, _) ->
+            Gg_crdt.Column.union acc (Gg_crdt.Column.of_index j))
+          (Gg_crdt.Column.of_index i) rest
+    else Gg_crdt.Column.full
+  in
   List.iter
     (fun v ->
       binding.Env.row <- v.v_data;
@@ -641,7 +669,7 @@ let update ctx ~table ~sets ~where ~params =
       | Ok () -> ()
       | Error m -> raise (Sql_error m));
       record_vrow_read ctx ~table v;
-      buffer_write ctx ~table ~v ~op:Writeset.Update ~data:new_row)
+      buffer_write ctx ~table ~v ~op:Writeset.Update ~cols ~data:new_row ())
     targets;
   { columns = []; rows = []; affected = List.length targets }
 
@@ -650,7 +678,7 @@ let delete ctx ~table ~where ~params =
   List.iter
     (fun v ->
       record_vrow_read ctx ~table v;
-      buffer_write ctx ~table ~v ~op:Writeset.Delete ~data:[||])
+      buffer_write ctx ~table ~v ~op:Writeset.Delete ~data:[||] ())
     targets;
   { columns = []; rows = []; affected = List.length targets }
 

@@ -17,8 +17,18 @@ type read_record = {
 module Ctx : sig
   type t
 
-  val create : Gg_storage.Db.t -> t
+  val create : ?track_cols:bool -> Gg_storage.Db.t -> t
+  (** [track_cols] (default [false]) captures UPDATE column masks on the
+      write set for column-level merge: a [SET] list covering only
+      maskable columns produces a masked record
+      ({!Gg_crdt.Writeset.record.cols}); coalesced updates take the
+      union of their masks, and any whole-row write (INSERT-over-delete,
+      re-insert) widens to {!Gg_crdt.Column.full}. Off, every record
+      carries the full mask — the pre-column wire stream, byte for
+      byte. *)
+
   val db : t -> Gg_storage.Db.t
+  val track_cols : t -> bool
 
   val read_set : t -> read_record list
   (** In read order (first read first). A row read several times keeps

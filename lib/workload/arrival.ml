@@ -1,0 +1,102 @@
+(* Open-loop arrival curves: offered load as a function of simulated
+   time, independent of service capacity. The three shapes cover the
+   internet-scale patterns the paper's closed-loop clients cannot
+   express — steady load, the day/night swing of a geo-distributed user
+   base, and a flash crowd. *)
+
+type shape =
+  | Constant
+  | Diurnal of { period_ms : int; trough : float }
+  | Flash of { at_ms : int; dur_ms : int; mult : float }
+
+type t = { shape : shape; peak_tps : float }
+
+let make ~shape ~peak_tps =
+  if peak_tps <= 0.0 then invalid_arg "Arrival.make: peak_tps must be > 0";
+  (match shape with
+  | Constant -> ()
+  | Diurnal { period_ms; trough } ->
+    if period_ms <= 0 then invalid_arg "Arrival.make: period_ms must be > 0";
+    if trough < 0.0 || trough > 1.0 then
+      invalid_arg "Arrival.make: trough must be in [0,1]"
+  | Flash { at_ms; dur_ms; mult } ->
+    if at_ms < 0 || dur_ms <= 0 then
+      invalid_arg "Arrival.make: flash window must be non-negative/positive";
+    if mult < 1.0 then invalid_arg "Arrival.make: mult must be >= 1");
+  { shape; peak_tps }
+
+let peak_tps t = t.peak_tps
+
+let pi = 4.0 *. atan 1.0
+
+(* Instantaneous offered rate in txns/s; never exceeds [peak_tps], which
+   is what makes Lewis thinning against the peak correct. *)
+let rate_at t ~at_us =
+  match t.shape with
+  | Constant -> t.peak_tps
+  | Diurnal { period_ms; trough } ->
+    let period_us = float_of_int period_ms *. 1e3 in
+    let phase = 2.0 *. pi *. (float_of_int at_us /. period_us) in
+    (* trough at t = 0, peak mid-period *)
+    t.peak_tps *. (trough +. ((1.0 -. trough) *. 0.5 *. (1.0 -. cos phase)))
+  | Flash { at_ms; dur_ms; mult } ->
+    let at = at_us / 1000 in
+    if at >= at_ms && at < at_ms + dur_ms then t.peak_tps
+    else t.peak_tps /. mult
+
+(* How many think-time-limited users this offered load stands for
+   (Little's law: users = rate x think time) — the knob that lets a few
+   hundred simulated tps model millions of real users. *)
+let implied_users t ~think_ms =
+  int_of_float (ceil (t.peak_tps *. (float_of_int think_ms /. 1000.0)))
+
+let to_string t =
+  let shape =
+    match t.shape with
+    | Constant -> "constant"
+    | Diurnal { period_ms; trough } ->
+      Printf.sprintf "diurnal:%d:%g" period_ms trough
+    | Flash { at_ms; dur_ms; mult } ->
+      Printf.sprintf "flash:%d:%d:%g" at_ms dur_ms mult
+  in
+  Printf.sprintf "%s@%g" shape t.peak_tps
+
+let of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad arrival spec %S (expected constant@TPS, \
+          diurnal:PERIOD_MS:TROUGH@TPS or flash:AT_MS:DUR_MS:MULT@TPS)"
+         s)
+  in
+  match String.rindex_opt s '@' with
+  | None -> fail ()
+  | Some i -> (
+    let shape_s = String.sub s 0 i in
+    let peak_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match float_of_string_opt peak_s with
+    | None -> fail ()
+    | Some peak_tps -> (
+      let parts = String.split_on_char ':' shape_s in
+      let shape =
+        match parts with
+        | [ "constant" ] -> Some Constant
+        | [ "diurnal"; p; tr ] -> (
+          match (int_of_string_opt p, float_of_string_opt tr) with
+          | Some period_ms, Some trough -> Some (Diurnal { period_ms; trough })
+          | _ -> None)
+        | [ "flash"; a; d; m ] -> (
+          match
+            (int_of_string_opt a, int_of_string_opt d, float_of_string_opt m)
+          with
+          | Some at_ms, Some dur_ms, Some mult ->
+            Some (Flash { at_ms; dur_ms; mult })
+          | _ -> None)
+        | _ -> None
+      in
+      match shape with
+      | None -> fail ()
+      | Some shape -> (
+        match make ~shape ~peak_tps with
+        | t -> Ok t
+        | exception Invalid_argument m -> Error m)))

@@ -1,0 +1,43 @@
+(** Open-loop arrival curves (DESIGN.md §13).
+
+    The paper's clients are closed-loop: each connection blocks on its
+    outstanding transaction, so offered load can never exceed service
+    capacity and overload is unobservable. An {!t} instead describes
+    offered load as a function of simulated time; {!Client} turns it
+    into a nonhomogeneous Poisson arrival process by Lewis thinning
+    (draw at the peak rate, accept with probability
+    [rate_at/peak_tps]), with a bounded connection pool and FIFO queue
+    in front of the cluster. *)
+
+type shape =
+  | Constant  (** steady offered load at [peak_tps] *)
+  | Diurnal of { period_ms : int; trough : float }
+      (** day/night swing: raised-cosine between [trough *. peak_tps]
+          (at time 0) and [peak_tps] (mid-period) *)
+  | Flash of { at_ms : int; dur_ms : int; mult : float }
+      (** flash crowd: baseline [peak_tps /. mult], spiking to
+          [peak_tps] during the window *)
+
+type t
+
+val make : shape:shape -> peak_tps:float -> t
+(** Raises [Invalid_argument] on a non-positive peak, period or
+    duration, a trough outside [0,1], or a mult below 1. *)
+
+val peak_tps : t -> float
+
+val rate_at : t -> at_us:int -> float
+(** Instantaneous offered rate (txns/s) at simulated time [at_us];
+    always in [(0, peak_tps)]. *)
+
+val implied_users : t -> think_ms:int -> int
+(** The think-time-limited user population this offered load stands for
+    (Little's law) — e.g. a 500 tps peak with 10 s think time models
+    5000 users; 200k tps with 60 s think time models 12 million. *)
+
+val to_string : t -> string
+(** [constant\@TPS], [diurnal:PERIOD_MS:TROUGH\@TPS] or
+    [flash:AT_MS:DUR_MS:MULT\@TPS] — the CLI's [--arrival] syntax. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)

@@ -1,0 +1,93 @@
+module Value = Gg_storage.Value
+module Schema = Gg_storage.Schema
+module Rng = Gg_util.Rng
+
+type profile = {
+  name : string;
+  records : int;
+  counters : int;  (* int counter columns after the key *)
+  hot_keys : int;  (* size of the rotating hot set *)
+  hot_pct : float;  (* fraction of ops aimed at the hot set *)
+  rotate_every : int;  (* txns between hot-set moves (the "burst") *)
+  ops_per_txn : int;
+  parse_cost_us : int;
+}
+
+let table_name = "hotspot"
+
+let base =
+  {
+    name = "HOTKEY";
+    records = 20_000;
+    counters = 8;
+    hot_keys = 16;
+    hot_pct = 0.6;
+    rotate_every = 400;
+    ops_per_txn = 6;
+    parse_cost_us = 250;
+  }
+
+let with_records p records = { p with records }
+let with_hot p ~keys ~pct = { p with hot_keys = keys; hot_pct = pct }
+
+let schema p =
+  Schema.create ~name:table_name
+    ~columns:
+      ({ Schema.name = "hk_key"; ty = Schema.TInt }
+      :: List.init p.counters (fun i ->
+             { Schema.name = Printf.sprintf "c%d" i; ty = Schema.TInt }))
+    ~key:[ "hk_key" ]
+
+let key_of i = [| Value.Int i |]
+
+let load p db =
+  let table = Gg_storage.Db.add_table db (schema p) in
+  for i = 0 to p.records - 1 do
+    let row =
+      Array.init (p.counters + 1) (fun c ->
+          if c = 0 then Value.Int i else Value.Int 0)
+    in
+    Gg_storage.Table.load table row
+  done
+
+type t = { profile : profile; rng : Rng.t; mutable txns : int }
+
+let create profile ~seed = { profile; rng = Rng.create seed; txns = 0 }
+let profile t = t.profile
+
+(* The hot set is a window of [hot_keys] consecutive keys that jumps to
+   a fresh position every [rotate_every] transactions — every client
+   piles onto the same few rows for a while, then the burst moves.
+   Writes to hot rows are single-column counter bumps: the natural shape
+   for column-level merge to disarm (distinct columns of one row merge
+   per cell; same-column bumps still race). *)
+let next_txn t =
+  let p = t.profile in
+  t.txns <- t.txns + 1;
+  let window = t.txns / p.rotate_every in
+  (* multiplicative hashing scatters successive windows across the table *)
+  let hot_base = window * 2654435761 land max_int mod p.records in
+  let ops =
+    List.init p.ops_per_txn (fun _ ->
+        if Rng.chance t.rng p.hot_pct then
+          let k = (hot_base + Rng.int t.rng p.hot_keys) mod p.records in
+          Op.Add
+            {
+              table = table_name;
+              key = key_of k;
+              col = 1 + Rng.int t.rng p.counters;
+              delta = 1;
+            }
+        else
+          let k = Rng.int t.rng p.records in
+          if Rng.chance t.rng 0.7 then
+            Op.Read { table = table_name; key = key_of k }
+          else
+            let data =
+              Array.init (p.counters + 1) (fun c ->
+                  if c = 0 then Value.Int k
+                  else Value.Int (Rng.int t.rng 1000))
+            in
+            Op.Write { table = table_name; key = key_of k; data })
+  in
+  Op.make ~label:p.name ~parse_cost_us:p.parse_cost_us ops

@@ -1,0 +1,39 @@
+(** Hot-key burst workload (DESIGN.md §13).
+
+    A rotating window of [hot_keys] rows absorbs [hot_pct] of all
+    operations as single-column counter increments; the window jumps
+    every [rotate_every] transactions, so contention arrives in bursts
+    that move around the table — the celebrity-post / flash-sale shape.
+    Cold traffic is uniform reads and whole-row writes.
+
+    Hot writes are {!Op.Add}s on one of [counters] columns: under
+    row-level merge, concurrent bumps of {e different} columns of one
+    row still conflict; under column-level merge they commute, which is
+    exactly the abort-rate delta [fig_skew] measures. *)
+
+type profile = {
+  name : string;
+  records : int;
+  counters : int;
+  hot_keys : int;
+  hot_pct : float;
+  rotate_every : int;
+  ops_per_txn : int;
+  parse_cost_us : int;
+}
+
+val table_name : string
+val base : profile
+val with_records : profile -> int -> profile
+val with_hot : profile -> keys:int -> pct:float -> profile
+
+val load : profile -> Gg_storage.Db.t -> unit
+(** Create [hotspot] and load [records] rows of zeroed counters. *)
+
+type t
+
+val create : profile -> seed:int -> t
+val profile : t -> profile
+
+val next_txn : t -> Op.txn
+(** Deterministic given the creation seed and call sequence. *)

@@ -133,6 +133,56 @@ let test_partitioned_sweep_pool_parity () =
     (List.length r1.Checker.failures)
     (List.length r4.Checker.failures)
 
+(* --- column-level merge (DESIGN.md §13) --- *)
+
+let test_workload_space_covers_new_generators () =
+  (* The seeded generator must actually draw the new workload shapes
+     (and the open-loop arrival curves) somewhere in a modest seed
+     range, or the chaos sweep never exercises them. *)
+  let seen = Hashtbl.create 8 in
+  let arrivals = ref 0 in
+  for seed = 0 to 99 do
+    let s = Scenario.generate ~fast:true seed in
+    Hashtbl.replace seen s.Scenario.workload ();
+    if s.Scenario.arrival <> None then incr arrivals
+  done;
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Scenario.workload_to_string w ^ " drawn")
+        true (Hashtbl.mem seen w))
+    [
+      Scenario.Ycsb_mc; Scenario.Ycsb_hc; Scenario.Tpcc; Scenario.Hotkey;
+      Scenario.Social; Scenario.Scan; Scenario.Secidx;
+    ];
+  Alcotest.(check bool)
+    (Printf.sprintf "open-loop scenarios drawn (%d/100)" !arrivals)
+    true (!arrivals > 10)
+
+let test_with_merge_level_pin () =
+  for seed = 0 to 20 do
+    let s = Scenario.generate ~fast:true seed in
+    let s' = Scenario.with_merge_level s Params.Column in
+    Alcotest.(check bool) "level pinned" true
+      (s'.Scenario.merge_level = Params.Column);
+    Alcotest.(check bool) "engine is epoch-based" true
+      (s'.Scenario.variant <> Params.Async_merge);
+    (* The pin must be the identity at the default level. *)
+    Alcotest.(check string) "Row is the identity" (Scenario.to_string s)
+      (Scenario.to_string (Scenario.with_merge_level s Params.Row))
+  done
+
+let test_column_seeds_pass () =
+  (* The same drawn seeds, re-run with the column lattice active, must
+     hold all five oracles. *)
+  let report =
+    Checker.check ~fast:true ~merge_level:Params.Column ~base:0 ~seeds:3 ()
+  in
+  Alcotest.(check int) "no violations at column level" 0
+    (List.length report.Checker.failures);
+  Alcotest.(check bool) "commits happened" true
+    (report.Checker.total_commits > 0)
+
 (* --- corrupted batch frames --- *)
 
 let test_corrupt_batches_recovered () =
@@ -204,6 +254,15 @@ let () =
             test_partitioned_seeds_pass;
           Alcotest.test_case "partitioned sweep -j1 vs -j4 byte-equal" `Slow
             test_partitioned_sweep_pool_parity;
+        ] );
+      ( "column merge",
+        [
+          Alcotest.test_case "generator draws new workloads and arrivals" `Quick
+            test_workload_space_covers_new_generators;
+          Alcotest.test_case "merge-level pin respected" `Quick
+            test_with_merge_level_pin;
+          Alcotest.test_case "column-level seeds pass" `Slow
+            test_column_seeds_pass;
         ] );
       ( "corruption",
         [

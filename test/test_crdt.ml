@@ -525,6 +525,150 @@ let test_batch_corrupt_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Column-level lattice (DESIGN.md §13) --- *)
+
+(* Value derived from the full meta, so equal metas carry equal values
+   and the join stays a function of the stamp alone. *)
+let col_cell ~sen ~ts ~node =
+  Column.cell ~meta:(meta ~sen ~cen:10 ~ts ~node) (Value.Int ((sen * 10_000) + (ts * 10) + node))
+
+let gen_cells =
+  QCheck.Gen.(
+    map3
+      (fun sen ts node -> col_cell ~sen:(1 + sen) ~ts:(1 + ts) ~node)
+      (int_range 0 9) (int_range 0 99) (int_range 0 4))
+
+let prop_column_join_aci =
+  QCheck.Test.make ~name:"column cell join is ACI" ~count:500
+    (QCheck.make QCheck.Gen.(triple gen_cells gen_cells gen_cells))
+    (fun (a, b, c) ->
+      let open Column in
+      join a b = join b a
+      && join (join a b) c = join a (join b c)
+      && join a a = a)
+
+let prop_column_claim_aci_matches_row_order =
+  (* The claim join must be ACI and pick exactly the row header's
+     Lemma 2 winner — claim winner = header winner is what makes the
+     column kernel's phase B agree with phase A's stamping. *)
+  let gen_claim =
+    QCheck.Gen.(
+      map
+        (fun ((sen, ts), (node, del)) ->
+          Column.claim ~meta:(meta ~sen:(1 + sen) ~cen:10 ~ts:(1 + ts) ~node) ~delete:del)
+        (pair (pair (int_range 0 9) (int_range 0 99)) (pair (int_range 0 4) bool)))
+  in
+  QCheck.Test.make ~name:"claim join is ACI and matches Lemma 2" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 8) gen_claim))
+    (fun claims ->
+      (* csns must be unique for the order to be total: dedup. *)
+      let claims =
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun (c : Column.claim) ->
+            let k = (c.c_meta.Meta.csn.Csn.ts, c.c_meta.Meta.csn.Csn.node) in
+            if Hashtbl.mem seen k then false
+            else (Hashtbl.add seen k (); true))
+          claims
+      in
+      QCheck.assume (claims <> []);
+      let joined =
+        List.fold_left
+          (fun acc c -> Some (Column.claim_join_opt acc c))
+          None claims
+      in
+      let winner = lemma2_winner (List.map (fun (c : Column.claim) -> c.Column.c_meta) claims) in
+      let ok_winner =
+        match (joined, winner) with
+        | Some j, Some w -> Meta.equal j.Column.c_meta w
+        | _ -> false
+      in
+      let ok_aci =
+        match claims with
+        | a :: b :: _ ->
+          Column.claim_join a b = Column.claim_join b a
+          && Column.claim_join a a = a
+        | _ -> true
+      in
+      ok_winner && ok_aci)
+
+let test_column_tombstone_vs_update_race () =
+  (* Same race as the row-level tombstone test, at claim granularity:
+     whichever side wins the epoch order decides the whole row's fate. *)
+  let del = Column.claim ~meta:(meta ~sen:5 ~cen:7 ~ts:10 ~node:0) ~delete:true in
+  let upd = Column.claim ~meta:(meta ~sen:5 ~cen:7 ~ts:11 ~node:1) ~delete:false in
+  let j1 = Column.claim_join del upd and j2 = Column.claim_join upd del in
+  Alcotest.(check bool) "order-independent" true (j1 = j2);
+  Alcotest.(check bool) "delete (smaller csn) wins" true j1.Column.c_delete;
+  (* Flip the order: a shorter update beats the delete. *)
+  let upd' = Column.claim ~meta:(meta ~sen:6 ~cen:7 ~ts:12 ~node:1) ~delete:false in
+  Alcotest.(check bool) "shorter update survives" false
+    (Column.claim_join del upd').Column.c_delete
+
+let test_column_mask_ops () =
+  Alcotest.(check bool) "full covers all" true (Column.covers ~cols:Column.full 61);
+  let m = Column.union (Column.of_index 1) (Column.of_index 3) in
+  Alcotest.(check bool) "covers 1" true (Column.covers ~cols:m 1);
+  Alcotest.(check bool) "not 2" false (Column.covers ~cols:m 2);
+  Alcotest.(check bool) "full absorbs" true
+    (Column.union m Column.full = Column.full);
+  Alcotest.(check bool) "out of range is full" true
+    (Column.of_index Column.max_mask_cols = Column.full)
+
+let masked_ws () =
+  let r =
+    Writeset.make_record ~table:"t" ~key:[| Value.Int 1 |] ~op:Writeset.Update
+      ~cols:(Column.union (Column.of_index 1) (Column.of_index 3))
+      ~data:[| Value.Int 1; Value.Str "b"; Value.Int 99; Value.Int 7; Value.Null |]
+      ()
+  in
+  Writeset.make ~meta:(meta ~sen:2 ~cen:3 ~ts:50 ~node:1) ~records:[ r ] ()
+
+let encode_bytes ws =
+  let enc = Gg_util.Codec.Enc.create () in
+  Writeset.encode enc ws;
+  Gg_util.Codec.Enc.to_bytes enc
+
+let test_masked_record_roundtrip () =
+  let ws = masked_ws () in
+  let b1 = encode_bytes ws in
+  let ws' = Writeset.decode (Gg_util.Codec.Dec.of_bytes b1) in
+  (match ws'.Writeset.records with
+  | [ r ] ->
+    Alcotest.(check bool) "mask survives" true
+      (r.Writeset.cols = Column.union (Column.of_index 1) (Column.of_index 3));
+    Alcotest.(check int) "arity survives" 5 (Array.length r.Writeset.data);
+    Alcotest.(check bool) "covered col 1" true (r.Writeset.data.(1) = Value.Str "b");
+    Alcotest.(check bool) "covered col 3" true (r.Writeset.data.(3) = Value.Int 7);
+    Alcotest.(check bool) "uncovered are Null placeholders" true
+      (r.Writeset.data.(0) = Value.Null && r.Writeset.data.(2) = Value.Null)
+  | _ -> Alcotest.fail "one record expected");
+  (* Byte stability: re-encoding the decoded form reproduces the wire
+     bytes exactly (replicas re-disseminate what they decoded). *)
+  Alcotest.(check bool) "re-encode is byte-identical" true
+    (Bytes.equal b1 (encode_bytes ws'))
+
+let test_full_mask_stream_unchanged () =
+  (* A row-level record (cols = full) must encode exactly as it did
+     before masks existed: the default-cols constructor and an explicit
+     full mask produce byte-identical streams, with no masked tag. *)
+  let mk ?cols () =
+    let r =
+      Writeset.make_record ?cols ~table:"t" ~key:[| Value.Int 1 |]
+        ~op:Writeset.Update
+        ~data:[| Value.Int 1; Value.Str "x" |]
+        ()
+    in
+    Writeset.make ~meta:(meta ~sen:1 ~cen:2 ~ts:9 ~node:0) ~records:[ r ] ()
+  in
+  let b_default = encode_bytes (mk ()) in
+  let b_full = encode_bytes (mk ~cols:Column.full ()) in
+  Alcotest.(check bool) "default = explicit full" true (Bytes.equal b_default b_full);
+  let ws' = Writeset.decode (Gg_util.Codec.Dec.of_bytes b_default) in
+  match ws'.Writeset.records with
+  | [ r ] -> Alcotest.(check bool) "decodes to full" true (r.Writeset.cols = Column.full)
+  | _ -> Alcotest.fail "one record expected"
+
 (* --- Lattices --- *)
 
 let test_lww_merge () =
@@ -625,6 +769,18 @@ let () =
           Alcotest.test_case "wire_size = |to_wire|" `Quick test_wire_size_matches_wire;
           Alcotest.test_case "wire cache single encode" `Quick test_wire_cache_single_encode;
           Alcotest.test_case "corrupt rejected" `Quick test_batch_corrupt_rejected;
+        ] );
+      ( "column",
+        [
+          QCheck_alcotest.to_alcotest prop_column_join_aci;
+          QCheck_alcotest.to_alcotest prop_column_claim_aci_matches_row_order;
+          Alcotest.test_case "tombstone vs update race" `Quick
+            test_column_tombstone_vs_update_race;
+          Alcotest.test_case "mask operations" `Quick test_column_mask_ops;
+          Alcotest.test_case "masked record roundtrip bytes" `Quick
+            test_masked_record_roundtrip;
+          Alcotest.test_case "full-mask stream unchanged" `Quick
+            test_full_mask_stream_unchanged;
         ] );
       ( "lattice",
         [

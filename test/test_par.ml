@@ -141,6 +141,16 @@ let test_experiments_byte_identical () =
       Alcotest.(check string) (name ^ " tables") sequential parallel)
     [ "fig8"; "fig9" ]
 
+let test_fig_skew_byte_identical () =
+  (* The merge-granularity grid fans its workload x level cells across
+     the pool; tables (and the BENCH_skew.json it rewrites, twice with
+     identical content) must not depend on the width. *)
+  let sequential = experiment_tables ~pool:Pool.seq "fig_skew" in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool -> experiment_tables ~pool "fig_skew")
+  in
+  Alcotest.(check string) "fig_skew tables" sequential parallel
+
 let test_wallclock_counts_identical () =
   let module W = Gg_harness.Wallclock in
   let s = List.hd (W.scenarios ~fast:true) in
@@ -181,6 +191,8 @@ let () =
             test_check_byte_identical;
           Alcotest.test_case "experiment tables byte-identical -j1 vs -j4"
             `Slow test_experiments_byte_identical;
+          Alcotest.test_case "fig_skew tables byte-identical -j1 vs -j4"
+            `Slow test_fig_skew_byte_identical;
           Alcotest.test_case "bench counts identical across domains" `Slow
             test_wallclock_counts_identical;
         ] );

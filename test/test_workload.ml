@@ -227,6 +227,259 @@ let test_tpcc_parse_cost_from_config () =
   let g = Tpcc.create Tpcc.default ~seed:1 ~node:0 in
   Alcotest.(check int) "parse cost (Table 2)" 4_600 (Tpcc.payment g).Op.parse_cost_us
 
+(* --- Hotkey --- *)
+
+let test_hotkey_load_and_shape () =
+  let p = Hotkey.with_records Hotkey.base 500 in
+  let db = Gg_storage.Db.create () in
+  Hotkey.load p db;
+  let t = Gg_storage.Db.get_table_exn db Hotkey.table_name in
+  Alcotest.(check int) "rows loaded" 500 (Gg_storage.Table.live_count t);
+  let g = Hotkey.create p ~seed:1 in
+  for _ = 1 to 50 do
+    let txn = Hotkey.next_txn g in
+    Alcotest.(check int) "ops per txn" p.Hotkey.ops_per_txn (Op.n_ops txn);
+    Array.iter
+      (fun o ->
+        Alcotest.(check string) "table" Hotkey.table_name (Op.op_table o);
+        match o with
+        | Op.Add { col; _ } ->
+          Alcotest.(check bool) "counter column" true
+            (col >= 1 && col <= p.Hotkey.counters)
+        | _ -> ())
+      txn.Op.ops
+  done
+
+let test_hotkey_concentration () =
+  (* [hot_pct] of operations must land on the current hot window. *)
+  let p = Hotkey.with_hot (Hotkey.with_records Hotkey.base 10_000) ~keys:16 ~pct:0.6 in
+  let g = Hotkey.create p ~seed:7 in
+  let counts = Hashtbl.create 64 in
+  let total = ref 0 in
+  (* Stay inside one rotation window so the hot set is fixed. *)
+  for _ = 1 to p.Hotkey.rotate_every - 1 do
+    Array.iter
+      (fun o ->
+        incr total;
+        let k = Op.op_key_str o in
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      (Hotkey.next_txn g).Op.ops
+  done;
+  let top16 =
+    Hashtbl.fold (fun _ n acc -> n :: acc) counts []
+    |> List.sort (fun a b -> compare b a)
+    |> List.filteri (fun i _ -> i < 16)
+    |> List.fold_left ( + ) 0
+  in
+  let frac = float_of_int top16 /. float_of_int !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-16 keys absorb %.2f" frac)
+    true (frac > 0.5)
+
+let test_hotkey_rotation_and_determinism () =
+  let p = Hotkey.with_records Hotkey.base 10_000 in
+  let keys_of g n =
+    List.concat_map
+      (fun _ -> Array.to_list (Hotkey.next_txn g).Op.ops |> List.map Op.op_key_str)
+      (List.init n (fun i -> i))
+  in
+  let a = Hotkey.create p ~seed:3 and b = Hotkey.create p ~seed:3 in
+  let ka = keys_of a 50 and kb = keys_of b 50 in
+  Alcotest.(check bool) "same stream, same seed" true (ka = kb);
+  (* Across a rotation boundary the hot window must actually move. *)
+  let g = Hotkey.create p ~seed:4 in
+  let w1 = keys_of g p.Hotkey.rotate_every in
+  let w2 = keys_of g p.Hotkey.rotate_every in
+  Alcotest.(check bool) "hot window rotates" true
+    (List.exists (fun k -> not (List.mem k w1)) w2)
+
+(* --- Social --- *)
+
+let test_social_post_shape () =
+  let p = Social.with_users Social.base 5_000 in
+  let db = Gg_storage.Db.create () in
+  Social.load p db;
+  Alcotest.(check int) "rows loaded" 5_000
+    (Gg_storage.Table.live_count (Gg_storage.Db.get_table_exn db Social.table_name));
+  let g = Social.create p ~seed:1 in
+  let saw_post = ref false in
+  for _ = 1 to 200 do
+    let t = Social.next_txn g in
+    if t.Op.label = "SOCIAL-post" then begin
+      saw_post := true;
+      (* author read + post bump + >= 1 follower feed bump *)
+      Alcotest.(check bool) "post fans out" true (Op.n_writes t >= 2);
+      Array.iter
+        (fun o ->
+          match o with
+          | Op.Add { col; _ } ->
+            Alcotest.(check bool) "bump col" true
+              (col = Social.feed_col || col = Social.post_col)
+          | _ -> ())
+        t.Op.ops
+    end
+  done;
+  Alcotest.(check bool) "posts generated" true !saw_post
+
+let test_social_follower_graph_deterministic () =
+  (* The implicit graph is a pure hash: two generators on different
+     seeds still fan a given author out to the same follower rows. *)
+  let p = Social.with_users Social.base 5_000 in
+  let followers_of g =
+    let tbl = Hashtbl.create 64 in
+    for _ = 1 to 400 do
+      let t = Social.next_txn g in
+      if t.Op.label = "SOCIAL-post" then begin
+        (* first op reads the author *)
+        let author = Op.op_key_str t.Op.ops.(0) in
+        (* Slot order: follower j of an author is a pure hash, so two
+           posts by the same author agree on every shared slot. *)
+        let feeds =
+          Array.to_list t.Op.ops
+          |> List.filter_map (function
+               | Op.Add { col; key; _ } when col = Social.feed_col ->
+                 Some (Value.encode_key key)
+               | _ -> None)
+        in
+        match Hashtbl.find_opt tbl author with
+        | Some prev ->
+          (* same author, same fanout draw => same follower prefix *)
+          let common = min (List.length prev) (List.length feeds) in
+          if common > 0 then
+            Alcotest.(check bool) "follower slots stable" true
+              (List.filteri (fun i _ -> i < common) prev
+              = List.filteri (fun i _ -> i < common) feeds)
+        | None -> Hashtbl.replace tbl author feeds
+      end
+    done;
+    tbl
+  in
+  ignore (followers_of (Social.create p ~seed:21));
+  ignore (followers_of (Social.create p ~seed:22))
+
+let test_social_determinism () =
+  let p = Social.with_users Social.base 5_000 in
+  let a = Social.create p ~seed:9 and b = Social.create p ~seed:9 in
+  for _ = 1 to 50 do
+    let ta = Social.next_txn a and tb = Social.next_txn b in
+    Alcotest.(check string) "label" ta.Op.label tb.Op.label;
+    Alcotest.(check bool) "same keys" true
+      (Array.for_all2
+         (fun x y -> Op.op_key_str x = Op.op_key_str y)
+         ta.Op.ops tb.Op.ops)
+  done
+
+(* --- SQL generators --- *)
+
+let test_scan_stmt_shapes () =
+  let p = Sqlgen.Scan.with_records Sqlgen.Scan.base 1_000 in
+  let db = Gg_storage.Db.create () in
+  Sqlgen.Scan.load p db;
+  Alcotest.(check int) "rows loaded" 1_000
+    (Gg_storage.Table.live_count
+       (Gg_storage.Db.get_table_exn db Sqlgen.Scan.table_name));
+  let g = Sqlgen.Scan.create p ~seed:1 in
+  let labels = Hashtbl.create 4 in
+  for _ = 1 to 200 do
+    let label, stmts = Sqlgen.Scan.next_stmts g in
+    Hashtbl.replace labels label ();
+    Alcotest.(check bool) "has statements" true (stmts <> []);
+    List.iter
+      (fun (sql, params) ->
+        Alcotest.(check bool) "targets events" true
+          (let open String in
+           length sql > 0 && Array.length params > 0);
+        ignore sql)
+      stmts
+  done;
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " generated") true (Hashtbl.mem labels l))
+    [ "SCAN-range"; "SCAN-agg"; "SCAN-upd" ]
+
+let test_secidx_stmt_shapes () =
+  let p = Sqlgen.Secidx.with_records Sqlgen.Secidx.base 1_000 in
+  let db = Gg_storage.Db.create () in
+  Sqlgen.Secidx.load p db;
+  let t = Gg_storage.Db.get_table_exn db Sqlgen.Secidx.table_name in
+  Alcotest.(check int) "rows loaded" 1_000 (Gg_storage.Table.live_count t);
+  let g = Sqlgen.Secidx.create p ~seed:1 in
+  let labels = Hashtbl.create 4 in
+  for _ = 1 to 200 do
+    let label, stmts = Sqlgen.Secidx.next_stmts g in
+    Hashtbl.replace labels label ();
+    Alcotest.(check bool) "has statements" true (stmts <> [])
+  done;
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " generated") true (Hashtbl.mem labels l))
+    [ "SECIDX-read"; "SECIDX-flip"; "SECIDX-upd" ]
+
+let test_sqlgen_determinism () =
+  let p = Sqlgen.Scan.with_records Sqlgen.Scan.base 1_000 in
+  let a = Sqlgen.Scan.create p ~seed:5 and b = Sqlgen.Scan.create p ~seed:5 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "same stream" true
+      (Sqlgen.Scan.next_stmts a = Sqlgen.Scan.next_stmts b)
+  done
+
+(* --- Arrival curves --- *)
+
+let test_arrival_shapes () =
+  let c = Arrival.make ~shape:Arrival.Constant ~peak_tps:100.0 in
+  Alcotest.(check (float 1e-9)) "constant" 100.0 (Arrival.rate_at c ~at_us:123_456);
+  let d =
+    Arrival.make
+      ~shape:(Arrival.Diurnal { period_ms = 1_000; trough = 0.2 })
+      ~peak_tps:100.0
+  in
+  Alcotest.(check (float 1e-6)) "diurnal trough at t=0" 20.0
+    (Arrival.rate_at d ~at_us:0);
+  Alcotest.(check (float 1e-6)) "diurnal peak mid-period" 100.0
+    (Arrival.rate_at d ~at_us:500_000);
+  let f =
+    Arrival.make
+      ~shape:(Arrival.Flash { at_ms = 100; dur_ms = 50; mult = 4.0 })
+      ~peak_tps:100.0
+  in
+  Alcotest.(check (float 1e-6)) "flash baseline" 25.0 (Arrival.rate_at f ~at_us:0);
+  Alcotest.(check (float 1e-6)) "flash spike" 100.0
+    (Arrival.rate_at f ~at_us:120_000);
+  Alcotest.(check (float 1e-6)) "flash over" 25.0
+    (Arrival.rate_at f ~at_us:200_000)
+
+let test_arrival_string_roundtrip () =
+  List.iter
+    (fun a ->
+      match Arrival.of_string (Arrival.to_string a) with
+      | Error e -> Alcotest.fail e
+      | Ok a' ->
+        Alcotest.(check string) "roundtrip" (Arrival.to_string a)
+          (Arrival.to_string a');
+        Alcotest.(check (float 1e-6)) "same rate" (Arrival.rate_at a ~at_us:777_000)
+          (Arrival.rate_at a' ~at_us:777_000))
+    [
+      Arrival.make ~shape:Arrival.Constant ~peak_tps:250.0;
+      Arrival.make
+        ~shape:(Arrival.Diurnal { period_ms = 60_000; trough = 0.25 })
+        ~peak_tps:400.0;
+      Arrival.make
+        ~shape:(Arrival.Flash { at_ms = 500; dur_ms = 200; mult = 5.0 })
+        ~peak_tps:1_000.0;
+    ];
+  (match Arrival.of_string "nonsense" with
+  | Ok _ -> Alcotest.fail "nonsense accepted"
+  | Error _ -> ());
+  match Arrival.of_string "diurnal:0:0.5@100" with
+  | Ok _ -> Alcotest.fail "zero period accepted"
+  | Error _ -> ()
+
+let test_arrival_implied_users () =
+  (* Little's law: 500 tps with 10 s think time stands for 5000 users. *)
+  let a = Arrival.make ~shape:Arrival.Constant ~peak_tps:500.0 in
+  Alcotest.(check int) "5000 users" 5_000 (Arrival.implied_users a ~think_ms:10_000);
+  let big = Arrival.make ~shape:Arrival.Constant ~peak_tps:200_000.0 in
+  Alcotest.(check int) "12M users" 12_000_000
+    (Arrival.implied_users big ~think_ms:60_000)
+
 let () =
   Alcotest.run "gg_workload"
     [
@@ -257,5 +510,31 @@ let () =
           Alcotest.test_case "order-status read-only" `Quick test_tpcc_order_status_read_only;
           Alcotest.test_case "delivery consumes orders" `Quick test_tpcc_delivery_consumes_orders;
           Alcotest.test_case "stock-level read-only" `Quick test_tpcc_stock_level_read_only;
+        ] );
+      ( "hotkey",
+        [
+          Alcotest.test_case "load + shape" `Quick test_hotkey_load_and_shape;
+          Alcotest.test_case "hot concentration" `Quick test_hotkey_concentration;
+          Alcotest.test_case "rotation + determinism" `Quick
+            test_hotkey_rotation_and_determinism;
+        ] );
+      ( "social",
+        [
+          Alcotest.test_case "post shape" `Quick test_social_post_shape;
+          Alcotest.test_case "follower graph deterministic" `Quick
+            test_social_follower_graph_deterministic;
+          Alcotest.test_case "determinism" `Quick test_social_determinism;
+        ] );
+      ( "sqlgen",
+        [
+          Alcotest.test_case "scan statements" `Quick test_scan_stmt_shapes;
+          Alcotest.test_case "secidx statements" `Quick test_secidx_stmt_shapes;
+          Alcotest.test_case "determinism" `Quick test_sqlgen_determinism;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "shapes" `Quick test_arrival_shapes;
+          Alcotest.test_case "string roundtrip" `Quick test_arrival_string_roundtrip;
+          Alcotest.test_case "implied users" `Quick test_arrival_implied_users;
         ] );
     ]
