@@ -61,6 +61,11 @@ ci: fmt
 # per-field lattice pinned on, through all five oracles.
 	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --merge-level column --jobs $(JOBS) > /tmp/gg_ci_ml.out; \
 	tail -1 /tmp/gg_ci_ml.out
+# Clock-assisted fast path (DESIGN.md §14): the same drawn seeds with
+# speculative sealing and skew bursts pinned on — externalization still
+# gates on the confirm point, so all five oracles apply unchanged.
+	dune exec bin/geogauss_cli.exe -- check --seeds 5 --fast --engine eocc --clock-skew 10 --jobs $(JOBS) > /tmp/gg_ci_fp.out; \
+	tail -1 /tmp/gg_ci_fp.out
 	dune exec bin/geogauss_cli.exe -- check --canary
 # Perf-regression accounting: fresh fast wallclock run vs the committed
 # baseline. Fast mode uses shrunk populations, so rates differ
@@ -85,6 +90,15 @@ ci: fmt
 	mv BENCH_skew.json /tmp/gg_skew_fast.json; \
 	cp /tmp/gg_skew_base.json BENCH_skew.json; \
 	dune exec bin/geogauss_cli.exe -- bench diff /tmp/gg_skew_base.json /tmp/gg_skew_fast.json --warn-only --threshold 0.5
+# And for the fast-path sweep: fresh fast fig_fastpath vs the committed
+# baseline (p50/p95 and mispredict-rate columns gate lower-is-better;
+# fast mode only runs the 0/10/50 ms bounds, the rest report missing,
+# which warn-only tolerates).
+	cp BENCH_fastpath.json /tmp/gg_fp_base.json; \
+	dune exec bench/main.exe -- fig_fastpath --fast --jobs $(JOBS) > /dev/null; \
+	mv BENCH_fastpath.json /tmp/gg_fp_fast.json; \
+	cp /tmp/gg_fp_base.json BENCH_fastpath.json; \
+	dune exec bin/geogauss_cli.exe -- bench diff /tmp/gg_fp_base.json /tmp/gg_fp_fast.json --warn-only --threshold 0.5
 
 bench:
 	dune exec bench/main.exe -- --jobs $(JOBS)

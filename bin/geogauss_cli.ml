@@ -68,6 +68,38 @@ let merge_level_arg =
            row all commit; DESIGN.md \xC2\xA713). Ignored under \
            partitioning or geog-a, which re-apply whole rows.")
 
+(* Engine names resolve through the one canonical registry
+   (Gg_engines.Registry): core names yield a Params transform onto the
+   full cluster; baseline timing models are rejected here — they only
+   run inside the bench figures. Unknown names fail at parse time with
+   the full known list. *)
+let core_engine_conv =
+  let parse s =
+    match Gg_engines.Registry.find s with
+    | Gg_engines.Registry.Core f -> Ok (s, f)
+    | Gg_engines.Registry.Baseline _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "engine %s is a baseline timing model; it runs via `geogauss \
+               bench' figures, not ad-hoc runs"
+              s))
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
+
+let clock_skew_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clock-skew" ] ~docv:"MS"
+        ~doc:
+          "Bounded clock-skew budget in milliseconds for the eocc fast \
+           path (Params.clock_skew_us): each node's simulated clock \
+           drifts within \xC2\xB1$(docv) of true time. Only meaningful \
+           with --engine eocc; ignored by engines that never read the \
+           clock.")
+
 (* --- `bench` subcommand: run paper experiments --- *)
 
 let bench_names =
@@ -75,8 +107,8 @@ let bench_names =
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiments to run (fig5 table2 fig6 fig7 table3 fig8 fig9 \
-              fig10 fig11 fig12 fig13 ablations fig_scale fig_skew). \
-              Default: all.")
+              fig10 fig11 fig12 fig13 ablations fig_scale fig_skew \
+              fig_fastpath). Default: all.")
 
 let bench_run_term =
   let run fast jobs names =
@@ -145,10 +177,11 @@ let bench_diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:
-         "Compare two bench JSON reports (wallclock, merge, parallel or \
-          scale suite) and fail on throughput drops beyond the noise \
-          threshold (the scale suite's WAN-per-txn column gates \
-          lower-is-better).")
+         "Compare two bench JSON reports (wallclock, merge, parallel, \
+          scale, skew or fastpath suite) and fail on throughput drops \
+          beyond the noise threshold (the scale suite's WAN-per-txn, the \
+          skew suite's abort-rate and the fastpath suite's p50/p95/\
+          mispredict-rate columns gate lower-is-better).")
     Term.(ret (const run $ old_path $ new_path $ threshold $ warn_only))
 
 let bench_cmd =
@@ -199,15 +232,34 @@ let run_cmd =
       & info [ "isolation" ] ~doc:"Isolation level: rc, rr, si or ssi (extension).")
   in
   let variant =
+    (* derived from the registry, not a second name table: the core
+       entries whose transform is a pure variant change (the fast path
+       has its own --engine spelling) *)
+    let alts =
+      List.filter_map
+        (fun name ->
+          match Gg_engines.Registry.find name with
+          | Gg_engines.Registry.Core f ->
+            let p = f Geogauss.Params.default in
+            if p.Geogauss.Params.fastpath then None
+            else Some (name, p.Geogauss.Params.variant)
+          | Gg_engines.Registry.Baseline _ -> None)
+        Gg_engines.Registry.names
+    in
     Arg.(
       value
-      & opt
-          (enum
-             [ ("geogauss", Geogauss.Params.Optimistic);
-               ("geog-s", Geogauss.Params.Sync_exec);
-               ("geog-a", Geogauss.Params.Async_merge) ])
-          Geogauss.Params.Optimistic
+      & opt (enum alts) Geogauss.Params.Optimistic
       & info [ "variant" ] ~doc:"Execution variant: geogauss, geog-s or geog-a.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (some core_engine_conv) None
+      & info [ "engine" ]
+          ~doc:
+            "Engine by registry name (geogauss, geog-s, geog-a, eocc). \
+             Overrides --variant; eocc enables the clock-assisted \
+             speculative fast path (pair with --clock-skew).")
   in
   let ft =
     Arg.(
@@ -264,8 +316,9 @@ let run_cmd =
              caps the in-flight pool and a 4x FIFO absorbs bursts (beyond \
              that, arrivals shed). Without it, the paper's closed loop.")
   in
-  let run workload nodes world epoch_ms isolation variant ft seconds connections
-      theta records seed trace arrival merge_jobs partitioning merge_level =
+  let run workload nodes world epoch_ms isolation variant engine clock_skew ft
+      seconds connections theta records seed trace arrival merge_jobs
+      partitioning merge_level =
     let topology =
       if world then Gg_sim.Topology.worldwide nodes else Gg_sim.Topology.china nodes
     in
@@ -281,6 +334,23 @@ let run_cmd =
         partitioning;
         merge_level;
       }
+    in
+    (* --engine applies the registry transform last, so it wins over
+       --variant; --clock-skew then sets the skew budget (the clock is
+       only instantiated with a nonzero bound under the fast path). *)
+    let params =
+      match engine with None -> params | Some (_, f) -> f params
+    in
+    let params =
+      match clock_skew with
+      | None -> params
+      | Some ms -> Geogauss.Params.with_clock_skew_us params (ms * 1_000)
+    in
+    let variant = params.Geogauss.Params.variant in
+    let label =
+      match engine with
+      | Some (name, _) -> name
+      | None -> Geogauss.Params.variant_to_string variant
     in
     let gens, load =
       match workload with
@@ -340,15 +410,13 @@ let run_cmd =
       Gg_harness.Driver.run_geogauss ~params ~connections ?arrival ?req_gen
         ?trace_file:trace ~topology ~load ~gen ~warmup_ms:1_000
         ~measure_ms:(seconds * 1_000)
-        ~label:(Geogauss.Params.variant_to_string variant)
-        ()
+        ~label ()
     in
     let table =
       Gg_util.Tablefmt.create
         ~title:
           (Printf.sprintf "%s on %s (%d replicas, epoch %d ms, %s, ft=%s%s)"
-             (Geogauss.Params.variant_to_string variant)
-             topology.Gg_sim.Topology.name nodes epoch_ms
+             label topology.Gg_sim.Topology.name nodes epoch_ms
              (Geogauss.Params.isolation_to_string isolation)
              (Geogauss.Params.ft_to_string ft)
              (match partitioning with
@@ -377,8 +445,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an ad-hoc GeoGauss cluster simulation.")
     Term.(
       const run $ workload $ nodes $ world $ epoch_ms $ isolation $ variant
-      $ ft $ seconds $ connections $ theta $ records $ seed $ trace $ arrival
-      $ merge_jobs_arg $ partitioning_arg $ merge_level_arg)
+      $ engine $ clock_skew_arg $ ft $ seconds $ connections $ theta $ records
+      $ seed $ trace $ arrival $ merge_jobs_arg $ partitioning_arg
+      $ merge_level_arg)
 
 (* --- `check` subcommand: seeded chaos checking --- *)
 
@@ -396,16 +465,12 @@ let check_cmd =
   let engine =
     Arg.(
       value
-      & opt
-          (some
-             (enum
-                [ ("geogauss", Geogauss.Params.Optimistic);
-                  ("geog-s", Geogauss.Params.Sync_exec);
-                  ("geog-a", Geogauss.Params.Async_merge) ]))
-          None
+      & opt (some core_engine_conv) None
       & info [ "engine" ]
-          ~doc:"Pin the engine variant (geogauss, geog-s, geog-a); default \
-                draws it per seed.")
+          ~doc:"Pin the engine by registry name (geogauss, geog-s, geog-a, \
+                eocc); default draws the variant per seed. eocc pins the \
+                clock-assisted fast path with the --clock-skew budget and \
+                skew-burst fault schedules.")
   in
   let ft =
     Arg.(
@@ -445,9 +510,21 @@ let check_cmd =
              $(docv); decode failures must be recovered by the stall-repair \
              path under the same oracles.")
   in
-  let run seeds base engine ft fast jobs trace canary merge_jobs partitioning
-      corrupt merge_level =
+  let run seeds base engine clock_skew ft fast jobs trace canary merge_jobs
+      partitioning corrupt merge_level =
     let log = print_endline in
+    (* Resolve the registry name through its own transform: the pinned
+       variant and the fastpath flag both come from what the transform
+       does to default params, so check stays in lockstep with the
+       registry's one canonical list. *)
+    let pinned =
+      Option.map (fun (_, f) -> f Geogauss.Params.default) engine
+    in
+    let variant = Option.map (fun p -> p.Geogauss.Params.variant) pinned in
+    let fastpath =
+      match pinned with Some p -> p.Geogauss.Params.fastpath | None -> false
+    in
+    let clock_skew_ms = Option.value ~default:5 clock_skew in
     if canary then begin
       let s =
         {
@@ -472,8 +549,9 @@ let check_cmd =
     else begin
       let report =
         Gg_par.Pool.with_pool ~jobs @@ fun pool ->
-        Gg_check.Checker.check ~log ?variant:engine ?ft ~fast ~base ~pool
-          ~merge_jobs ~partitioning ~corrupt_frac:corrupt ~merge_level ~seeds ()
+        Gg_check.Checker.check ~log ?variant ?ft ~fast ~base ~pool ~merge_jobs
+          ~partitioning ~corrupt_frac:corrupt ~merge_level ~fastpath
+          ~clock_skew_ms ~seeds ()
       in
       Printf.printf "%d seeds, %d commits, %d violation(s)\n"
         report.Gg_check.Checker.seeds_run
@@ -501,9 +579,9 @@ let check_cmd =
           any failure to a one-line reproducer.")
     Term.(
       ret
-        (const run $ seeds $ base $ engine $ ft $ fast_arg $ jobs_arg $ trace
-       $ canary $ merge_jobs_arg $ partitioning_arg $ corrupt
-       $ merge_level_arg))
+        (const run $ seeds $ base $ engine $ clock_skew_arg $ ft $ fast_arg
+       $ jobs_arg $ trace $ canary $ merge_jobs_arg $ partitioning_arg
+       $ corrupt $ merge_level_arg))
 
 (* --- `trace` subcommand: analyze an exported JSONL trace --- *)
 
@@ -569,8 +647,10 @@ let trace_critical_path_cmd =
        ~doc:
          "Reconstruct each committed transaction's cross-node causal chain \
           and attribute its end-to-end latency to Algorithm 1 phases \
-          (execute, seal wait, WAN hop, merge wait, validate, commit). The \
-          six phases sum exactly to the commit latency.")
+          (execute, seal wait, WAN hop, merge wait, spec wait, confirm \
+          wait, validate, commit — the spec/confirm pair replaces \
+          wan/merge-wait on confirmed fast-path epochs). The eight phases \
+          sum exactly to the commit latency.")
     Term.(ret (const run $ trace_file_arg $ trace_json_arg))
 
 let trace_wan_cmd =

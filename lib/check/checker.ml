@@ -106,6 +106,8 @@ let run ?trace (s : Scenario.t) =
   Fault.install (Cluster.net cluster)
     ~on_crash:(fun n -> Cluster.crash cluster n)
     ~on_recover:(fun n -> Cluster.recover cluster n)
+    ~on_skew:(fun node ~delta_us ->
+      Gg_sim.Clock.inject_step (Cluster.clock cluster) ~node ~delta_us)
     s.faults;
   (match s.corruption with
   | Some (node, at_ms) -> inject_corruption cluster ~node ~at_ms
@@ -215,7 +217,8 @@ let shrink_and_report ?log s v =
 let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0)
     ?(pool = Gg_par.Pool.seq) ?(merge_jobs = 1)
     ?(partitioning = Params.P_none) ?(corrupt_frac = 0.0)
-    ?(merge_level = Params.Row) ~seeds () =
+    ?(merge_level = Params.Row) ?(fastpath = false) ?(clock_skew_ms = 5)
+    ~seeds () =
   let emit m = match log with Some f -> f m | None -> () in
   let failures = ref [] in
   let total_commits = ref 0 in
@@ -230,6 +233,9 @@ let check ?log ?variant ?isolation ?ft ?(fast = false) ?(base = 0)
         in
         let s = Scenario.with_partitioning s partitioning in
         let s = Scenario.with_merge_level s merge_level in
+        let s =
+          if not fastpath then s else Scenario.with_fastpath s ~clock_skew_ms
+        in
         (* A corrupted frame is a dropped frame; GeoG-A's gossip makes
            no promises under drops (the generator zeroes [loss] for it
            for the same reason), so the corruption pin skips it. *)

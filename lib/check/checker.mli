@@ -53,6 +53,8 @@ val check :
   ?partitioning:Geogauss.Params.partitioning ->
   ?corrupt_frac:float ->
   ?merge_level:Geogauss.Params.merge_level ->
+  ?fastpath:bool ->
+  ?clock_skew_ms:int ->
   seeds:int ->
   unit ->
   report
@@ -84,4 +86,12 @@ val check :
     [?merge_level] pins the epoch merge's conflict granularity (default
     [Row]), via {!Scenario.with_merge_level} — GeoG-A is coerced to the
     full engine. A [Column] sweep runs the same drawn scenarios through
-    all five oracles with the column-level lattice active. *)
+    all five oracles with the column-level lattice active.
+
+    [?fastpath] pins the clock-assisted speculative fast path (the
+    [eocc] engine) on every scenario, via {!Scenario.with_fastpath} with
+    the [?clock_skew_ms] budget (default 5 ms) — the variant is coerced
+    to the full engine and a deterministic skew-burst schedule is
+    appended. Externalization still gates on the confirm point, so the
+    same five oracles apply at full strength: speculation may only waste
+    simulated work, never change what clients observe. *)

@@ -49,6 +49,13 @@ type t = {
   arrival : Gg_workload.Arrival.t option;
       (* open-loop arrival curve; None = the closed loop. Drawn LAST so
          the coin-flips cannot perturb any knob above. *)
+  fastpath : bool;
+      (* clock-assisted speculative sealing (the eocc engine). Like
+         merge_jobs, never drawn from the seed — pinned via
+         with_fastpath, so existing reproducer lines replay unchanged. *)
+  clock_skew_ms : int;
+      (* bounded clock-skew budget for fastpath runs. Pinned alongside
+         fastpath; 0 keeps perfectly synchronized clocks. *)
 }
 
 (* Crash/recover timing must respect the protocol's own clocks: the
@@ -214,6 +221,8 @@ let generate ?variant ?isolation ?ft ~fast seed =
       corrupt_frac = 0.0;
       merge_level = Params.Row;
       arrival = None;
+      fastpath = false;
+      clock_skew_ms = 0;
     }
   | Params.Optimistic | Params.Sync_exec ->
     let faults = gen_faults rng ~nodes ~duration_ms in
@@ -238,6 +247,8 @@ let generate ?variant ?isolation ?ft ~fast seed =
       corrupt_frac = 0.0;
       merge_level = Params.Row;
       arrival = None;
+      fastpath = false;
+      clock_skew_ms = 0;
     }
 
 (* Pin partial replication onto a drawn scenario. Two coercions keep the
@@ -285,6 +296,41 @@ let with_merge_level s level =
         | v -> v);
     }
 
+(* Pin the clock-assisted fast path (engine=eocc) onto a drawn scenario.
+   Like the other pins this never touches the seed's own draw stream: the
+   skew-burst schedule comes from a fresh Rng salted differently from
+   {!generate}'s, so existing reproducer lines replay byte-identically.
+   The fast path refines the Optimistic engine, so GeoG-S / GeoG-A draws
+   are coerced (same discipline as {!with_partitioning}). Bursts step one
+   node's clock by up to the skew budget mid-run; {!Gg_sim.Clock} clamps
+   the result to the bound, so the bounded-skew invariant survives the
+   fault and the watermark fallback absorbs the surprise. *)
+let with_fastpath s ~clock_skew_ms =
+  let clock_skew_ms = max 0 clock_skew_ms in
+  let rng = Rng.create (0x5c3a + (s.seed * 0x9e3779b9)) in
+  let skew_faults =
+    if clock_skew_ms = 0 then []
+    else
+      List.init (Rng.int rng 3) (fun _ ->
+          let at_ms = Rng.int_in rng 200 (max 300 (s.duration_ms - 200)) in
+          let node = Rng.int rng s.nodes in
+          let magnitude_ms = Rng.int_in rng 1 (max 2 clock_skew_ms) in
+          let delta_us =
+            magnitude_ms * 1_000 * (if Rng.chance rng 0.5 then 1 else -1)
+          in
+          { Fault.at_ms; action = Fault.Skew_step { node; delta_us } })
+  in
+  {
+    s with
+    fastpath = true;
+    clock_skew_ms;
+    variant = Params.Optimistic;
+    faults =
+      List.stable_sort
+        (fun a b -> compare a.Fault.at_ms b.Fault.at_ms)
+        (s.faults @ skew_faults);
+  }
+
 let params s =
   {
     Params.default with
@@ -303,6 +349,8 @@ let params s =
     merge_par_threshold =
       (if s.merge_jobs > 1 then 0 else Params.default.Params.merge_par_threshold);
     merge_level = s.merge_level;
+    fastpath = s.fastpath;
+    clock_skew_us = s.clock_skew_ms * 1_000;
   }
 
 let to_string s =
@@ -331,6 +379,8 @@ let to_string s =
   ^ (match s.merge_level with
     | Params.Row -> ""
     | Params.Column -> " merge_level=column")
+  ^ (if not s.fastpath then ""
+     else Printf.sprintf " fastpath=eocc clock_skew_ms=%d" s.clock_skew_ms)
   ^ (match s.arrival with
     | None -> ""
     | Some a -> Printf.sprintf " arrival=%s" (Arrival.to_string a))

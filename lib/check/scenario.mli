@@ -51,6 +51,14 @@ type t = {
       (** open-loop arrival curve; [None] = the paper's closed loop.
           Drawn {e last}, so the extra coin-flips cannot shift any
           other knob. *)
+  fastpath : bool;
+      (** clock-assisted speculative sealing (the [eocc] engine,
+          DESIGN.md §14). Like [merge_jobs], never drawn from the seed —
+          pinned through {!with_fastpath}, so existing reproducer lines
+          replay unchanged. *)
+  clock_skew_ms : int;
+      (** bounded clock-skew budget for fastpath runs ([0] = perfectly
+          synchronized clocks). Pinned alongside [fastpath]. *)
 }
 
 val generate :
@@ -72,6 +80,15 @@ val with_partitioning : t -> Geogauss.Params.partitioning -> t
     installs whole-db snapshots, which partial replication invalidates —
     and coerces GeoG-A to the full engine (gossip has no epoch merge to
     scope). All seed-drawn knobs are otherwise untouched. *)
+
+val with_fastpath : t -> clock_skew_ms:int -> t
+(** Pin the clock-assisted fast path ([eocc]) onto a drawn scenario,
+    with the given skew budget. Coerces the variant to the full engine
+    (the fast path refines Optimistic) and appends a deterministic
+    skew-burst fault schedule — {!Gg_sim.Fault.Skew_step} events drawn
+    from a fresh Rng salted independently of {!generate}'s stream, so
+    the seed's own draws are untouched. At [clock_skew_ms = 0] no
+    bursts are added (there is no skew budget to step within). *)
 
 val with_merge_level : t -> Geogauss.Params.merge_level -> t
 (** Pin the epoch merge's conflict granularity (identity for [Row]).

@@ -232,6 +232,11 @@ let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
     Partitioning.make ~topology ~epoch_us:params.Params.epoch_us
       params.Params.partitioning
   in
+  let clock =
+    Gg_sim.Clock.create ~seed:params.Params.seed ~topology
+      ~bound_us:(if params.Params.fastpath then params.Params.clock_skew_us else 0)
+      ~sync_period_us:params.Params.clock_sync_period_us ()
+  in
   let env =
     {
       Node.sim;
@@ -239,6 +244,7 @@ let create ?(params = Params.default) ?(jitter_frac = 0.05) ?(loss = 0.0)
       params;
       part;
       backup;
+      clock;
       members_at = (fun _ -> List.init n (fun i -> i));
       deliver = (fun ~dst:_ _ -> ());
       on_snapshot = (fun ~node:_ ~lsn:_ -> ());
@@ -301,6 +307,7 @@ let sim t = t.sim
 let obs t = Sim.obs t.sim
 let net t = t.net
 let params t = t.params
+let clock t = t.env.Node.clock
 let partitioning t = t.env.Node.part
 let n_nodes t = Array.length t.nodes
 let node t i = t.nodes.(i)

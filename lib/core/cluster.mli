@@ -26,6 +26,11 @@ val obs : t -> Gg_obs.Obs.t
 val net : t -> Gg_sim.Net.t
 val params : t -> Params.t
 
+val clock : t -> Gg_sim.Clock.t
+(** The deployment's bounded-skew clock model (DESIGN.md §14). Created
+    with [bound_us = 0] (perfect clocks) unless the fast path is on;
+    fault schedules inject skew bursts through it. *)
+
 val partitioning : t -> Partitioning.t
 (** The deployment's replica-group map (from
     [params.Params.partitioning]); partition-aware oracles use it to

@@ -1,0 +1,24 @@
+type t = Det_base.t
+
+let name = "EOCC"
+
+(* Lead time of the speculative seal: the merge-and-validate tail the
+   full-fidelity engine overlaps with the all-arrived wait (its auto
+   margin is log fsync + merge base + slack, see Params.fastpath_margin_us
+   and DESIGN.md §14). *)
+let spec_lead_us = 3_500
+
+let strategy =
+  {
+    Det_base.strat_name = "eocc";
+    per_txn_sched_us = 5;  (* timestamp-ordered schedule, no lock chains *)
+    preprocess_us = 20;  (* clock stamp + watermark bookkeeping *)
+    lock_critical_path = false;
+    reservation_aborts = true;  (* OCC validation aborts on conflicts *)
+    extra_round_us = 0;
+    ft_raft = false;
+    spec_margin_us = Some spec_lead_us;
+  }
+
+let create net cfg = Det_base.create net cfg strategy
+let submit = Det_base.submit

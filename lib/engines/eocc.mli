@@ -1,0 +1,15 @@
+(** Epoch-based OCC with a clock-assisted fast path (the [eocc]
+    baseline row of fig5/fig8): deterministic epoch rounds whose seal is
+    {e speculative} — bounded-skew clocks plus predicted-arrival
+    watermarks let a node start the round's validation schedule before
+    the last batch lands, overlapping up to {!Det_base.strategy}
+    [spec_margin_us] of the critical path with the arrival wait. Client
+    answers still gate on the confirm point (every batch in hand).
+
+    This is the timing-and-conflict baseline model; the full-fidelity
+    speculative engine — real write sets, misprediction fallback,
+    oracle coverage — is the GeoGauss cluster run with
+    [Params.fastpath] (registered under the same ["eocc"] name in
+    {!Registry}). *)
+
+include Engine.S

@@ -179,6 +179,43 @@ let diff_skew ~threshold old_j new_j =
         ])
     olds
 
+(* Fastpath suite (BENCH_fastpath.json): per-(engine, clock_skew_ms)
+   points of the clock-assisted speculative-sealing sweep. Latency
+   percentiles (p50_ms, p95_ms) and the misprediction rate are all
+   LOWER-is-better, so their deltas are inverted before judging; tput
+   stays higher-is-better. *)
+let diff_fastpath ~threshold old_j new_j =
+  let olds = obj_list old_j "points" and news = obj_list new_j "points" in
+  let find_point engine skew l =
+    List.find_opt
+      (fun j ->
+        Jsonl.to_str (Jsonl.member "engine" j) = engine
+        && Jsonl.to_int ~default:min_int (Jsonl.member "clock_skew_ms" j)
+           = skew)
+      l
+  in
+  List.concat_map
+    (fun o ->
+      let engine = Jsonl.to_str (Jsonl.member "engine" o) in
+      let skew = Jsonl.to_int ~default:(-1) (Jsonl.member "clock_skew_ms" o) in
+      let key =
+        if skew < 0 then engine else Printf.sprintf "%s/skew=%d" engine skew
+      in
+      match find_point engine skew news with
+      | None -> [ missing_row ~key ]
+      | Some n ->
+        let lower metric =
+          let r = metric_row ~threshold ~key ~metric o n in
+          { r with verdict = judge ~threshold (-.r.delta_frac) }
+        in
+        [
+          metric_row ~threshold ~key ~metric:"tput" o n;
+          lower "p50_ms";
+          lower "p95_ms";
+          lower "mispredict_rate";
+        ])
+    olds
+
 (* Parallel-scaling numbers swing hard with host load; never gate on
    them, only surface the comparison. *)
 let diff_parallel ~threshold old_j new_j =
@@ -217,6 +254,7 @@ let diff ?(threshold = 0.25) ~old_json ~new_json () =
       | "parallel" -> Ok (diff_parallel ~threshold old_j new_j)
       | "scale" -> Ok (diff_scale ~threshold old_j new_j)
       | "skew" -> Ok (diff_skew ~threshold old_j new_j)
+      | "fastpath" -> Ok (diff_fastpath ~threshold old_j new_j)
       | other -> Error (Printf.sprintf "unknown suite %S" other))
 
 let diff_files ?threshold ~old_path ~new_path () =

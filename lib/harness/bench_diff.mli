@@ -1,17 +1,19 @@
 (** Perf-regression accounting between two bench reports.
 
     Compares two [BENCH_*.json] documents of the same suite
-    ([wallclock], [merge], [parallel], [scale] or [skew]) metric by
-    metric. All compared metrics are higher-is-better throughputs,
-    except: the wallclock suite's [tracing_overhead.overhead_frac],
-    which is gated on an absolute 5% ceiling (the ISSUE acceptance
-    bound) rather than a relative delta; and the scale suite's
-    [wan_kb_per_txn] and the skew suite's [abort_rate] /
-    [wan_kb_per_txn], which are lower-is-better and judged on the
-    inverted delta. Wall-clock numbers are noisy, so a drop only counts
-    as a regression beyond [threshold] (fraction of the old value);
-    half the threshold flags a warning. Parallel-scaling speedups are
-    never gated — their regressions are downgraded to warnings. *)
+    ([wallclock], [merge], [parallel], [scale], [skew] or [fastpath])
+    metric by metric. All compared metrics are higher-is-better
+    throughputs, except: the wallclock suite's
+    [tracing_overhead.overhead_frac], which is gated on an absolute 5%
+    ceiling (the ISSUE acceptance bound) rather than a relative delta;
+    the scale suite's [wan_kb_per_txn] and the skew suite's
+    [abort_rate] / [wan_kb_per_txn], which are lower-is-better and
+    judged on the inverted delta; and the fastpath suite's [p50_ms] /
+    [p95_ms] / [mispredict_rate], likewise lower-is-better. Wall-clock
+    numbers are noisy, so a drop only counts as a regression beyond
+    [threshold] (fraction of the old value); half the threshold flags a
+    warning. Parallel-scaling speedups are never gated — their
+    regressions are downgraded to warnings. *)
 
 type verdict = Same | Improve | Warn | Regress
 

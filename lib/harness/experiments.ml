@@ -94,10 +94,18 @@ let fig5_tables pool s =
         let eng (module E : Engine.S) label () =
           engine_run s (module E) ~gen ~connections ~label
         in
+        (* EOCC = the full cluster with the clock-assisted fast path on,
+           at the default 5 ms skew bound (DESIGN.md §14). *)
+        let eocc label () =
+          geo_variant s
+            ~params:(Params.with_fastpath Params.default true)
+            ~variant:Params.Optimistic ~label ~load ~gen ~connections ()
+        in
         let runs =
           [
             geo Params.Optimistic "GeoGauss"; geo Params.Sync_exec "GeoG-S";
-            geo Params.Async_merge "GeoG-A"; eng (module Gg_engines.Crdb) "CRDB";
+            geo Params.Async_merge "GeoG-A"; eocc "EOCC";
+            eng (module Gg_engines.Crdb) "CRDB";
             eng (module Gg_engines.Calvin) "Calvin";
             eng (module Gg_engines.Aria) "Aria";
           ]
@@ -357,20 +365,31 @@ let fig8_tables pool s ~fast =
         s.tpcc_connections );
     ]
   in
+  (* Each epoch length runs twice: plain GeoGauss and the eocc fast
+     path (default 5 ms skew bound) — the speculative seal's win should
+     persist across epoch lengths. *)
   let thunks =
     List.concat_map
       (fun (_, load, gen, connections) ->
-        List.map
-          (fun ms () ->
-            let params = Params.with_epoch_ms Params.default ms in
-            let r, _ =
-              Driver.run_geogauss ~params ~connections
-                ~topology:(Topology.china3 ()) ~load ~gen ~warmup_ms:s.warmup_ms
-                ~measure_ms:s.measure_ms
-                ~label:(string_of_int ms)
-                ()
+        List.concat_map
+          (fun ms ->
+            let run params () =
+              let r, _ =
+                Driver.run_geogauss ~params ~connections
+                  ~topology:(Topology.china3 ()) ~load ~gen
+                  ~warmup_ms:s.warmup_ms ~measure_ms:s.measure_ms
+                  ~label:(string_of_int ms)
+                  ()
+              in
+              r
             in
-            r)
+            [
+              run (Params.with_epoch_ms Params.default ms);
+              run
+                (Params.with_epoch_ms
+                   (Params.with_fastpath Params.default true)
+                   ms);
+            ])
           lengths)
       workloads
   in
@@ -380,16 +399,26 @@ let fig8_tables pool s ~fast =
       let table =
         Tablefmt.create
           ~title:(Printf.sprintf "Fig 8 — Effect of epoch length (%s)" wname)
-          ~headers:[ "epoch (ms)"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)" ]
+          ~headers:
+            [
+              "epoch (ms)"; "tput (txn/s)"; "mean lat (ms)"; "p99 (ms)";
+              "eocc tput"; "eocc mean lat"; "eocc p99";
+            ]
       in
       List.iter
         (fun ms ->
-          let r = List.hd !results in
-          results := List.tl !results;
+          let r, e =
+            match !results with
+            | r :: e :: rest ->
+              results := rest;
+              (r, e)
+            | _ -> assert false
+          in
           Tablefmt.add_row table
             [
               string_of_int ms; f ~dec:0 r.Result.tput; f r.Result.mean_ms;
-              f r.Result.p99_ms;
+              f r.Result.p99_ms; f ~dec:0 e.Result.tput; f e.Result.mean_ms;
+              f e.Result.p99_ms;
             ])
         lengths;
       Tablefmt.render table)
@@ -967,6 +996,140 @@ let fig_skew_tables pool ~fast =
     workloads;
   [ Tablefmt.render table ]
 
+(* --- Fig fastpath: clock-assisted speculative sealing --- *)
+
+(* The clock-assisted fast path (DESIGN.md §14) claims: at realistic
+   clock-skew bounds (<= 10 ms) the eocc engine's p50 commit latency
+   beats plain GeoGauss on the fig5 topology — the speculative merge +
+   WAL prelog overlap the last EOF's flight — and it degrades honestly
+   as the bound grows (the spec/confirm machinery never changes what
+   clients observe, only when work is charged). The sweep runs YCSB-MC
+   on china3: one skew-independent GeoGauss baseline, eocc at each skew
+   bound, and the Det_base EOCC timing model as a reference row.
+   Misprediction counts are reported verbatim — a high mispredict rate
+   with a latency win is an honest result (mispredicted epochs re-merge
+   at the classic instant; only the speculated work is wasted). Writes
+   BENCH_fastpath.json (`geogauss bench diff` understands the
+   "fastpath" suite; p50/p95/mispredict-rate gate lower-is-better). *)
+
+let fastpath_json_path = "BENCH_fastpath.json"
+
+let fig_fastpath_tables pool ~fast =
+  let warmup_ms = if fast then 300 else 800 in
+  let measure_ms = if fast then 1_000 else 3_000 in
+  let skews = if fast then [ 0; 10; 50 ] else [ 0; 5; 10; 20; 50 ] in
+  let p =
+    Ycsb.with_records Ycsb.medium_contention (if fast then 4_000 else 50_000)
+  in
+  let load = Ycsb.load p in
+  let gen = Driver.ycsb_gens p ~seed:171 in
+  let connections = if fast then 32 else 64 in
+  let geo label params () =
+    let r, extra =
+      Driver.run_geogauss ~params ~connections ~topology:(Topology.china3 ())
+        ~load ~gen ~warmup_ms ~measure_ms ~label ()
+    in
+    (r, extra.Driver.fastpath)
+  in
+  let cells =
+    (("geogauss", -1), geo "geogauss" Params.default)
+    :: List.map
+         (fun skew ->
+           let params =
+             Params.with_clock_skew_us
+               (Params.with_fastpath Params.default true)
+               (skew * 1_000)
+           in
+           ( ("eocc", skew),
+             geo (Printf.sprintf "eocc/skew%d" skew) params ))
+         skews
+    @ [
+        ( ("eocc-model", -1),
+          fun () ->
+            ( Driver.run_engine
+                (module Gg_engines.Eocc)
+                ~config:engine_cfg ~topology:(Topology.china3 ()) ~gen
+                ~connections ~warmup_ms ~measure_ms ~label:"eocc-model" (),
+              (0, 0, 0) ) );
+      ]
+  in
+  let results = Pool.run pool (List.map snd cells) in
+  let rows =
+    List.map2
+      (fun ((engine, skew), _) (r, (spec, confirms, mispredicts)) ->
+        (engine, skew, r, spec, confirms, mispredicts))
+      cells results
+  in
+  let misp_rate spec mispredicts =
+    if spec = 0 then 0.0 else float_of_int mispredicts /. float_of_int spec
+  in
+  let table =
+    Tablefmt.create
+      ~title:
+        "Fig fastpath — Clock-assisted speculative sealing vs clock skew \
+         (YCSB-MC, china3)"
+      ~headers:
+        [
+          "engine"; "skew (ms)"; "tput (txn/s)"; "p50 (ms)"; "p95 (ms)";
+          "mean (ms)"; "mispredict rate";
+        ]
+  in
+  List.iter
+    (fun (engine, skew, r, spec, _, mispredicts) ->
+      Tablefmt.add_row table
+        [
+          engine;
+          (if skew < 0 then "-" else string_of_int skew);
+          f ~dec:0 r.Result.tput;
+          f r.Result.p50_ms;
+          f r.Result.p95_ms;
+          f r.Result.mean_ms;
+          (if spec = 0 then "-" else f ~dec:3 (misp_rate spec mispredicts));
+        ])
+    rows;
+  let oc = open_out fastpath_json_path in
+  let point_json (engine, skew, r, spec, confirms, mispredicts) =
+    Printf.sprintf
+      "    {\"engine\": \"%s\", \"clock_skew_ms\": %d, \"tput\": %.1f, \
+       \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"mean_ms\": %.3f, \"spec\": %d, \
+       \"confirms\": %d, \"mispredicts\": %d, \"mispredict_rate\": %.5f}"
+      engine skew r.Result.tput r.Result.p50_ms r.Result.p95_ms
+      r.Result.mean_ms spec confirms mispredicts (misp_rate spec mispredicts)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"fastpath\",\n\
+    \  \"fast\": %b,\n\
+    \  \"points\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    fast
+    (String.concat ",\n" (List.map point_json rows));
+  close_out oc;
+  (* The claim the sweep exists to check: at skew bounds <= 10 ms, the
+     fast path's p50 must beat the skew-independent baseline. *)
+  let geo_p50 =
+    List.find_map
+      (fun (e, _, r, _, _, _) ->
+        if e = "geogauss" then Some r.Result.p50_ms else None)
+      rows
+  in
+  List.iter
+    (fun (engine, skew, r, _, _, _) ->
+      match geo_p50 with
+      | Some base
+        when engine = "eocc" && skew >= 0 && skew <= 10
+             && r.Result.p50_ms >= base ->
+        Printf.eprintf
+          "  WARNING: eocc p50 %.2f ms at %d ms skew >= geogauss %.2f ms — \
+           the speculative seal saved nothing\n\
+           %!"
+          r.Result.p50_ms skew base
+      | _ -> ())
+    rows;
+  [ Tablefmt.render table ]
+
 (* --- registry --- *)
 
 (* The one canonical name list: the [tables] dispatch, [all] and the
@@ -976,6 +1139,7 @@ let names =
   [
     "fig5"; "table2"; "fig6"; "fig7"; "table3"; "fig8"; "fig9"; "fig10";
     "fig11"; "fig12"; "fig13"; "ablations"; "fig_scale"; "fig_skew";
+    "fig_fastpath";
   ]
 
 let tables ?(pool = Pool.seq) ~setting:s ~fast name =
@@ -994,6 +1158,7 @@ let tables ?(pool = Pool.seq) ~setting:s ~fast name =
   | "ablations" -> Some (ablations_tables pool s)
   | "fig_scale" -> Some (fig_scale_tables pool ~fast)
   | "fig_skew" -> Some (fig_skew_tables pool ~fast)
+  | "fig_fastpath" -> Some (fig_fastpath_tables pool ~fast)
   | _ -> None
 
 let print_tables ts =
@@ -1030,6 +1195,7 @@ let fig13 = make_runner "fig13"
 let ablations = make_runner "ablations"
 let fig_scale = make_runner "fig_scale"
 let fig_skew = make_runner "fig_skew"
+let fig_fastpath = make_runner "fig_fastpath"
 
 let run ?fast ?pool name =
   match List.assoc_opt name all with

@@ -90,6 +90,16 @@ val fig_skew : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
     stderr otherwise. Also writes [BENCH_skew.json] for
     [geogauss bench diff]. *)
 
+val fig_fastpath : ?fast:bool -> ?pool:Gg_par.Pool.t -> unit -> unit
+(** Not a paper figure: the clock-assisted speculative-sealing sweep
+    ([--engine eocc], DESIGN.md §14) — p50/p95 and misprediction rate
+    across clock-skew bounds 0–50 ms on the fig5 topology, against the
+    skew-independent GeoGauss baseline and the Det_base EOCC timing
+    model. eocc p50 must beat GeoGauss at bounds <= 10 ms; warns on
+    stderr otherwise. Also writes [BENCH_fastpath.json] for
+    [geogauss bench diff] (p50/p95/mispredict rate gate
+    lower-is-better). *)
+
 val names : string list
 (** Canonical experiment names, in paper order (plus the ablations and
     the partial-replication sweep). [tables], [all] and the

@@ -8,6 +8,7 @@ type action =
   | Reorder of float
   | Jitter of float
   | Corrupt of float
+  | Skew_step of { node : int; delta_us : int }
 
 type event = { at_ms : int; action : action }
 
@@ -19,6 +20,7 @@ let action_to_string = function
   | Reorder p -> Printf.sprintf "reorder:%.3f" p
   | Jitter f -> Printf.sprintf "jitter:%.3f" f
   | Corrupt p -> Printf.sprintf "corrupt:%.3f" p
+  | Skew_step { node; delta_us } -> Printf.sprintf "skew:%d:%+dus" node delta_us
 
 let event_to_string e = Printf.sprintf "%s@%dms" (action_to_string e.action) e.at_ms
 
@@ -27,7 +29,8 @@ let schedule_to_string events =
   else String.concat "," (List.map event_to_string events)
 
 let apply net ?(on_crash = fun n -> Net.set_down net n true)
-    ?(on_recover = fun n -> Net.set_down net n false) action =
+    ?(on_recover = fun n -> Net.set_down net n false)
+    ?(on_skew = fun _ ~delta_us:_ -> ()) action =
   match action with
   | Crash n -> on_crash n
   | Recover n -> on_recover n
@@ -36,8 +39,9 @@ let apply net ?(on_crash = fun n -> Net.set_down net n true)
   | Reorder p -> Net.set_reorder net p
   | Jitter f -> Net.set_jitter_frac net f
   | Corrupt p -> Net.set_corrupt_frac net p
+  | Skew_step { node; delta_us } -> on_skew node ~delta_us
 
-let install net ?on_crash ?on_recover events =
+let install net ?on_crash ?on_recover ?on_skew events =
   let sim = Net.sim net in
   let obs = Sim.obs sim in
   List.iter
@@ -45,5 +49,5 @@ let install net ?on_crash ?on_recover events =
       Sim.schedule_at sim (Sim.ms e.at_ms) (fun () ->
           if Obs.tracing obs then
             Obs.emit obs ~cat:"fault" "inject" ~detail:(event_to_string e);
-          apply net ?on_crash ?on_recover e.action))
+          apply net ?on_crash ?on_recover ?on_skew e.action))
     (List.stable_sort (fun a b -> compare a.at_ms b.at_ms) events)

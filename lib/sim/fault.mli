@@ -17,6 +17,9 @@ type action =
   | Reorder of float  (** set the reorder probability *)
   | Jitter of float  (** set the jitter fraction (spikes) *)
   | Corrupt of float  (** set the binary-frame corruption probability *)
+  | Skew_step of { node : int; delta_us : int }
+      (** skew burst: step a node's clock offset ({!Clock.inject_step}
+          via the [on_skew] hook); forces fast-path mispredictions *)
 
 type event = { at_ms : int; action : action }
 
@@ -24,14 +27,16 @@ val install :
   Net.t ->
   ?on_crash:(int -> unit) ->
   ?on_recover:(int -> unit) ->
+  ?on_skew:(int -> delta_us:int -> unit) ->
   event list ->
   unit
 (** Schedule every event at its absolute simulated time. [on_crash] /
     [on_recover] default to plain [Net.set_down]; a full-cluster caller
     passes [Cluster.crash] / [Cluster.recover] so membership changes and
-    state transfer run too. Knob actions apply directly to the network.
-    Each application emits a ["fault"]-category trace event when tracing
-    is enabled. *)
+    state transfer run too. [on_skew] (default: no-op) receives
+    [Skew_step] actions — a cluster wires it to its {!Clock}. Knob
+    actions apply directly to the network. Each application emits a
+    ["fault"]-category trace event when tracing is enabled. *)
 
 val event_to_string : event -> string
 (** E.g. ["crash:2@350ms"] — the reproducer-line format. *)

@@ -65,7 +65,7 @@ let test_geogauss_beats_crdb_ycsb_mc () =
     (geo.Gg_harness.Result.mean_ms < crdb.Gg_harness.Result.mean_ms)
 
 let test_experiment_registry () =
-  Alcotest.(check int) "14 experiments" 14 (List.length Gg_harness.Experiments.all);
+  Alcotest.(check int) "15 experiments" 15 (List.length Gg_harness.Experiments.all);
   Alcotest.(check (list string))
     "registry derives from the canonical name list"
     Gg_harness.Experiments.names
@@ -74,6 +74,8 @@ let test_experiment_registry () =
     (List.mem "fig_scale" Gg_harness.Experiments.names);
   Alcotest.(check bool) "fig_skew registered" true
     (List.mem "fig_skew" Gg_harness.Experiments.names);
+  Alcotest.(check bool) "fig_fastpath registered" true
+    (List.mem "fig_fastpath" Gg_harness.Experiments.names);
   Alcotest.(check bool) "unknown rejected" false
     (Gg_harness.Experiments.run ~fast:true "nonsense")
 

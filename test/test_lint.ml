@@ -141,6 +141,52 @@ let test_dls_is_sanctioned () =
     Alcotest.(check bool) "Local_counter is DLS-backed" true
       (List.exists (fun l -> contains l "Domain.DLS.new_key") pool)
 
+let test_engine_registry_is_canonical () =
+  (* Engine names resolve through exactly one table —
+     lib/engines/registry.ml — whose lookup fails loudly
+     ([invalid_arg]) with the full known list. A second name table
+     silently drifting out of sync is the hazard; `"geog-s"` /
+     `"geog-a"` string literals only make sense as entries of such a
+     table, so their appearance anywhere else in lib/ or bin/ is a
+     duplicate (doc strings spell the names unquoted). *)
+  match src_root () with
+  | None -> Alcotest.fail "cannot locate lib/ sources from test cwd"
+  | Some root ->
+    let registry = Filename.concat root "engines/registry.ml" in
+    let reg = read_lines registry in
+    Alcotest.(check bool) "registry declares the entries list" true
+      (List.exists (fun l -> contains l "let entries") reg);
+    Alcotest.(check bool) "unknown names fail with the known list" true
+      (List.exists (fun l -> contains l "invalid_arg") reg);
+    let bin_root =
+      List.find_opt Sys.file_exists [ "../bin"; "bin"; "../../bin" ]
+    in
+    let files =
+      ml_files root
+      @ (match bin_root with Some b -> ml_files b | None -> [])
+    in
+    Alcotest.(check bool) "found bin sources too" true (bin_root <> None);
+    let dupes =
+      List.concat_map
+        (fun path ->
+          if contains path "engines/registry.ml" then []
+          else
+            List.concat
+              (List.mapi
+                 (fun i line ->
+                   if contains line "\"geog-s\"" || contains line "\"geog-a\""
+                   then
+                     [ Printf.sprintf "%s:%d: %s" path (i + 1)
+                         (String.trim line) ]
+                   else [])
+                 (read_lines path)))
+        files
+    in
+    if dupes <> [] then
+      Alcotest.fail
+        ("engine-name tables outside the registry:\n"
+        ^ String.concat "\n" dupes)
+
 let () =
   Alcotest.run "lint"
     [
@@ -150,5 +196,7 @@ let () =
             `Quick test_no_hazards;
           Alcotest.test_case "encode counter is domain-local" `Quick
             test_dls_is_sanctioned;
+          Alcotest.test_case "engine registry is the one name table" `Quick
+            test_engine_registry_is_canonical;
         ] );
     ]

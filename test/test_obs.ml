@@ -343,11 +343,15 @@ let test_traced_run_loads_and_analyzes () =
 
 (* --- causal propagation + critical-path attribution --- *)
 
-let traced_run_custom ?(merge_jobs = 1) ?(warmup_ms = 200) path =
+let traced_run_custom ?(merge_jobs = 1) ?(warmup_ms = 200) ?(fastpath = false)
+    path =
   let profile =
     Gg_workload.Ycsb.with_records Gg_workload.Ycsb.medium_contention 2_000
   in
   let params = { Geogauss.Params.default with Geogauss.Params.merge_jobs } in
+  let params =
+    if fastpath then Geogauss.Params.with_fastpath params true else params
+  in
   let r, _ =
     Gg_harness.Driver.run_geogauss ~params ~connections:8 ~trace_file:path
       ~snapshot_every_ms:100
@@ -378,21 +382,16 @@ let test_no_orphan_parents () =
   Alcotest.(check bool) "receive-side events present" true (with_parent > 100);
   Alcotest.(check int) "every parent span resolves" 0 unresolved
 
-let test_critical_path_sums_to_latency () =
-  let path = Filename.temp_file "ggcp" ".jsonl" in
-  let r = traced_run_custom path in
-  let t = load_trace path in
-  Sys.remove path;
-  let rep = Trace_view.critical_path t in
-  Alcotest.(check int) "commit count matches result"
-    r.Gg_harness.Result.committed rep.Trace_view.cpr_committed;
-  Alcotest.(check bool) "sampled a meaningful fraction" true
-    (List.length rep.Trace_view.cpr_txns > rep.Trace_view.cpr_committed / 2);
+(* Shared by the classic and eocc phase-sum tests: all eight phases of
+   every sampled transaction are non-negative and telescope to exactly
+   the commit latency. *)
+let check_phase_sums (rep : Trace_view.cp_report) =
   List.iter
     (fun (c : Trace_view.cp_txn) ->
       let sum =
         c.Trace_view.cp_execute + c.Trace_view.cp_seal_wait + c.Trace_view.cp_wan
-        + c.Trace_view.cp_merge_wait + c.Trace_view.cp_validate
+        + c.Trace_view.cp_merge_wait + c.Trace_view.cp_spec_wait
+        + c.Trace_view.cp_confirm_wait + c.Trace_view.cp_validate
         + c.Trace_view.cp_commit
       in
       if sum <> c.Trace_view.cp_latency_us then
@@ -406,9 +405,29 @@ let test_critical_path_sums_to_latency () =
           ("seal_wait", c.Trace_view.cp_seal_wait);
           ("wan", c.Trace_view.cp_wan);
           ("merge_wait", c.Trace_view.cp_merge_wait);
+          ("spec_wait", c.Trace_view.cp_spec_wait);
+          ("confirm_wait", c.Trace_view.cp_confirm_wait);
           ("validate", c.Trace_view.cp_validate);
           ("commit", c.Trace_view.cp_commit);
         ])
+    rep.Trace_view.cpr_txns
+
+let test_critical_path_sums_to_latency () =
+  let path = Filename.temp_file "ggcp" ".jsonl" in
+  let r = traced_run_custom path in
+  let t = load_trace path in
+  Sys.remove path;
+  let rep = Trace_view.critical_path t in
+  Alcotest.(check int) "commit count matches result"
+    r.Gg_harness.Result.committed rep.Trace_view.cpr_committed;
+  Alcotest.(check bool) "sampled a meaningful fraction" true
+    (List.length rep.Trace_view.cpr_txns > rep.Trace_view.cpr_committed / 2);
+  check_phase_sums rep;
+  (* the classic engine never speculates, so the fast-path phases are 0 *)
+  List.iter
+    (fun (c : Trace_view.cp_txn) ->
+      Alcotest.(check int) "classic spec_wait" 0 c.Trace_view.cp_spec_wait;
+      Alcotest.(check int) "classic confirm_wait" 0 c.Trace_view.cp_confirm_wait)
     rep.Trace_view.cpr_txns;
   (* cross-region traffic flowed and was attributed to region pairs *)
   let wan = Trace_view.wan_report t in
@@ -425,6 +444,36 @@ let test_critical_path_sums_to_latency () =
   Alcotest.(check string) "wan json deterministic"
     (Jsonl.to_string (Trace_view.wan_json t))
     (Jsonl.to_string (Trace_view.wan_json t))
+
+(* Same telescoping invariant under the clock-assisted fast path
+   (DESIGN.md §14): confirmed speculative epochs take the
+   spec_wait/confirm_wait cut (with wan = merge_wait = 0), classic and
+   mispredicted epochs fall back to the six-phase cut — either way the
+   eight phases must still sum to the commit latency exactly. *)
+let test_critical_path_sums_eocc () =
+  let path = Filename.temp_file "ggcpfp" ".jsonl" in
+  let r = traced_run_custom ~fastpath:true path in
+  let t = load_trace path in
+  Sys.remove path;
+  let rep = Trace_view.critical_path t in
+  Alcotest.(check int) "commit count matches result"
+    r.Gg_harness.Result.committed rep.Trace_view.cpr_committed;
+  check_phase_sums rep;
+  (* the speculative cut was actually taken for some sampled txns *)
+  let spec_cut =
+    List.filter
+      (fun (c : Trace_view.cp_txn) ->
+        c.Trace_view.cp_spec_wait + c.Trace_view.cp_confirm_wait > 0)
+      rep.Trace_view.cpr_txns
+  in
+  Alcotest.(check bool) "some txns took the spec cut" true (spec_cut <> []);
+  List.iter
+    (fun (c : Trace_view.cp_txn) ->
+      Alcotest.(check int) "spec cut: wan folded into confirm_wait" 0
+        c.Trace_view.cp_wan;
+      Alcotest.(check int) "spec cut: merge_wait folded into spec_wait" 0
+        c.Trace_view.cp_merge_wait)
+    spec_cut
 
 let test_trace_bytes_identical_across_merge_jobs () =
   let p1 = Filename.temp_file "ggmj1" ".jsonl" in
@@ -507,6 +556,8 @@ let () =
           Alcotest.test_case "no orphan parents (warmup 0)" `Slow test_no_orphan_parents;
           Alcotest.test_case "critical path sums to latency" `Slow
             test_critical_path_sums_to_latency;
+          Alcotest.test_case "critical path sums to latency (eocc)" `Slow
+            test_critical_path_sums_eocc;
           Alcotest.test_case "byte-identical across --merge-jobs" `Slow
             test_trace_bytes_identical_across_merge_jobs;
           Alcotest.test_case "byte-identical across pool -j" `Slow
